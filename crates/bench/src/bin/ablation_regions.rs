@@ -1,0 +1,95 @@
+//! Ablation: how the preclusion-zone construction (the part of the paper's
+//! Figure 1 geometry that must be reconstructed) affects the detector.
+//!
+//! For each [`PreclusionRule`] the table reports the false-alarm rate
+//! (compliant tagged node) and detection rate at PM = 50, at medium load.
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin ablation_regions
+//! ```
+
+use mg_bench::table::{p3, Table};
+use mg_bench::{aggregate, parallel_seeds, sim_secs, trials, Load, TrialOutcome};
+use mg_dcf::BackoffPolicy;
+use mg_detect::{Monitor, MonitorConfig, NodeCounts};
+use mg_geom::PreclusionRule;
+use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+use mg_sim::SimTime;
+
+fn trial(seed: u64, pm: u8, rule: PreclusionRule, counts: NodeCounts, ss: usize) -> TrialOutcome {
+    let secs = sim_secs();
+    let cfg = ScenarioConfig {
+        sim_secs: secs,
+        rate_pps: Load::Medium.rate_pps(),
+        seed,
+        ..ScenarioConfig::grid_paper(seed)
+    };
+    let scenario = Scenario::new(cfg);
+    let (s, r) = scenario.tagged_pair();
+    let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
+    mc.sample_size = ss;
+    mc.preclusion = rule;
+    mc.counts = counts;
+    mc.blatant_check = false;
+    let monitor = Monitor::new(mc);
+    let mut world = scenario.build(&[s, r], monitor);
+    if pm > 0 {
+        world.set_policy(s, BackoffPolicy::Scaled { pm });
+    }
+    world.add_source(SourceCfg::saturated(s, r));
+    world.run_until(SimTime::from_secs(secs));
+    let d = world.observer().diagnosis();
+    TrialOutcome {
+        tests: d.tests_run as u64,
+        rejections: d.rejections as u64,
+        violations: d.violations as u64,
+        samples: d.samples_collected as u64,
+        rho: world.observer().overall_rho(),
+    }
+}
+
+fn main() {
+    let n = trials();
+    let ss = 25;
+    let variants: [(&str, PreclusionRule, NodeCounts); 4] = [
+        ("mirror (n=k=5)", PreclusionRule::Mirror, NodeCounts::FixedPaper),
+        (
+            "centroid (n=k=5)",
+            PreclusionRule::Centroid,
+            NodeCounts::FixedPaper,
+        ),
+        (
+            "paper-calibrated (n=k=5)",
+            PreclusionRule::paper_calibrated(),
+            NodeCounts::FixedPaper,
+        ),
+        (
+            "sim-calibrated (default)",
+            PreclusionRule::sim_calibrated(),
+            NodeCounts::SimCalibrated,
+        ),
+    ];
+    let mut t = Table::new(
+        &format!("Ablation: region construction (sample size {ss}, load 0.6)"),
+        &["rule", "false alarms", "detect PM=50", "detect PM=90"],
+    );
+    for (name, rule, counts) in variants {
+        let fa = aggregate(&parallel_seeds(n, 6000, |seed| {
+            trial(seed, 0, rule, counts, ss)
+        }));
+        let d50 = aggregate(&parallel_seeds(n, 6100, |seed| {
+            trial(seed, 50, rule, counts, ss)
+        }));
+        let d90 = aggregate(&parallel_seeds(n, 6200, |seed| {
+            trial(seed, 90, rule, counts, ss)
+        }));
+        t.row(vec![
+            name.to_string(),
+            p3(fa.rejection_rate()),
+            p3(d50.rejection_rate()),
+            p3(d90.rejection_rate()),
+        ]);
+    }
+    t.emit("ablation_regions");
+    println!("(a model mismatched to the physics inflates false alarms; see EXPERIMENTS.md)");
+}

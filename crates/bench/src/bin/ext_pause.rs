@@ -1,0 +1,43 @@
+//! Extension: mobility pause-time sweep.
+//!
+//! Table 1 lists pause times {0, 50, 100, 200, 300} s for the random
+//! waypoint model, but the paper shows a single mobile curve. This binary
+//! sweeps the pause time: 0 s is perpetual motion (hardest — constant
+//! monitor handoff), 300 s is effectively static.
+//!
+//! ```text
+//! cargo run --release -p mg-bench --bin ext_pause
+//! ```
+
+use mg_bench::table::{p3, Table};
+use mg_bench::{aggregate, mobile_detection_trial, parallel_seeds, sim_secs, trials, Load};
+use mg_sim::SimDuration;
+
+fn main() {
+    let n = trials();
+    let secs = sim_secs();
+    let mut t = Table::new(
+        "Extension: pause-time sweep — mobile detection, load 0.6, sample size 25",
+        &["pause (s)", "false alarms", "detect PM=50", "detect PM=90", "tests(fa)"],
+    );
+    for pause_s in [0u64, 50, 100, 200, 300] {
+        let pause = SimDuration::from_secs(pause_s);
+        let run = |pm: u8, base: u64| {
+            aggregate(&parallel_seeds(n, base + pause_s, |seed| {
+                mobile_detection_trial(seed, Load::Medium, pm, 25, secs, pause)
+            }))
+        };
+        let fa = run(0, 9500);
+        let d50 = run(50, 9600);
+        let d90 = run(90, 9700);
+        t.row(vec![
+            format!("{pause_s}"),
+            p3(fa.rejection_rate()),
+            p3(d50.rejection_rate()),
+            p3(d90.rejection_rate()),
+            format!("{}", fa.tests),
+        ]);
+    }
+    t.emit("ext_pause");
+    println!("(the paper notes mobility roughly doubles the samples needed; long pauses should recover the static behaviour)");
+}

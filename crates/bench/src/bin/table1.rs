@@ -1,0 +1,43 @@
+//! Regenerates **Table 1** — the simulation parameters — from the live
+//! defaults of the codebase (so the table can never drift from the code).
+//!
+//! ```text
+//! cargo run -p mg-bench --bin table1
+//! ```
+
+use mg_bench::table::Table;
+use mg_dcf::MacTiming;
+use mg_net::ScenarioConfig;
+
+fn main() {
+    for (name, cfg) in [
+        ("Grid topology", ScenarioConfig::grid_paper(0)),
+        ("Random topology", ScenarioConfig::random_paper(0)),
+    ] {
+        let mut t = Table::new(
+            &format!("Table 1 — simulation parameters ({name})"),
+            &["Parameter", "Value"],
+        );
+        for (k, v) in cfg.table1_rows() {
+            t.row(vec![k, v]);
+        }
+        let timing = MacTiming::paper_default();
+        t.row(vec![
+            "Slot / SIFS / DIFS".into(),
+            format!(
+                "{} / {} / {} us",
+                timing.slot.as_micros(),
+                timing.sifs.as_micros(),
+                timing.difs().as_micros()
+            ),
+        ]);
+        t.row(vec![
+            "CWmin / CWmax".into(),
+            format!("{} / {}", timing.cw_min, timing.cw_max),
+        ]);
+        t.emit(&format!(
+            "table1_{}",
+            name.split_whitespace().next().unwrap().to_lowercase()
+        ));
+    }
+}

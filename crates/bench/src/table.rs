@@ -1,0 +1,124 @@
+//! Aligned-table and CSV output for the experiment binaries.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A simple column-aligned text table that can also mirror itself to CSV.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout and, when `MG_CSV_DIR` is set, writes
+    /// `<dir>/<slug>.csv` too.
+    pub fn emit(&self, slug: &str) {
+        print!("{}", self.render());
+        println!();
+        if let Ok(dir) = std::env::var("MG_CSV_DIR") {
+            let mut path = PathBuf::from(dir);
+            if std::fs::create_dir_all(&path).is_ok() {
+                path.push(format!("{slug}.csv"));
+                if let Ok(mut f) = std::fs::File::create(&path) {
+                    let _ = writeln!(f, "{}", self.headers.join(","));
+                    for row in &self.rows {
+                        let _ = writeln!(f, "{}", row.join(","));
+                    }
+                    eprintln!("(csv written to {})", path.display());
+                }
+            }
+        }
+    }
+}
+
+/// Formats a probability with 3 decimals.
+pub fn p3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("  a  bbbb"));
+        assert!(s.contains("333     4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(p3(0.12345), "0.123");
+        assert_eq!(f2(1.0 / 3.0), "0.33");
+    }
+}

@@ -1,0 +1,205 @@
+//! Online estimation of the number of competing terminals — after Bianchi &
+//! Tinnirello ("Kalman filter estimation of the number of competing
+//! terminals in an IEEE 802.11 network", INFOCOM 2003), which the paper uses
+//! to let monitors approximate node density in their neighborhood.
+//!
+//! The estimator inverts Bianchi's saturation fixed point: for `n` saturated
+//! stations with minimum window `W = CWmin + 1` and `m` doubling stages, the
+//! per-slot transmission probability τ and conditional collision probability
+//! `p` satisfy
+//!
+//! ```text
+//! τ = 2(1−2p) / [ (1−2p)(W+1) + pW(1−(2p)^m) ]
+//! p = 1 − (1−τ)^(n−1)
+//! ```
+//!
+//! The monitor measures `p̂` (the fraction of transmissions in its airspace
+//! that collide), computes `τ(p̂)` from the first equation, and solves the
+//! second for `n̂ = 1 + ln(1−p̂)/ln(1−τ)`.
+
+use mg_stats::filter::Ewma;
+
+/// Estimates competing-terminal count and node density from observed
+/// collision rates.
+#[derive(Clone, Debug)]
+pub struct DensityEstimator {
+    w: f64,
+    stages: u32,
+    /// Smoothed collision probability.
+    p_coll: Ewma,
+    decoded: u64,
+    collided: u64,
+}
+
+impl DensityEstimator {
+    /// Creates an estimator for the given contention parameters
+    /// (`cw_min = 31`, `stages = 5` for the standard 31→1023 ladder).
+    pub fn new(cw_min: u16, stages: u32) -> Self {
+        DensityEstimator {
+            w: f64::from(cw_min) + 1.0,
+            stages,
+            p_coll: Ewma::new(0.95),
+            decoded: 0,
+            collided: 0,
+        }
+    }
+
+    /// The standard 802.11 parameters (CWmin 31, CWmax 1023 ⇒ 5 stages).
+    pub fn paper_default() -> Self {
+        DensityEstimator::new(31, 5)
+    }
+
+    /// Records a successfully decoded transmission in the monitor's airspace.
+    pub fn on_success(&mut self) {
+        self.decoded += 1;
+        self.p_coll.push(0.0);
+    }
+
+    /// Records a collided (garbled) transmission.
+    pub fn on_collision(&mut self) {
+        self.collided += 1;
+        self.p_coll.push(1.0);
+    }
+
+    /// The smoothed collision probability `p̂` (0 before any observation).
+    pub fn collision_probability(&self) -> f64 {
+        self.p_coll.value().unwrap_or(0.0)
+    }
+
+    /// Observation counts `(decoded, collided)`.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.decoded, self.collided)
+    }
+
+    /// Bianchi's τ for a given conditional collision probability.
+    pub fn tau_of_p(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 0.9999);
+        let w = self.w;
+        let m = self.stages as i32;
+        let num = 2.0 * (1.0 - 2.0 * p);
+        let den = (1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - (2.0 * p).powi(m));
+        if den.abs() < 1e-12 {
+            // p = 0.5 singularity: take the analytic limit.
+            return 2.0 / (w + 1.0 + 0.5 * w * m as f64);
+        }
+        (num / den).clamp(1e-9, 1.0)
+    }
+
+    /// The estimated number of competing terminals `n̂` for a measured
+    /// collision probability.
+    pub fn competing_terminals_for(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 0.9999);
+        if p <= 0.0 {
+            return 1.0;
+        }
+        let tau = self.tau_of_p(p);
+        1.0 + (1.0 - p).ln() / (1.0 - tau).ln()
+    }
+
+    /// The current estimate `n̂` from the smoothed collision probability.
+    pub fn competing_terminals(&self) -> f64 {
+        self.competing_terminals_for(self.collision_probability())
+    }
+
+    /// Node density (nodes/m²) assuming the `n̂` competing terminals live
+    /// within transmission range `r` of the monitor — the paper's
+    /// `N_R / (πR²)` (valid for uniform layouts).
+    pub fn density(&self, tx_range: f64) -> f64 {
+        assert!(tx_range > 0.0, "range must be positive");
+        self.competing_terminals() / (std::f64::consts::PI * tx_range * tx_range)
+    }
+}
+
+impl Default for DensityEstimator {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Forward Bianchi fixed point for ground truth: given n, solve (τ, p).
+    fn bianchi_forward(n: f64, w: f64, m: i32) -> (f64, f64) {
+        let mut p = 0.1;
+        for _ in 0..10_000 {
+            let num = 2.0 * (1.0 - 2.0 * p);
+            let den = (1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - (2.0 * p).powi(m));
+            let tau = num / den;
+            let p_new = 1.0 - (1.0 - tau).powf(n - 1.0);
+            p = 0.5 * p + 0.5 * p_new;
+        }
+        let num = 2.0 * (1.0 - 2.0 * p);
+        let den = (1.0 - 2.0 * p) * (w + 1.0) + p * w * (1.0 - (2.0 * p).powi(m));
+        (num / den, p)
+    }
+
+    #[test]
+    fn inversion_recovers_n() {
+        let est = DensityEstimator::paper_default();
+        for n in [2.0, 5.0, 10.0, 20.0, 50.0] {
+            let (_tau, p) = bianchi_forward(n, 32.0, 5);
+            let n_hat = est.competing_terminals_for(p);
+            let rel = (n_hat - n).abs() / n;
+            assert!(rel < 0.02, "n={n}: p={p:.4} n_hat={n_hat:.2}");
+        }
+    }
+
+    #[test]
+    fn zero_collisions_means_alone() {
+        let est = DensityEstimator::paper_default();
+        assert_eq!(est.competing_terminals_for(0.0), 1.0);
+        assert_eq!(est.competing_terminals(), 1.0);
+    }
+
+    #[test]
+    fn estimate_grows_with_collisions() {
+        let est = DensityEstimator::paper_default();
+        let mut prev = 0.0;
+        for p in [0.05, 0.1, 0.2, 0.4, 0.6] {
+            let n = est.competing_terminals_for(p);
+            assert!(n > prev, "p={p}: n={n}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn smoothing_tracks_observations() {
+        let mut est = DensityEstimator::paper_default();
+        for _ in 0..50 {
+            est.on_success();
+        }
+        assert!(est.collision_probability() < 0.05);
+        for _ in 0..300 {
+            est.on_collision();
+        }
+        assert!(est.collision_probability() > 0.8);
+        assert_eq!(est.counts(), (50, 300));
+    }
+
+    #[test]
+    fn density_scales_inverse_square() {
+        let mut est = DensityEstimator::paper_default();
+        for _ in 0..10 {
+            est.on_collision();
+            est.on_success();
+        }
+        let d250 = est.density(250.0);
+        let d500 = est.density(500.0);
+        assert!((d250 / d500 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_is_sane_across_p() {
+        let est = DensityEstimator::paper_default();
+        for i in 0..100 {
+            let p = i as f64 / 100.0;
+            let tau = est.tau_of_p(p);
+            assert!(
+                tau > 0.0 && tau <= 1.0,
+                "tau({p}) = {tau} out of range"
+            );
+        }
+    }
+}

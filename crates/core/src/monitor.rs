@@ -1,0 +1,1131 @@
+//! The per-neighbor misbehavior monitor.
+//!
+//! A [`Monitor`] sits at a *vantage* node and watches one *tagged* neighbor,
+//! consuming exactly what a real co-located process could observe:
+//!
+//! * the vantage node's own carrier-sense edges (busy/idle),
+//! * frames decodable at the vantage (including the tagged node's RTSs with
+//!   their verifiable fields),
+//! * the vantage node's own transmissions,
+//! * garbled receptions (for the collision-rate / density estimate).
+//!
+//! From this it reconstructs, for every RTS the tagged node sends, the
+//! **back-off window** that preceded it — anchored at the end of the tagged
+//! node's previous exchange (or at its CTS timeout for a retry) — and
+//! converts the vantage's idle/busy slot counts in that window into an
+//! *estimated* count of slots the tagged node could have decremented
+//! (Eqs. 1–5). The estimates are tested against the dictated PRS values
+//! with a one-sided Wilcoxon rank-sum test.
+//!
+//! Five deterministic checks run alongside (Section 4 of the paper, plus
+//! two this reproduction added): sequence-offset commitment, rate
+//! feasibility of offset advances, attempt-number/MD5 consistency, the
+//! "blatant" timing check — a window physically shorter than
+//! `DIFS + dictated·slot` cannot be produced by a compliant node, because
+//! freezing only ever lengthens the countdown — and the basic-access
+//! evasion check (unannounced DATA).
+
+use crate::analysis::AnalyticModel;
+use crate::channel::ChannelTracker;
+use crate::density::DensityEstimator;
+use crate::NodeId;
+use mg_dcf::{Dest, Frame, FrameKind, MacTiming};
+use mg_crypto::VerifiableSequence;
+use mg_net::NetObserver;
+use mg_phy::Medium;
+use mg_geom::PreclusionRule;
+use mg_sim::SimTime;
+use mg_stats::filter::Arma;
+use mg_stats::signed_rank::signed_rank_test;
+use mg_stats::wilcoxon::{rank_sum_test, Alternative, RankSumResult};
+
+/// How the monitor obtains the node counts (n, k, m, j) of the analytic
+/// model.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum NodeCounts {
+    /// The paper's grid setting: n = k = m = j = 5, fixed.
+    FixedPaper,
+    /// Effective counts calibrated to this repository's simulator
+    /// (`n + k = 1`): carrier sense serializes contenders inside one
+    /// region, so the paper's independent-queue assumption overcounts
+    /// concurrent transmitters. See EXPERIMENTS.md (Fig. 3 calibration).
+    SimCalibrated,
+    /// Explicit counts.
+    Fixed {
+        /// Nodes in A2.
+        n: f64,
+        /// Nodes in A1.
+        k: f64,
+        /// Nodes in A4.
+        m: f64,
+        /// Nodes in A5.
+        j: f64,
+    },
+    /// Estimate counts online from the Bianchi–Tinnirello density estimate
+    /// (the paper's random-topology setting).
+    FromDensity,
+}
+
+/// Which hypothesis test judges the collected samples.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Judge {
+    /// The paper's unpaired Wilcoxon rank-sum test.
+    RankSum,
+    /// Paired Wilcoxon signed-rank on per-window differences (an extension:
+    /// exploits the (dictated, estimated) pairing for extra power).
+    SignedRank,
+}
+
+/// A deterministically proven protocol violation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Violation {
+    /// The announced sequence offset did not move forward.
+    SequenceReuse {
+        /// Last logical offset the monitor verified.
+        previous: u64,
+        /// The offense.
+        seen: u64,
+        /// When it was observed.
+        at: SimTime,
+    },
+    /// A retransmission of the same DATA frame (same MD5) without
+    /// incrementing the attempt number — the attempt-cheating attack.
+    AttemptMismatch {
+        /// Attempt number announced for the previous copy.
+        previous: u8,
+        /// Attempt number announced now.
+        seen: u8,
+        /// When it was observed.
+        at: SimTime,
+    },
+    /// The announced sequence offset advanced further than the channel
+    /// physically allows: each draw costs at least one DIFS + RTS airtime,
+    /// so a wire-offset jump can be checked against the elapsed time. This
+    /// is what exposes "rewinding" the 13-bit counter (a rewind is
+    /// indistinguishable from a wrap *except* by rate).
+    ImplausibleAdvance {
+        /// Claimed number of draws consumed.
+        jump: u64,
+        /// Maximum draws the elapsed time permits.
+        feasible: u64,
+        /// When it was observed.
+        at: SimTime,
+    },
+    /// The tagged node keeps sending unicast DATA without a preceding RTS —
+    /// bypassing the verifiable-back-off announcements entirely (legacy
+    /// basic access is not allowed by the paper's modified MAC).
+    UnverifiedData {
+        /// DATA frames observed with no RTS announcing them.
+        unverified: u64,
+        /// All unicast DATA frames observed from the tagged node.
+        total: u64,
+        /// When the threshold was crossed.
+        at: SimTime,
+    },
+    /// The back-off window was physically shorter than the dictated
+    /// countdown could ever be (freezing only lengthens it).
+    BlatantCountdown {
+        /// The dictated back-off in slots.
+        dictated: u16,
+        /// Total observed window length, in slots.
+        observed_slots: f64,
+        /// When it was observed.
+        at: SimTime,
+    },
+}
+
+/// Monitor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// The node under observation.
+    pub tagged: NodeId,
+    /// The observing node.
+    pub vantage: NodeId,
+    /// Distance between the pair in meters (drives the region model).
+    pub pair_distance: f64,
+    /// Carrier-sensing range (Table 1: 550 m).
+    pub cs_range: f64,
+    /// Transmission range (Table 1: 250 m) — used by the density estimate.
+    pub tx_range: f64,
+    /// Significance level of the rank-sum test.
+    pub alpha: f64,
+    /// Back-off samples per hypothesis test (the paper sweeps 10–100).
+    pub sample_size: usize,
+    /// ARMA smoothing α (paper: 0.995).
+    pub arma_alpha: f64,
+    /// ARMA moving-average window `s`, in slots.
+    pub arma_window: usize,
+    /// Construction of the preclusion zones A1/A4.
+    pub preclusion: PreclusionRule,
+    /// Source of the analytic node counts.
+    pub counts: NodeCounts,
+    /// MAC timing (slot, DIFS, airtimes…).
+    pub timing: MacTiming,
+    /// Whether the deterministic timing check runs.
+    pub blatant_check: bool,
+    /// Slack (slots) before the blatant check fires.
+    pub blatant_tolerance: f64,
+    /// Estimated windows above `cw_max ×` this factor are discarded as
+    /// queue-idle contamination.
+    pub discard_factor: f64,
+    /// Weight of the EIFS compensation: after a collision in its airspace a
+    /// node defers EIFS instead of DIFS, adding idle time that is not a
+    /// decrement. Each garbled reception *at the vantage* during a window
+    /// subtracts `(EIFS − DIFS) × eifs_weight` slots from the estimate
+    /// (the weight discounts collisions the tagged node did not perceive).
+    pub eifs_weight: f64,
+    /// Run the rank-sum test automatically every `sample_size` samples.
+    /// Disable when a [`crate::MonitorPool`] aggregates samples itself.
+    pub auto_test: bool,
+    /// Which hypothesis test judges the samples (paper: rank-sum).
+    pub judge: Judge,
+    /// Whether every unicast DATA frame must be announced by an RTS (the
+    /// paper's protocol). When set, persistent basic-access traffic from
+    /// the tagged node raises [`Violation::UnverifiedData`].
+    pub require_rts: bool,
+    /// After not hearing the tagged node for this long (mobility, deep
+    /// fades), the monitor re-synchronizes: sequence bookkeeping resets and
+    /// the first window after the gap yields no sample — the unobserved
+    /// stretch may span sequence wraps and queue-idle time.
+    pub resync_after: mg_sim::SimDuration,
+}
+
+impl MonitorConfig {
+    /// The paper's grid-experiment configuration for a tagged pair at the
+    /// given distance.
+    pub fn grid_paper(tagged: NodeId, vantage: NodeId, pair_distance: f64) -> Self {
+        MonitorConfig {
+            tagged,
+            vantage,
+            pair_distance,
+            cs_range: 550.0,
+            tx_range: 250.0,
+            alpha: 0.01,
+            sample_size: 50,
+            arma_alpha: 0.995,
+            arma_window: 1000,
+            preclusion: PreclusionRule::sim_calibrated(),
+            counts: NodeCounts::SimCalibrated,
+            timing: MacTiming::paper_default(),
+            blatant_check: true,
+            blatant_tolerance: 2.0,
+            discard_factor: 1.5,
+            eifs_weight: 0.5,
+            auto_test: true,
+            judge: Judge::RankSum,
+            require_rts: true,
+            resync_after: mg_sim::SimDuration::from_secs(2),
+        }
+    }
+
+    /// The random-topology configuration: node counts from the online
+    /// density estimate.
+    pub fn random_paper(tagged: NodeId, vantage: NodeId, pair_distance: f64) -> Self {
+        MonitorConfig {
+            counts: NodeCounts::FromDensity,
+            ..Self::grid_paper(tagged, vantage, pair_distance)
+        }
+    }
+}
+
+/// Aggregate outcome of a monitoring session.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Diagnosis {
+    /// Hypothesis tests performed.
+    pub tests_run: usize,
+    /// Tests that rejected H0 ("well-behaved").
+    pub rejections: usize,
+    /// Deterministic violations recorded.
+    pub violations: usize,
+    /// Back-off samples collected (post-filtering).
+    pub samples_collected: usize,
+    /// Samples discarded as queue-idle contaminated.
+    pub samples_discarded: usize,
+    /// p-value of the most recent test.
+    pub last_p: Option<f64>,
+    /// The monitor's measured traffic intensity ρ (busy fraction).
+    pub measured_rho: f64,
+}
+
+impl Diagnosis {
+    /// Whether the tagged node has been flagged (statistically or
+    /// deterministically).
+    pub fn is_flagged(&self) -> bool {
+        self.rejections > 0 || self.violations > 0
+    }
+
+    /// Fraction of tests that rejected H0.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.tests_run == 0 {
+            0.0
+        } else {
+            self.rejections as f64 / self.tests_run as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RtsRecord {
+    logical: u64,
+    attempt: u8,
+    md: [u8; 16],
+    /// When this RTS ended (reference point for the rate-feasibility check).
+    at: SimTime,
+}
+
+/// The per-neighbor monitor (see module docs). Implements
+/// [`mg_net::NetObserver`] so it can be plugged directly into a `World`.
+pub struct Monitor {
+    cfg: MonitorConfig,
+    prs: VerifiableSequence,
+    chan: ChannelTracker,
+    rho_filter: Arma,
+    /// Cumulative busy/idle time inside back-off windows (background-only
+    /// traffic; the tagged node never transmits during its own back-off).
+    win_busy_total: u64,
+    win_idle_total: u64,
+    density: DensityEstimator,
+
+    anchor: Option<SimTime>,
+    win: Option<ChannelTracker>,
+    last_rts: Option<RtsRecord>,
+    /// Garbled receptions heard at the vantage, total and at window open.
+    garbles_total: u64,
+    garbles_at_window_open: u64,
+    /// Last instant any frame from the tagged node was decoded.
+    last_tagged_seen: Option<SimTime>,
+    /// RTS-before-DATA bookkeeping for the basic-access evasion check.
+    rts_pending: bool,
+    data_seen: u64,
+    data_unverified: u64,
+    unverified_flagged: bool,
+
+    /// Collected (dictated, estimated) back-off pairs awaiting a test.
+    pending: Vec<(f64, f64)>,
+    /// All samples ever collected (kept for offline analysis / benches).
+    all_samples: Vec<(f64, f64)>,
+    tests: Vec<RankSumResult>,
+    rejections: usize,
+    violations: Vec<Violation>,
+    discarded: usize,
+}
+
+impl Monitor {
+    /// Creates a monitor for `cfg.tagged`, observing from `cfg.vantage`.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Monitor {
+            prs: VerifiableSequence::new(cfg.tagged as u64),
+            chan: ChannelTracker::new(),
+            rho_filter: Arma::new(cfg.arma_alpha, cfg.arma_window),
+            win_busy_total: 0,
+            win_idle_total: 0,
+            density: DensityEstimator::new(cfg.timing.cw_min, 5),
+            anchor: None,
+            win: None,
+            last_rts: None,
+            garbles_total: 0,
+            garbles_at_window_open: 0,
+            last_tagged_seen: None,
+            rts_pending: false,
+            data_seen: 0,
+            data_unverified: 0,
+            unverified_flagged: false,
+            pending: Vec::new(),
+            all_samples: Vec::new(),
+            tests: Vec::new(),
+            rejections: 0,
+            violations: Vec::new(),
+            discarded: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.cfg
+    }
+
+    /// Updates the tagged–vantage distance (mobility support).
+    pub fn set_pair_distance(&mut self, d: f64) {
+        self.cfg.pair_distance = d;
+    }
+
+    /// The running diagnosis.
+    pub fn diagnosis(&self) -> Diagnosis {
+        Diagnosis {
+            tests_run: self.tests.len(),
+            rejections: self.rejections,
+            violations: self.violations.len(),
+            samples_collected: self.all_samples.len(),
+            samples_discarded: self.discarded,
+            last_p: self.tests.last().map(|t| t.p_value),
+            measured_rho: self.chan.rho(),
+        }
+    }
+
+    /// Deterministic violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Hypothesis-test results so far.
+    pub fn tests(&self) -> &[RankSumResult] {
+        &self.tests
+    }
+
+    /// All `(dictated, estimated)` samples collected so far.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.all_samples
+    }
+
+    /// Removes and returns samples not yet consumed by a test — used by
+    /// [`crate::MonitorPool`] (configure `auto_test: false`).
+    pub fn drain_samples(&mut self) -> Vec<(f64, f64)> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The ARMA-smoothed **background** traffic intensity: slot samples come
+    /// from back-off windows only, during which the tagged node is silent —
+    /// the intensity the analytic model's queue-occupancy terms need. Falls
+    /// back to the cumulative window busy fraction until the filter warms up.
+    pub fn rho(&self) -> f64 {
+        if self.rho_filter.is_warm() {
+            self.rho_filter.value()
+        } else {
+            let total = self.win_busy_total + self.win_idle_total;
+            if total == 0 {
+                0.0
+            } else {
+                self.win_busy_total as f64 / total as f64
+            }
+        }
+    }
+
+    /// The overall busy fraction at the vantage (includes the tagged node's
+    /// own transmissions) — the paper's headline "load" axis.
+    pub fn overall_rho(&self) -> f64 {
+        self.chan.rho()
+    }
+
+    /// The Bianchi–Tinnirello density estimator.
+    pub fn density_estimator(&self) -> &DensityEstimator {
+        &self.density
+    }
+
+    /// The analytic model the monitor currently applies.
+    pub fn model(&self) -> AnalyticModel {
+        let d = self.cfg.pair_distance;
+        let cs = self.cfg.cs_range;
+        match self.cfg.counts {
+            NodeCounts::FixedPaper => AnalyticModel::grid_paper(d, cs, self.cfg.preclusion),
+            NodeCounts::SimCalibrated => AnalyticModel {
+                // Distance-scaled calibration: the closer the pair, the more
+                // their channel views coincide (see PreclusionRule docs).
+                regions: mg_geom::RegionModel::new(
+                    d,
+                    cs,
+                    PreclusionRule::sim_calibrated_for(d),
+                ),
+                n: 0.5,
+                k: 0.5,
+                m: 0.5,
+                j: 0.5,
+            },
+            NodeCounts::Fixed { n, k, m, j } => AnalyticModel {
+                regions: mg_geom::RegionModel::new(d, cs, self.cfg.preclusion),
+                n,
+                k,
+                m,
+                j,
+            },
+            NodeCounts::FromDensity => AnalyticModel::from_density(
+                d,
+                cs,
+                self.cfg.preclusion,
+                self.density.density(self.cfg.tx_range),
+            ),
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn slot_ns(&self) -> f64 {
+        self.cfg.timing.slot.as_nanos() as f64
+    }
+
+    fn difs_slots(&self) -> f64 {
+        self.cfg.timing.difs().as_nanos() as f64 / self.slot_ns()
+    }
+
+    /// Opens a fresh back-off window anchored at `anchor`.
+    fn open_window(&mut self, anchor: SimTime) {
+        self.anchor = Some(anchor);
+        self.win = Some(self.chan.fork_at(anchor));
+        self.garbles_at_window_open = self.garbles_total;
+    }
+
+    /// Handles an RTS from the tagged node (decoded at the vantage), on air
+    /// over `[start, end]`.
+    fn on_tagged_rts(&mut self, fields: &mg_dcf::RtsFields, start: SimTime, end: SimTime) {
+        let timing = self.cfg.timing;
+        // Contact-gap handling: after a long silence the previous sequence
+        // state and window anchor are unreliable — reset both and collect no
+        // sample from this transmission.
+        let stale = self
+            .last_tagged_seen
+            .map(|t| end.saturating_since(t) > self.cfg.resync_after)
+            .unwrap_or(false);
+        if stale {
+            self.last_rts = None;
+            self.anchor = None;
+            self.win = None;
+        }
+        self.last_tagged_seen = Some(end);
+        // 1. Reconstruct the logical sequence offset and run the
+        //    deterministic commitment checks.
+        let logical = match self.last_rts {
+            None => u64::from(fields.seq_off_wire),
+            Some(prev) => {
+                let logical =
+                    VerifiableSequence::unwrap_offset(fields.seq_off_wire, prev.logical);
+                if logical <= prev.logical {
+                    self.violations.push(Violation::SequenceReuse {
+                        previous: prev.logical,
+                        seen: logical,
+                        at: end,
+                    });
+                }
+                // Rate feasibility: every draw costs at least DIFS + the RTS
+                // airtime of wall-clock, so the offset cannot have advanced
+                // faster than that since the RTS that established the
+                // previous offset. A "rewound" 13-bit counter shows up as a
+                // wrap the elapsed time cannot accommodate.
+                {
+                    let jump = logical.saturating_sub(prev.logical);
+                    let min_draw = timing.difs() + timing.rts_airtime();
+                    let feasible =
+                        end.saturating_since(prev.at).div_periods(min_draw) + 2;
+                    if jump > feasible {
+                        self.violations.push(Violation::ImplausibleAdvance {
+                            jump,
+                            feasible,
+                            at: end,
+                        });
+                    }
+                }
+                if fields.md == prev.md && fields.attempt <= prev.attempt {
+                    // Same DATA frame re-announced without bumping the
+                    // attempt: the CW-widening dodge.
+                    self.violations.push(Violation::AttemptMismatch {
+                        previous: prev.attempt,
+                        seen: fields.attempt,
+                        at: end,
+                    });
+                }
+                logical
+            }
+        };
+        let dictated = self
+            .prs
+            .backoff(logical, fields.attempt.max(1), timing.cw_min, timing.cw_max);
+
+        // 2. Close the current back-off window and extract a sample.
+        let closed = match (self.anchor, self.win.as_mut()) {
+            (Some(anchor), Some(win)) if start > anchor => {
+                win.advance(start);
+                Some((win.idle_time(), win.busy_time(), win.busy_runs()))
+            }
+            _ => None,
+        };
+        if let Some((idle_t, busy_t, busy_runs)) = closed {
+            {
+                let slot = self.slot_ns();
+                let idle = idle_t.as_nanos() as f64 / slot;
+                let busy = busy_t.as_nanos() as f64 / slot;
+                // ρ for THIS window uses the estimate as of before it (Eq. 6
+                // is causal); the window then feeds the filter.
+                let rho = self.rho();
+                self.rho_filter.push_n(1.0, busy as u64);
+                self.rho_filter.push_n(0.0, idle as u64);
+                self.win_busy_total += busy_t.as_nanos();
+                self.win_idle_total += idle_t.as_nanos();
+                let total = idle + busy;
+                let difs = self.difs_slots();
+
+                // Deterministic timing check: a compliant countdown takes at
+                // least DIFS + dictated slots of wall-clock, frozen or not.
+                if self.cfg.blatant_check
+                    && total + self.cfg.blatant_tolerance < difs + f64::from(dictated.slots)
+                {
+                    self.violations.push(Violation::BlatantCountdown {
+                        dictated: dictated.slots,
+                        observed_slots: total,
+                        at: end,
+                    });
+                }
+
+                // Statistical sample: estimated decrementable slots. Each
+                // time the tagged node froze and resumed, one extra DIFS of
+                // its idle time went to deference rather than decrements;
+                // the monitor's completed busy runs, weighted by P(S busy |
+                // R busy) = 1 − p_{I|B}, estimate how many such episodes
+                // occurred.
+                let model = self.model();
+                let (i_est, _b_est) = model.estimate_sender_slots(rho, idle, busy);
+                let resume_overhead =
+                    difs * busy_runs as f64 * (1.0 - model.p_idle_given_busy(rho));
+                let garbles = (self.garbles_total - self.garbles_at_window_open) as f64;
+                let eifs_extra_slots = (timing.eifs().as_nanos() as f64
+                    - timing.difs().as_nanos() as f64)
+                    / self.slot_ns();
+                let eifs_overhead = eifs_extra_slots * garbles * self.cfg.eifs_weight;
+                let y = (i_est - difs - resume_overhead - eifs_overhead).max(0.0);
+                let x = f64::from(dictated.slots);
+                if y > f64::from(timing.cw_max) * self.cfg.discard_factor {
+                    self.discarded += 1;
+                } else {
+                    self.pending.push((x, y));
+                    self.all_samples.push((x, y));
+                    if self.cfg.auto_test && self.pending.len() >= self.cfg.sample_size {
+                        self.run_test();
+                    }
+                }
+            }
+        }
+
+        // 3. Provisionally anchor the next window at this attempt's CTS
+        //    timeout (corrected later if we see the DATA go through).
+        self.open_window(end + timing.cts_timeout());
+        self.rts_pending = true;
+        self.last_rts = Some(RtsRecord {
+            logical,
+            attempt: fields.attempt,
+            md: fields.md,
+            at: end,
+        });
+    }
+
+    /// Tracks the basic-access evasion check: every unicast DATA frame must
+    /// have been announced by an RTS. Missing a *few* RTSs to collisions is
+    /// normal; missing more than half of at least ten is not.
+    fn on_tagged_data(&mut self, end: SimTime) {
+        self.data_seen += 1;
+        if !self.rts_pending {
+            self.data_unverified += 1;
+        }
+        self.rts_pending = false;
+        if self.cfg.require_rts
+            && !self.unverified_flagged
+            && self.data_seen >= 10
+            && self.data_unverified * 2 > self.data_seen
+        {
+            self.unverified_flagged = true;
+            self.violations.push(Violation::UnverifiedData {
+                unverified: self.data_unverified,
+                total: self.data_seen,
+                at: end,
+            });
+        }
+    }
+
+    /// Runs the configured hypothesis test over the pending samples.
+    fn run_test(&mut self) {
+        let xs: Vec<f64> = self.pending.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = self.pending.iter().map(|&(_, y)| y).collect();
+        self.pending.clear();
+        let result = match self.cfg.judge {
+            Judge::RankSum => rank_sum_test(&ys, &xs, Alternative::Less),
+            Judge::SignedRank => {
+                let sr = signed_rank_test(&ys, &xs, Alternative::Less);
+                // Report through the common result shape (W⁺ as statistic).
+                RankSumResult {
+                    w: sr.w_plus,
+                    u: sr.w_plus,
+                    p_value: sr.p_value,
+                    method: sr.method,
+                    n1: sr.n_used,
+                    n2: sr.n_used,
+                }
+            }
+        };
+        if result.p_value < self.cfg.alpha {
+            self.rejections += 1;
+        }
+        self.tests.push(result);
+    }
+
+    /// Forces a test over however many samples are pending (≥ 2 of each).
+    /// Returns the result if one could be run.
+    pub fn test_now(&mut self) -> Option<RankSumResult> {
+        if self.pending.len() < 2 {
+            return None;
+        }
+        self.run_test();
+        self.tests.last().copied()
+    }
+}
+
+impl NetObserver for Monitor {
+    fn on_channel_edge(&mut self, _medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
+        if node != self.cfg.vantage {
+            return;
+        }
+        self.chan.on_edge(busy, now);
+        if let Some(win) = self.win.as_mut() {
+            win.on_edge(busy, now);
+        }
+    }
+
+    fn on_tx_start(
+        &mut self,
+        _medium: &Medium,
+        src: NodeId,
+        _frame: &Frame,
+        now: SimTime,
+        end: SimTime,
+    ) {
+        if src != self.cfg.vantage {
+            return;
+        }
+        self.chan.on_own_tx(now, end);
+        if let Some(win) = self.win.as_mut() {
+            win.on_own_tx(now, end);
+        }
+    }
+
+    fn on_frame_decoded(
+        &mut self,
+        _medium: &Medium,
+        at: NodeId,
+        frame: &Frame,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if at != self.cfg.vantage {
+            return;
+        }
+        self.density.on_success();
+        if frame.src != self.cfg.tagged {
+            return;
+        }
+        match &frame.kind {
+            FrameKind::Rts(fields) => self.on_tagged_rts(fields, start, end),
+            FrameKind::Data { .. } if frame.dst != Dest::Broadcast => {
+                // The exchange went through: the tagged node's next back-off
+                // begins after the closing SIFS + ACK. Re-anchor (discarding
+                // the provisional CTS-timeout anchor).
+                let t = self.cfg.timing;
+                self.open_window(end + t.sifs + t.ack_airtime());
+                self.on_tagged_data(end);
+                self.last_tagged_seen = Some(end);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_frame_garbled(&mut self, _medium: &Medium, at: NodeId, _now: SimTime) {
+        if at == self.cfg.vantage {
+            self.density.on_collision();
+            self.garbles_total += 1;
+        }
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("tagged", &self.cfg.tagged)
+            .field("vantage", &self.cfg.vantage)
+            .field("diagnosis", &self.diagnosis())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use mg_dcf::{sdu_digest, RtsFields};
+    use mg_geom::Vec2;
+    use mg_phy::{PropagationModel, RadioParams};
+    use mg_sim::SimDuration;
+
+    const S: NodeId = 0;
+    const R: NodeId = 1;
+
+    fn medium() -> Medium {
+        let prop = PropagationModel::free_space();
+        Medium::new(
+            prop,
+            RadioParams::paper_default(&prop),
+            vec![Vec2::new(0.0, 0.0), Vec2::new(240.0, 0.0)],
+        )
+    }
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig {
+            sample_size: 10,
+            ..MonitorConfig::grid_paper(S, R, 240.0)
+        }
+    }
+
+    fn rts_frame(seq: u64, attempt: u8, pkt: u64) -> Frame {
+        Frame {
+            src: S,
+            dst: Dest::Unicast(R),
+            duration: MacTiming::paper_default().rts_duration(512),
+            kind: FrameKind::Rts(RtsFields {
+                seq_off_wire: VerifiableSequence::wire_offset(seq),
+                attempt,
+                md: sdu_digest(S, pkt),
+            }),
+        }
+    }
+
+    pub(super) fn synthetic_run_pub(factor: f64, count: usize, cfg: MonitorConfig) -> Monitor {
+        synthetic_run(factor, count, cfg)
+    }
+
+    /// Drives a synthetic fully-observable timeline: S is saturated, the
+    /// channel contains only S's exchanges, and each back-off takes exactly
+    /// `factor × dictated` slots (factor < 1 ⇒ misbehavior).
+    ///
+    /// Returns the monitor after `count` windows.
+    fn synthetic_run(factor: f64, count: usize, monitor_cfg: MonitorConfig) -> Monitor {
+        let mut m = Monitor::new(monitor_cfg);
+        let med = medium();
+        let t = MacTiming::paper_default();
+        let prs = VerifiableSequence::new(S as u64);
+        let mut now = SimTime::ZERO;
+        let mut seq = 0u64;
+
+        // Initial exchange so the monitor gets an anchor: S sends RTS 0.
+        let slot_ns = t.slot.as_nanos();
+        for i in 0..=count {
+            let dictated = prs.backoff(seq, 1, t.cw_min, t.cw_max).slots;
+            let counted = (f64::from(dictated) * factor).floor() as u64;
+            // Idle DIFS + counted slots.
+            now = now + t.difs() + SimDuration::from_nanos(counted * slot_ns);
+            // RTS on air.
+            let rts_start = now;
+            let rts_end = rts_start + t.rts_airtime();
+            m.on_channel_edge(&med, R, true, rts_start);
+            m.on_frame_decoded(&med, R, &rts_frame(seq, 1, i as u64), rts_start, rts_end);
+            m.on_channel_edge(&med, R, false, rts_end);
+            // CTS (from R itself — own tx), DATA from S, ACK from R.
+            let cts_start = rts_end + t.sifs;
+            let cts_end = cts_start + t.cts_airtime();
+            m.on_tx_start(&med, R, &rts_frame(seq, 1, 0), cts_start, cts_end);
+            let data_start = cts_end + t.sifs;
+            let data_end = data_start + t.data_airtime(512);
+            m.on_channel_edge(&med, R, true, data_start);
+            let data = Frame {
+                src: S,
+                dst: Dest::Unicast(R),
+                duration: t.data_duration(),
+                kind: FrameKind::Data {
+                    sdu: mg_dcf::MacSdu {
+                        id: i as u64,
+                        dst: Dest::Unicast(R),
+                        payload_len: 512,
+                    },
+                },
+            };
+            m.on_frame_decoded(&med, R, &data, data_start, data_end);
+            m.on_channel_edge(&med, R, false, data_end);
+            let ack_start = data_end + t.sifs;
+            let ack_end = ack_start + t.ack_airtime();
+            m.on_tx_start(&med, R, &rts_frame(seq, 1, 0), ack_start, ack_end);
+            now = ack_end;
+            seq += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn compliant_node_yields_matching_samples() {
+        let m = synthetic_run(1.0, 25, cfg());
+        assert!(m.samples().len() >= 20, "got {} samples", m.samples().len());
+        for &(x, y) in m.samples() {
+            assert!(
+                (x - y).abs() < 1.0,
+                "fully observable compliant window: x={x} y={y}"
+            );
+        }
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+        let d = m.diagnosis();
+        assert_eq!(d.rejections, 0, "{d:?}");
+        assert!(d.tests_run >= 1);
+    }
+
+    #[test]
+    fn heavy_misbehavior_is_rejected_statistically() {
+        // PM = 70% (counts only 30% of the dictated value). At sample size
+        // 10 the paper reports near-certain detection for such blatant
+        // shrinking; PM = 50 at n = 10 is genuinely borderline (Fig. 5).
+        let mut c = cfg();
+        c.blatant_check = false; // isolate the statistical path
+        let m = synthetic_run(0.3, 25, c);
+        let d = m.diagnosis();
+        assert!(d.tests_run >= 2);
+        assert!(d.rejections >= 1, "{d:?}");
+    }
+
+    #[test]
+    fn halved_backoff_trips_the_blatant_check() {
+        let m = synthetic_run(0.5, 25, cfg());
+        assert!(
+            m.violations()
+                .iter()
+                .any(|v| matches!(v, Violation::BlatantCountdown { .. })),
+            "{:?}",
+            m.diagnosis()
+        );
+    }
+
+    #[test]
+    fn compliant_node_never_trips_blatant_check() {
+        let m = synthetic_run(1.0, 50, cfg());
+        assert!(m.violations().is_empty());
+    }
+
+    #[test]
+    fn sequence_reuse_is_flagged() {
+        let mut m = Monitor::new(cfg());
+        let med = medium();
+        let t = MacTiming::paper_default();
+        let e1 = SimTime::from_micros(1000) + t.rts_airtime();
+        m.on_frame_decoded(&med, R, &rts_frame(5, 1, 0), SimTime::from_micros(1000), e1);
+        // Re-announces offset 5 for a *different* packet: reuse.
+        let s2 = SimTime::from_micros(20_000);
+        m.on_frame_decoded(&med, R, &rts_frame(5, 1, 1), s2, s2 + t.rts_airtime());
+        assert!(m
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::SequenceReuse { .. })));
+    }
+
+    #[test]
+    fn attempt_cheating_is_flagged_via_md() {
+        let mut m = Monitor::new(cfg());
+        let med = medium();
+        let t = MacTiming::paper_default();
+        let s1 = SimTime::from_micros(1000);
+        m.on_frame_decoded(&med, R, &rts_frame(0, 1, 7), s1, s1 + t.rts_airtime());
+        // Retransmission of packet 7 (same MD) still announcing attempt 1.
+        let s2 = SimTime::from_micros(20_000);
+        m.on_frame_decoded(&med, R, &rts_frame(1, 1, 7), s2, s2 + t.rts_airtime());
+        assert!(m
+            .violations()
+            .iter()
+            .any(|v| matches!(v, Violation::AttemptMismatch { .. })));
+        // An honest retry (attempt 2) is fine.
+        let mut m2 = Monitor::new(cfg());
+        m2.on_frame_decoded(&med, R, &rts_frame(0, 1, 7), s1, s1 + t.rts_airtime());
+        m2.on_frame_decoded(&med, R, &rts_frame(1, 2, 7), s2, s2 + t.rts_airtime());
+        assert!(m2.violations().is_empty());
+    }
+
+    #[test]
+    fn seq_offset_wraps_are_tolerated() {
+        let mut m = Monitor::new(cfg());
+        let med = medium();
+        let t = MacTiming::paper_default();
+        // Near the 13-bit wrap boundary.
+        let s1 = SimTime::from_micros(1000);
+        m.on_frame_decoded(&med, R, &rts_frame(8190, 1, 0), s1, s1 + t.rts_airtime());
+        let s2 = SimTime::from_micros(20_000);
+        m.on_frame_decoded(&med, R, &rts_frame(8193, 1, 1), s2, s2 + t.rts_airtime());
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+    }
+
+    #[test]
+    fn pool_mode_accumulates_without_testing() {
+        let mut c = cfg();
+        c.auto_test = false;
+        let mut m = synthetic_run(1.0, 30, c);
+        assert_eq!(m.diagnosis().tests_run, 0);
+        let drained = m.drain_samples();
+        assert!(drained.len() >= 25);
+        assert!(m.drain_samples().is_empty());
+    }
+
+    #[test]
+    fn test_now_forces_a_verdict() {
+        let mut c = cfg();
+        c.sample_size = 1000; // never auto-fires
+        let mut m = synthetic_run(0.3, 30, c);
+        let r = m.test_now().expect("enough samples");
+        assert!(r.p_value < 0.05);
+        assert!(m.test_now().is_none(), "samples consumed");
+    }
+}
+
+
+#[cfg(test)]
+mod evasion_tests {
+    use super::*;
+    use mg_dcf::{MacSdu, MacTiming};
+    use mg_sim::SimDuration;
+    use mg_geom::Vec2;
+    use mg_phy::{PropagationModel, RadioParams};
+
+    const S: NodeId = 0;
+    const R: NodeId = 1;
+
+    fn medium() -> Medium {
+        let prop = PropagationModel::free_space();
+        Medium::new(
+            prop,
+            RadioParams::paper_default(&prop),
+            vec![Vec2::new(0.0, 0.0), Vec2::new(240.0, 0.0)],
+        )
+    }
+
+    fn data_frame(id: u64) -> Frame {
+        Frame {
+            src: S,
+            dst: Dest::Unicast(R),
+            duration: MacTiming::paper_default().data_duration(),
+            kind: FrameKind::Data {
+                sdu: MacSdu {
+                    id,
+                    dst: Dest::Unicast(R),
+                    payload_len: 512,
+                },
+            },
+        }
+    }
+
+    fn rts_frame(seq: u64, pkt: u64) -> Frame {
+        Frame {
+            src: S,
+            dst: Dest::Unicast(R),
+            duration: MacTiming::paper_default().rts_duration(512),
+            kind: FrameKind::Rts(mg_dcf::RtsFields {
+                seq_off_wire: mg_crypto::VerifiableSequence::wire_offset(seq),
+                attempt: 1,
+                md: mg_dcf::sdu_digest(S, pkt),
+            }),
+        }
+    }
+
+    #[test]
+    fn unannounced_data_stream_is_flagged() {
+        let mut m = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
+        let med = medium();
+        for i in 0..12u64 {
+            let t0 = SimTime::from_millis(10 * (i + 1));
+            m.on_frame_decoded(&med, R, &data_frame(i), t0, t0 + SimDuration::from_micros(2464));
+        }
+        assert!(
+            m.violations()
+                .iter()
+                .any(|v| matches!(v, Violation::UnverifiedData { .. })),
+            "{:?}",
+            m.violations()
+        );
+        // The violation fires once, not per frame.
+        let count = m
+            .violations()
+            .iter()
+            .filter(|v| matches!(v, Violation::UnverifiedData { .. }))
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn announced_data_is_never_flagged() {
+        let mut m = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
+        let med = medium();
+        let air = MacTiming::paper_default();
+        for i in 0..20u64 {
+            let t0 = SimTime::from_millis(10 * (i + 1));
+            let rts_end = t0 + air.rts_airtime();
+            m.on_frame_decoded(&med, R, &rts_frame(i, i), t0, rts_end);
+            let d0 = rts_end + air.sifs * 2 + air.cts_airtime();
+            m.on_frame_decoded(&med, R, &data_frame(i), d0, d0 + air.data_airtime(512));
+        }
+        assert!(
+            !m.violations()
+                .iter()
+                .any(|v| matches!(v, Violation::UnverifiedData { .. })),
+            "{:?}",
+            m.violations()
+        );
+    }
+
+    #[test]
+    fn occasional_missed_rts_is_tolerated() {
+        // The monitor misses 1 in 4 RTSs to collisions: no accusation.
+        let mut m = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
+        let med = medium();
+        let air = MacTiming::paper_default();
+        for i in 0..40u64 {
+            let t0 = SimTime::from_millis(10 * (i + 1));
+            let rts_end = t0 + air.rts_airtime();
+            if i % 4 != 0 {
+                m.on_frame_decoded(&med, R, &rts_frame(i, i), t0, rts_end);
+            }
+            let d0 = rts_end + air.sifs * 2 + air.cts_airtime();
+            m.on_frame_decoded(&med, R, &data_frame(i), d0, d0 + air.data_airtime(512));
+        }
+        assert!(
+            !m.violations()
+                .iter()
+                .any(|v| matches!(v, Violation::UnverifiedData { .. })),
+            "25% loss must be tolerated: {:?}",
+            m.violations()
+        );
+    }
+
+    #[test]
+    fn contact_gap_resyncs_without_accusation() {
+        // The monitor hears RTS #100, loses contact for 10 s (tens of
+        // thousands of draws could have passed), then hears wire offset 3.
+        // With naive unwrapping that's "reuse"; the resync rule forgives it.
+        let mut m = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
+        let med = medium();
+        let air = MacTiming::paper_default();
+        let t1 = SimTime::from_millis(100);
+        m.on_frame_decoded(&med, R, &rts_frame(100, 0), t1, t1 + air.rts_airtime());
+        let t2 = SimTime::from_secs(10);
+        m.on_frame_decoded(&med, R, &rts_frame(3, 1), t2, t2 + air.rts_airtime());
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+        // And the stale window yielded no sample.
+        assert!(m.samples().is_empty(), "{:?}", m.samples());
+    }
+
+    #[test]
+    fn short_gap_still_enforces_sequence() {
+        // Within the resync horizon, going backwards IS a violation.
+        let mut m = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
+        let med = medium();
+        let air = MacTiming::paper_default();
+        let t1 = SimTime::from_millis(100);
+        m.on_frame_decoded(&med, R, &rts_frame(100, 0), t1, t1 + air.rts_airtime());
+        let t2 = SimTime::from_millis(300);
+        m.on_frame_decoded(&med, R, &rts_frame(50, 1), t2, t2 + air.rts_airtime());
+        // Wire 100 → wire 50 in 200 ms: the only compliant explanation would
+        // be a full 13-bit wrap (8142 draws), which 200 ms cannot hold.
+        assert!(
+            m.violations()
+                .iter()
+                .any(|v| matches!(v, Violation::ImplausibleAdvance { .. })),
+            "{:?}",
+            m.violations()
+        );
+    }
+
+    #[test]
+    fn require_rts_can_be_disabled() {
+        let mut cfg = MonitorConfig::grid_paper(S, R, 240.0);
+        cfg.require_rts = false;
+        let mut m = Monitor::new(cfg);
+        let med = medium();
+        for i in 0..30u64 {
+            let t0 = SimTime::from_millis(10 * (i + 1));
+            m.on_frame_decoded(&med, R, &data_frame(i), t0, t0 + SimDuration::from_micros(2464));
+        }
+        assert!(m.violations().is_empty());
+    }
+}

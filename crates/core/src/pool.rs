@@ -1,0 +1,302 @@
+//! Monitoring under mobility: a pool of per-vantage monitors.
+//!
+//! The paper (Section 5): "We choose a neighbor of the malicious node to
+//! monitor its activity. If this neighbor moves out of range, another
+//! neighbor is randomly chosen." [`MonitorPool`] realizes that: it keeps a
+//! [`Monitor`] at every candidate vantage, designates the vantage currently
+//! closest to the tagged node as *active*, and aggregates only the active
+//! monitor's back-off samples into one shared hypothesis-test stream.
+
+use crate::monitor::{Diagnosis, Monitor, MonitorConfig, Violation};
+use crate::NodeId;
+use mg_dcf::Frame;
+use mg_net::NetObserver;
+use mg_phy::Medium;
+use mg_sim::SimTime;
+use mg_stats::wilcoxon::{rank_sum_test, Alternative, RankSumResult};
+use std::collections::HashMap;
+
+/// A set of monitors for one tagged node, one per candidate vantage, with
+/// range-based handoff.
+pub struct MonitorPool {
+    tagged: NodeId,
+    tx_range: f64,
+    alpha: f64,
+    sample_size: usize,
+    monitors: HashMap<NodeId, Monitor>,
+    active: Option<NodeId>,
+    samples: Vec<(f64, f64)>,
+    tests: Vec<RankSumResult>,
+    rejections: usize,
+    /// Samples contributed per vantage (diagnostic).
+    contributed: HashMap<NodeId, usize>,
+}
+
+impl MonitorPool {
+    /// Creates a pool watching `tagged` from every node in `vantages`.
+    ///
+    /// `template` supplies all per-monitor settings (α, ARMA, regions…);
+    /// its `tagged`/`vantage`/`auto_test` fields are overridden per member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vantages` is empty or contains the tagged node.
+    pub fn new(tagged: NodeId, vantages: &[NodeId], template: MonitorConfig) -> Self {
+        assert!(!vantages.is_empty(), "a pool needs at least one vantage");
+        assert!(
+            !vantages.contains(&tagged),
+            "the tagged node cannot monitor itself"
+        );
+        let monitors = vantages
+            .iter()
+            .map(|&v| {
+                let cfg = MonitorConfig {
+                    tagged,
+                    vantage: v,
+                    auto_test: false,
+                    ..template
+                };
+                (v, Monitor::new(cfg))
+            })
+            .collect();
+        MonitorPool {
+            tagged,
+            tx_range: template.tx_range,
+            alpha: template.alpha,
+            sample_size: template.sample_size,
+            monitors,
+            active: None,
+            samples: Vec::new(),
+            tests: Vec::new(),
+            rejections: 0,
+            contributed: HashMap::new(),
+        }
+    }
+
+    /// The currently active vantage, if any is in range.
+    pub fn active_vantage(&self) -> Option<NodeId> {
+        self.active
+    }
+
+    /// Aggregated diagnosis across the pool.
+    ///
+    /// `violations` is the *maximum* count over members, not the sum: every
+    /// in-range vantage independently witnesses the same on-air violation,
+    /// and one witness is enough to convict.
+    pub fn diagnosis(&self) -> Diagnosis {
+        let violations: usize = self
+            .monitors
+            .values()
+            .map(|m| m.violations().len())
+            .max()
+            .unwrap_or(0);
+        Diagnosis {
+            tests_run: self.tests.len(),
+            rejections: self.rejections,
+            violations,
+            samples_collected: self.samples.len()
+                + self.tests.len() * self.sample_size.min(usize::MAX),
+            samples_discarded: 0,
+            last_p: self.tests.last().map(|t| t.p_value),
+            measured_rho: self
+                .active
+                .and_then(|v| self.monitors.get(&v))
+                .map(|m| m.diagnosis().measured_rho)
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// All deterministic violations seen by any pool member.
+    pub fn violations(&self) -> Vec<Violation> {
+        self.monitors
+            .values()
+            .flat_map(|m| m.violations().iter().copied())
+            .collect()
+    }
+
+    /// Hypothesis-test results so far.
+    pub fn tests(&self) -> &[RankSumResult] {
+        &self.tests
+    }
+
+    /// How many samples each vantage contributed (handoff diagnostic).
+    pub fn contributions(&self) -> &HashMap<NodeId, usize> {
+        &self.contributed
+    }
+
+    /// Recomputes the active vantage from current positions: the in-range
+    /// vantage closest to the tagged node.
+    fn reelect(&mut self, medium: &Medium) {
+        let tp = medium.position(self.tagged);
+        self.active = self
+            .monitors
+            .keys()
+            .map(|&v| (v, tp.distance(medium.position(v))))
+            .filter(|&(_, d)| d <= self.tx_range)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances"))
+            .map(|(v, _)| v);
+        // Keep the elected monitor's region model honest about the distance.
+        if let Some(v) = self.active {
+            let d = tp.distance(medium.position(v)).max(1.0);
+            if let Some(m) = self.monitors.get_mut(&v) {
+                m.set_pair_distance(d);
+            }
+        }
+    }
+
+    /// Pulls fresh samples from the active monitor and runs the shared test
+    /// when enough have accumulated.
+    fn harvest(&mut self) {
+        let Some(v) = self.active else { return };
+        let fresh = match self.monitors.get_mut(&v) {
+            Some(m) => m.drain_samples(),
+            None => Vec::new(),
+        };
+        if !fresh.is_empty() {
+            *self.contributed.entry(v).or_insert(0) += fresh.len();
+            self.samples.extend(fresh);
+        }
+        // Drop stale samples from inactive vantages so they never leak into
+        // a later harvest.
+        for (&u, m) in self.monitors.iter_mut() {
+            if u != v {
+                let _ = m.drain_samples();
+            }
+        }
+        while self.samples.len() >= self.sample_size {
+            let batch: Vec<(f64, f64)> = self.samples.drain(..self.sample_size).collect();
+            let xs: Vec<f64> = batch.iter().map(|&(x, _)| x).collect();
+            let ys: Vec<f64> = batch.iter().map(|&(_, y)| y).collect();
+            let r = rank_sum_test(&ys, &xs, Alternative::Less);
+            if r.p_value < self.alpha {
+                self.rejections += 1;
+            }
+            self.tests.push(r);
+        }
+    }
+}
+
+impl NetObserver for MonitorPool {
+    fn on_channel_edge(&mut self, medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
+        if let Some(m) = self.monitors.get_mut(&node) {
+            m.on_channel_edge(medium, node, busy, now);
+        }
+    }
+
+    fn on_tx_start(
+        &mut self,
+        medium: &Medium,
+        src: NodeId,
+        frame: &Frame,
+        now: SimTime,
+        end: SimTime,
+    ) {
+        if let Some(m) = self.monitors.get_mut(&src) {
+            m.on_tx_start(medium, src, frame, now, end);
+        }
+    }
+
+    fn on_frame_decoded(
+        &mut self,
+        medium: &Medium,
+        at: NodeId,
+        frame: &Frame,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        if let Some(m) = self.monitors.get_mut(&at) {
+            m.on_frame_decoded(medium, at, frame, start, end);
+        }
+        if frame.src == self.tagged && frame.is_rts() {
+            self.reelect(medium);
+            self.harvest();
+        }
+    }
+
+    fn on_frame_garbled(&mut self, medium: &Medium, at: NodeId, now: SimTime) {
+        if let Some(m) = self.monitors.get_mut(&at) {
+            m.on_frame_garbled(medium, at, now);
+        }
+    }
+}
+
+impl std::fmt::Debug for MonitorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorPool")
+            .field("tagged", &self.tagged)
+            .field("members", &self.monitors.len())
+            .field("active", &self.active)
+            .field("tests", &self.tests.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_geom::Vec2;
+    use mg_phy::{PropagationModel, RadioParams};
+
+    fn medium(positions: Vec<Vec2>) -> Medium {
+        let prop = PropagationModel::free_space();
+        Medium::new(prop, RadioParams::paper_default(&prop), positions)
+    }
+
+    fn template() -> MonitorConfig {
+        MonitorConfig {
+            sample_size: 5,
+            ..MonitorConfig::grid_paper(0, 1, 240.0)
+        }
+    }
+
+    #[test]
+    fn elects_closest_in_range_vantage() {
+        let med = medium(vec![
+            Vec2::new(0.0, 0.0),   // tagged
+            Vec2::new(100.0, 0.0), // close vantage
+            Vec2::new(240.0, 0.0), // far vantage
+        ]);
+        let mut pool = MonitorPool::new(0, &[1, 2], template());
+        pool.reelect(&med);
+        assert_eq!(pool.active_vantage(), Some(1));
+    }
+
+    #[test]
+    fn hands_off_when_closest_leaves_range() {
+        let mut med = medium(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(240.0, 0.0),
+        ]);
+        let mut pool = MonitorPool::new(0, &[1, 2], template());
+        pool.reelect(&med);
+        assert_eq!(pool.active_vantage(), Some(1));
+        med.set_position(1, Vec2::new(800.0, 0.0));
+        pool.reelect(&med);
+        assert_eq!(pool.active_vantage(), Some(2));
+        med.set_position(2, Vec2::new(0.0, 900.0));
+        pool.reelect(&med);
+        assert_eq!(pool.active_vantage(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot monitor itself")]
+    fn tagged_vantage_rejected() {
+        MonitorPool::new(0, &[0, 1], template());
+    }
+
+    #[test]
+    fn empty_pool_rejected() {
+        let r = std::panic::catch_unwind(|| MonitorPool::new(0, &[], template()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn diagnosis_starts_clean() {
+        let pool = MonitorPool::new(0, &[1, 2], template());
+        let d = pool.diagnosis();
+        assert_eq!(d.tests_run, 0);
+        assert!(!d.is_flagged());
+        assert!(pool.violations().is_empty());
+    }
+}

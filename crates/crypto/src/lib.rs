@@ -1,0 +1,28 @@
+//! # mg-crypto — MD5 and the verifiable back-off sequence
+//!
+//! Two small, self-contained primitives the paper's modified RTS frame
+//! (Fig. 2) relies on:
+//!
+//! * [`digest`]/[`Md5`] — the MD5 message digest (RFC 1321), from scratch
+//!   and validated against the RFC's test vectors. The sender attaches
+//!   `MD5(next DATA frame)` to each RTS so monitors can verify that a
+//!   retransmission really is a retransmission (attempt-number cheating is
+//!   otherwise undetectable).
+//! * [`VerifiableSequence`] — the pseudo-random sequence (PRS) of back-off
+//!   draws, seeded by the node's MAC address. Because the seed is the
+//!   (unique, certificate-protected) MAC address and the generator is public,
+//!   **every neighbor can replay any node's dictated back-off values**; the
+//!   13-bit sequence offset in the RTS commits the sender to a position in
+//!   its own sequence.
+//!
+//! MD5 is used here for *commitment*, not collision resistance in the modern
+//! adversarial sense — exactly as in the 2006 paper. Swapping in a stronger
+//! hash would not change any interface.
+
+#![warn(missing_docs)]
+
+mod md5;
+mod prs;
+
+pub use md5::{digest, Md5};
+pub use prs::{BackoffDraw, VerifiableSequence, SEQ_OFF_BITS, SEQ_OFF_MOD};

@@ -1,0 +1,227 @@
+//! MD5 message digest, RFC 1321, implemented from the specification.
+
+/// Incremental MD5 hasher.
+///
+/// # Example
+///
+/// ```
+/// use mg_crypto::Md5;
+///
+/// let mut h = Md5::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finalize_hex(),
+///     "900150983cd24fb0d6963f7d28e17f72"
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+/// Per-round shift amounts (RFC 1321 §3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// The sine-derived constants `K[i] = floor(2^32 * |sin(i+1)|)`.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391,
+];
+
+impl Md5 {
+    /// Creates a hasher in the RFC initial state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Finishes and returns the 16-byte digest.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80 then zeros to 56 mod 64, then the 64-bit length (LE).
+        self.update(&[0x80]);
+        while self.buffer_len != 56 {
+            self.update(&[0x00]);
+        }
+        // Append length without letting it count toward total_len handling:
+        // feed the 8 bytes directly through update (total_len is no longer
+        // read after this point).
+        let mut tail = [0u8; 8];
+        tail.copy_from_slice(&bit_len.to_le_bytes());
+        self.update(&tail);
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Finishes and returns the digest as lowercase hex.
+    pub fn finalize_hex(self) -> String {
+        self.finalize().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot digest of `data`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(
+///     mg_crypto::digest(b"")
+///         .iter()
+///         .map(|b| format!("{b:02x}"))
+///         .collect::<String>(),
+///     "d41d8cd98f00b204e9800998ecf8427e"
+/// );
+/// ```
+pub fn digest(data: &[u8]) -> [u8; 16] {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        digest(data).iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// The seven test vectors from RFC 1321 appendix A.5.
+    #[test]
+    fn rfc1321_test_suite() {
+        assert_eq!(hex(b""), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex(b"a"), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(hex(b"message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            hex(b"abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            hex(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            hex(b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = digest(&data);
+        for chunk_size in [1, 3, 63, 64, 65, 127, 1000] {
+            let mut h = Md5::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths straddling the 56-byte padding boundary all hash cleanly.
+        for len in 54..=66 {
+            let data = vec![0xABu8; len];
+            let d = digest(&data);
+            assert_ne!(d, [0u8; 16]);
+            // Determinism.
+            assert_eq!(d, digest(&data));
+        }
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(digest(b"packet-1"), digest(b"packet-2"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The verifiable pseudo-random back-off sequence (PRS).
+//!
+//! Section 4 of the paper modifies the IEEE 802.11 back-off draw: instead of
+//! a private RNG, each node draws from a **public pseudo-random sequence
+//! seeded by its own MAC address**. Every neighbor knows the MAC address, so
+//! every neighbor can compute the exact back-off value the node *must* use
+//! for any (sequence offset, attempt) pair — the sequence offset being
+//! committed in the RTS.
+//!
+//! The draw keeps standard 802.11 semantics: at retransmission attempt `a`
+//! (1-based) the contention window is `CW(a) = min(2^(a-1)·(CWmin+1),
+//! CWmax+1) − 1` and the back-off is uniform on `[0, CW(a)]`. The PRS fixes
+//! the *uniform variate*, the attempt number fixes the *window*, so a
+//! retransmission legitimately uses a wider window while remaining fully
+//! verifiable.
+
+/// Width of the RTS sequence-offset field (paper Fig. 2: 13 bits).
+pub const SEQ_OFF_BITS: u32 = 13;
+
+/// Modulus of the on-air sequence-offset field (`2^13`); the logical offset
+/// is unbounded and monitors reconstruct it across wraps.
+pub const SEQ_OFF_MOD: u64 = 1 << SEQ_OFF_BITS;
+
+/// One dictated back-off draw.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BackoffDraw {
+    /// The dictated number of back-off slots.
+    pub slots: u16,
+    /// The contention window the draw was taken from (`slots ≤ cw`).
+    pub cw: u16,
+}
+
+/// A node's public back-off sequence, replayable by any monitor.
+///
+/// # Example
+///
+/// ```
+/// use mg_crypto::VerifiableSequence;
+///
+/// let sender = VerifiableSequence::new(0x00_16_3E_00_00_2A);
+/// let monitor_view = VerifiableSequence::new(0x00_16_3E_00_00_2A);
+/// // A monitor replays the sender's dictated values exactly.
+/// assert_eq!(
+///     sender.backoff(17, 1, 31, 1023),
+///     monitor_view.backoff(17, 1, 31, 1023),
+/// );
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VerifiableSequence {
+    seed: u64,
+}
+
+impl VerifiableSequence {
+    /// Creates the sequence for the node with the given MAC address (the
+    /// paper requires the MAC address itself to be the seed; addresses are
+    /// assumed unforgeable thanks to a certificate infrastructure).
+    pub fn new(mac_addr: u64) -> Self {
+        VerifiableSequence {
+            seed: mix(mac_addr ^ 0x6D61_6E65_745F_6764), // domain-separate
+        }
+    }
+
+    /// The raw 64-bit PRS word at offset `seq_off`.
+    ///
+    /// Counter-mode construction: `mix(seed ⊕ mix(seq_off mod 2¹³))` —
+    /// random access to any offset without iterating, which is exactly what
+    /// a monitor joining mid-sequence needs.
+    ///
+    /// The sequence is **cyclic in the 13-bit wire offset**: a monitor that
+    /// lost contact for longer than one wrap (the RTS field cannot encode
+    /// the epoch) can still verify every draw statelessly. The cost is that
+    /// draws repeat every 2¹³ transmissions; offset-continuity and reuse
+    /// monitoring by whichever neighbors are present constrain a cheater's
+    /// ability to exploit the cycle (see `mg-detect`).
+    pub fn raw(&self, seq_off: u64) -> u64 {
+        let cyclic = seq_off % SEQ_OFF_MOD;
+        mix(self.seed ^ mix(cyclic.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// The uniform variate in `[0, 1)` at offset `seq_off`.
+    pub fn uniform01(&self, seq_off: u64) -> f64 {
+        (self.raw(seq_off) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The contention window for retransmission `attempt` (1-based) under
+    /// binary exponential back-off between `cw_min` and `cw_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempt == 0` or `cw_min > cw_max`.
+    pub fn contention_window(attempt: u8, cw_min: u16, cw_max: u16) -> u16 {
+        assert!(attempt >= 1, "attempt numbers are 1-based");
+        assert!(cw_min <= cw_max, "cw_min must not exceed cw_max");
+        let grown = (u32::from(cw_min) + 1) << (u32::from(attempt) - 1).min(16);
+        (grown.min(u32::from(cw_max) + 1) - 1) as u16
+    }
+
+    /// The dictated back-off for `(seq_off, attempt)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::contention_window`].
+    pub fn backoff(&self, seq_off: u64, attempt: u8, cw_min: u16, cw_max: u16) -> BackoffDraw {
+        let cw = Self::contention_window(attempt, cw_min, cw_max);
+        let u = self.uniform01(seq_off);
+        let slots = (u * f64::from(cw) + u).floor() as u16; // u*(cw+1), exact for cw ≤ 2^16
+        BackoffDraw {
+            slots: slots.min(cw),
+            cw,
+        }
+    }
+
+    /// The 13-bit on-air representation of a logical offset.
+    pub fn wire_offset(seq_off: u64) -> u16 {
+        (seq_off % SEQ_OFF_MOD) as u16
+    }
+
+    /// Reconstructs the logical offset from an on-air 13-bit value, given the
+    /// last logical offset the monitor saw from this node. Offsets are
+    /// assumed to move forward by less than one wrap between observations.
+    pub fn unwrap_offset(wire: u16, last_logical: u64) -> u64 {
+        let base = last_logical - (last_logical % SEQ_OFF_MOD);
+        let candidate = base + u64::from(wire);
+        if candidate >= last_logical {
+            candidate
+        } else {
+            candidate + SEQ_OFF_MOD
+        }
+    }
+}
+
+/// SplitMix64 finalizer (duplicated from `mg-sim` to keep this crate
+/// dependency-free; 6 lines of public-domain constants).
+fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CW_MIN: u16 = 31;
+    const CW_MAX: u16 = 1023;
+
+    #[test]
+    fn deterministic_and_mac_specific() {
+        let a = VerifiableSequence::new(1);
+        let a2 = VerifiableSequence::new(1);
+        let b = VerifiableSequence::new(2);
+        for off in 0..100 {
+            assert_eq!(a.raw(off), a2.raw(off));
+        }
+        let same = (0..100).filter(|&o| a.raw(o) == b.raw(o)).count();
+        assert_eq!(same, 0, "distinct MACs must give distinct sequences");
+    }
+
+    #[test]
+    fn contention_window_doubles_and_caps() {
+        assert_eq!(VerifiableSequence::contention_window(1, CW_MIN, CW_MAX), 31);
+        assert_eq!(VerifiableSequence::contention_window(2, CW_MIN, CW_MAX), 63);
+        assert_eq!(VerifiableSequence::contention_window(3, CW_MIN, CW_MAX), 127);
+        assert_eq!(VerifiableSequence::contention_window(6, CW_MIN, CW_MAX), 1023);
+        assert_eq!(VerifiableSequence::contention_window(7, CW_MIN, CW_MAX), 1023);
+        assert_eq!(VerifiableSequence::contention_window(50, CW_MIN, CW_MAX), 1023);
+    }
+
+    #[test]
+    fn backoff_within_window_and_uses_same_variate() {
+        let s = VerifiableSequence::new(0xAB);
+        for off in 0..500 {
+            let d1 = s.backoff(off, 1, CW_MIN, CW_MAX);
+            assert!(d1.slots <= d1.cw);
+            assert_eq!(d1.cw, 31);
+            let d3 = s.backoff(off, 3, CW_MIN, CW_MAX);
+            assert!(d3.slots <= 127);
+            // Same uniform variate scaled to a wider window: the wide draw is
+            // (cw3+1)/(cw1+1) = 4x the narrow draw, up to flooring.
+            assert!(
+                (i32::from(d3.slots) - 4 * i32::from(d1.slots)).abs() <= 4,
+                "off={off}: {d1:?} vs {d3:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_roughly_uniform() {
+        // One full wrap: the sequence is cyclic, so 2^13 draws is the whole
+        // population (expected 256 per bucket, sd ≈ 16).
+        let s = VerifiableSequence::new(7);
+        let n = SEQ_OFF_MOD;
+        let mut counts = [0u32; 32];
+        for off in 0..n {
+            counts[s.backoff(off, 1, CW_MIN, CW_MAX).slots as usize] += 1;
+        }
+        let expect = n as f64 / 32.0;
+        for (v, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.3, "value {v} count {c} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn sequence_is_cyclic_in_the_wire_offset() {
+        let s = VerifiableSequence::new(77);
+        for off in [0u64, 1, 100, 8191] {
+            assert_eq!(s.raw(off), s.raw(off + SEQ_OFF_MOD));
+            assert_eq!(
+                s.backoff(off, 1, 31, 1023),
+                s.backoff(off + 3 * SEQ_OFF_MOD, 1, 31, 1023)
+            );
+        }
+        // …but distinct offsets within a wrap still differ.
+        assert_ne!(s.raw(3), s.raw(4));
+    }
+
+    #[test]
+    fn wire_offset_wraps_and_unwraps() {
+        assert_eq!(VerifiableSequence::wire_offset(5), 5);
+        assert_eq!(VerifiableSequence::wire_offset(SEQ_OFF_MOD + 5), 5);
+        // Monitor last saw logical 8190; node now sends wire 3 → logical 8195.
+        assert_eq!(VerifiableSequence::unwrap_offset(3, 8190), 8195);
+        // No wrap: last 10, wire 12 → 12.
+        assert_eq!(VerifiableSequence::unwrap_offset(12, 10), 12);
+        // Exactly at the boundary.
+        assert_eq!(
+            VerifiableSequence::unwrap_offset(0, SEQ_OFF_MOD - 1),
+            SEQ_OFF_MOD
+        );
+    }
+
+    #[test]
+    fn unwrap_round_trips_through_wire() {
+        let mut last = 0u64;
+        for logical in (0..40_000u64).step_by(7) {
+            let wire = VerifiableSequence::wire_offset(logical);
+            let rec = VerifiableSequence::unwrap_offset(wire, last);
+            assert_eq!(rec, logical, "logical={logical} last={last}");
+            last = logical;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn attempt_zero_rejected() {
+        VerifiableSequence::new(0).backoff(0, 0, CW_MIN, CW_MAX);
+    }
+}

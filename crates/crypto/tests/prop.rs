@@ -1,0 +1,75 @@
+//! Property-based tests for MD5 and the verifiable back-off sequence.
+
+use mg_crypto::{digest, Md5, VerifiableSequence, SEQ_OFF_MOD};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing over arbitrary chunkings equals one-shot hashing.
+    #[test]
+    fn md5_chunking_invariant(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(0usize..2048, 0..8),
+    ) {
+        let oneshot = digest(&data);
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut h = Md5::new();
+        let mut prev = 0;
+        for &c in &cuts {
+            h.update(&data[prev..c]);
+            prev = c;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Distinct inputs essentially never collide (sanity, not security).
+    #[test]
+    fn md5_distinguishes_suffixes(data in prop::collection::vec(any::<u8>(), 0..256), extra in any::<u8>()) {
+        let mut longer = data.clone();
+        longer.push(extra);
+        prop_assert_ne!(digest(&data), digest(&longer));
+    }
+
+    /// Back-off draws always respect the contention window and are
+    /// deterministic per (mac, offset, attempt).
+    #[test]
+    fn backoff_within_window(mac in any::<u64>(), off in any::<u64>(), attempt in 1u8..16) {
+        let s = VerifiableSequence::new(mac);
+        let d = s.backoff(off, attempt, 31, 1023);
+        prop_assert!(d.slots <= d.cw);
+        prop_assert!(d.cw >= 31 && d.cw <= 1023);
+        prop_assert_eq!(d, s.backoff(off, attempt, 31, 1023));
+    }
+
+    /// The same variate scales across attempts: a wider window can never
+    /// yield a *smaller* draw at the same offset.
+    #[test]
+    fn wider_window_never_shrinks(mac in any::<u64>(), off in any::<u64>(), attempt in 1u8..9) {
+        let s = VerifiableSequence::new(mac);
+        let narrow = s.backoff(off, attempt, 31, 1023);
+        let wide = s.backoff(off, attempt + 1, 31, 1023);
+        prop_assert!(wide.slots >= narrow.slots, "{narrow:?} vs {wide:?}");
+    }
+
+    /// Wire offsets round-trip through unwrap for any forward step smaller
+    /// than one wrap.
+    #[test]
+    fn offset_roundtrip(last in 0u64..1_000_000, step in 0u64..8191) {
+        let logical = last + step;
+        let wire = VerifiableSequence::wire_offset(logical);
+        prop_assert_eq!(VerifiableSequence::unwrap_offset(wire, last), logical);
+        prop_assert!(u64::from(wire) < SEQ_OFF_MOD);
+    }
+
+    /// Different MAC addresses give (essentially always) different draws
+    /// somewhere in any window of 16 offsets.
+    #[test]
+    fn macs_are_distinguishable(mac1 in any::<u64>(), mac2 in any::<u64>(), base in 0u64..1_000_000) {
+        prop_assume!(mac1 != mac2);
+        let s1 = VerifiableSequence::new(mac1);
+        let s2 = VerifiableSequence::new(mac2);
+        let differs = (base..base + 16).any(|off| s1.raw(off) != s2.raw(off));
+        prop_assert!(differs);
+    }
+}

@@ -1,0 +1,183 @@
+//! Circles and circle–circle intersection ("lens") areas.
+
+use crate::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A circle in the simulation plane (e.g. a node's sensing footprint).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Vec2,
+    /// Radius in meters; must be non-negative.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(center: Vec2, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius >= 0.0,
+            "circle radius must be finite and non-negative, got {radius}"
+        );
+        Circle { center, radius }
+    }
+
+    /// Area of the disk.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Whether `p` lies inside or on the circle.
+    pub fn contains(&self, p: Vec2) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// Area of the intersection of this disk with `other`.
+    pub fn intersection_area(&self, other: &Circle) -> f64 {
+        lens_area(self.radius, other.radius, self.center.distance(other.center))
+    }
+}
+
+/// Area of the intersection of two disks with radii `r1`, `r2` whose centers
+/// are `d` apart (the "lens").
+///
+/// Handles all degenerate cases: disjoint disks (`0`), one disk containing
+/// the other (the smaller disk's area), zero radii, and coincident centers.
+///
+/// # Panics
+///
+/// Panics if any argument is negative or non-finite.
+///
+/// # Example
+///
+/// ```
+/// use mg_geom::lens_area;
+/// use std::f64::consts::PI;
+///
+/// // Coincident unit disks overlap fully.
+/// assert!((lens_area(1.0, 1.0, 0.0) - PI).abs() < 1e-12);
+/// // Far apart: no overlap.
+/// assert_eq!(lens_area(1.0, 1.0, 3.0), 0.0);
+/// ```
+pub fn lens_area(r1: f64, r2: f64, d: f64) -> f64 {
+    for (name, v) in [("r1", r1), ("r2", r2), ("d", d)] {
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "lens_area argument {name} must be finite and non-negative, got {v}"
+        );
+    }
+    if r1 == 0.0 || r2 == 0.0 {
+        return 0.0;
+    }
+    if d >= r1 + r2 {
+        return 0.0; // disjoint (or tangent)
+    }
+    let (small, large) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+    if d <= large - small {
+        // The smaller disk is entirely inside the larger one.
+        return std::f64::consts::PI * small * small;
+    }
+    // General case: sum of the two circular segments.
+    // Clamp the acos arguments: roundoff can push them epsilon outside [-1,1].
+    let a1 = ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0);
+    let a2 = ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0);
+    let t1 = a1.acos();
+    let t2 = a2.acos();
+    let tri = 0.5
+        * ((-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2))
+            .max(0.0)
+            .sqrt();
+    r1 * r1 * t1 + r2 * r2 * t2 - tri
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn disjoint_and_tangent_are_zero() {
+        assert_eq!(lens_area(1.0, 1.0, 2.0), 0.0);
+        assert_eq!(lens_area(1.0, 1.0, 2.5), 0.0);
+        assert_eq!(lens_area(3.0, 4.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn containment_returns_smaller_disk() {
+        assert!(close(lens_area(1.0, 10.0, 0.0), PI, 1e-12));
+        assert!(close(lens_area(1.0, 10.0, 5.0), PI, 1e-12));
+        assert!(close(lens_area(1.0, 10.0, 9.0), PI, 1e-12));
+        // Symmetric in arguments.
+        assert!(close(lens_area(10.0, 1.0, 5.0), PI, 1e-12));
+    }
+
+    #[test]
+    fn zero_radius_is_zero() {
+        assert_eq!(lens_area(0.0, 5.0, 1.0), 0.0);
+        assert_eq!(lens_area(5.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn known_half_overlap_value() {
+        // Two unit circles at distance 1: standard result 2π/3 − √3/2.
+        let expected = 2.0 * PI / 3.0 - 3f64.sqrt() / 2.0;
+        assert!(close(lens_area(1.0, 1.0, 1.0), expected, 1e-12));
+    }
+
+    #[test]
+    fn paper_geometry_sanity() {
+        // Sensing disks (550 m) of grid neighbors 240 m apart.
+        let lens = lens_area(550.0, 550.0, 240.0);
+        let disk = PI * 550.0 * 550.0;
+        assert!(lens > 0.5 * disk && lens < disk, "lens={lens} disk={disk}");
+        // Crescent area = disk − lens, matches the hand calculation (~261 900 m²).
+        let crescent = disk - lens;
+        assert!(close(crescent, 261_852.0, 0.01), "crescent={crescent}");
+    }
+
+    #[test]
+    fn monotone_in_distance() {
+        let mut prev = lens_area(550.0, 550.0, 0.0);
+        for i in 1..=110 {
+            let d = i as f64 * 10.0;
+            let a = lens_area(550.0, 550.0, d);
+            assert!(a <= prev + 1e-9, "not monotone at d={d}");
+            prev = a;
+        }
+        assert_eq!(prev, 0.0);
+    }
+
+    #[test]
+    fn circle_contains_and_area() {
+        let c = Circle::new(Vec2::new(1.0, 1.0), 2.0);
+        assert!(c.contains(Vec2::new(2.0, 2.0)));
+        assert!(!c.contains(Vec2::new(4.0, 4.0)));
+        assert!(close(c.area(), 4.0 * PI, 1e-12));
+        let o = Circle::new(Vec2::new(1.0, 3.0), 2.0);
+        assert!(close(
+            c.intersection_area(&o),
+            lens_area(2.0, 2.0, 2.0),
+            1e-12
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_rejected() {
+        lens_area(1.0, 1.0, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be finite")]
+    fn negative_radius_rejected() {
+        Circle::new(Vec2::ZERO, -1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mg-geom — geometry for wireless interference analysis
+//!
+//! The paper's analytical model (Section 3) reasons about *areas*: the
+//! portions of the sender's and monitor's sensing disks that can host a
+//! transmitter which one of them hears and the other does not. This crate
+//! provides:
+//!
+//! * [`Vec2`] — plain 2-D points/vectors with the handful of operations the
+//!   simulator needs;
+//! * [`Circle`] and [`lens_area`] — exact circle–circle intersection areas
+//!   (circular-segment formula with careful degenerate handling);
+//! * [`RegionModel`] — the A1–A5 decomposition of the joint sensing
+//!   footprint of a sender S and monitor R (paper Fig. 1), including the
+//!   "preclusion zones" A1/A4 whose construction the paper leaves to a
+//!   figure (see [`PreclusionRule`] for the reconstructions we offer);
+//! * [`placement`] — grid and uniform-random node placement.
+//!
+//! # Example
+//!
+//! ```
+//! use mg_geom::{RegionModel, PreclusionRule};
+//!
+//! // Grid neighbors 240 m apart with a 550 m sensing range.
+//! let model = RegionModel::new(240.0, 550.0, PreclusionRule::Mirror);
+//! assert!(model.a3 > 0.0);                   // the shared lens
+//! assert!((model.ratio_a2() - 0.5).abs() < 1e-12); // mirror symmetry
+//! ```
+
+#![warn(missing_docs)]
+
+mod circle;
+pub mod placement;
+mod regions;
+mod vec2;
+
+pub use circle::{lens_area, Circle};
+pub use regions::{PreclusionRule, RegionModel};
+pub use vec2::Vec2;

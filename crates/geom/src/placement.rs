@@ -1,0 +1,170 @@
+//! Node placement: the paper's 7×8 grid and uniform-random layouts.
+
+use crate::Vec2;
+
+/// A source of uniform `f64` draws in `[0, 1)`.
+///
+/// `mg-geom` deliberately does not depend on any RNG crate; any closure
+/// returning uniforms works (and `mg_sim::rng::Xoshiro256` gets an impl in
+/// the crates that use both).
+pub trait Uniform01 {
+    /// The next uniform draw in `[0, 1)`.
+    fn uniform01(&mut self) -> f64;
+}
+
+impl<F: FnMut() -> f64> Uniform01 for F {
+    fn uniform01(&mut self) -> f64 {
+        self()
+    }
+}
+
+/// Positions for a `rows × cols` grid with the given spacing, centered in a
+/// `field_w × field_h` m field (the paper: 7 rows × 8 columns, 240 m spacing,
+/// 3000 m × 3000 m field).
+///
+/// Nodes are emitted row-major, so node `r*cols + c` sits at grid cell
+/// `(r, c)`.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero, or if the grid does not fit in the
+/// field.
+pub fn grid(rows: usize, cols: usize, spacing: f64, field_w: f64, field_h: f64) -> Vec<Vec2> {
+    assert!(rows > 0 && cols > 0, "grid must have at least one node");
+    let w = (cols - 1) as f64 * spacing;
+    let h = (rows - 1) as f64 * spacing;
+    assert!(
+        w <= field_w && h <= field_h,
+        "grid ({w} x {h} m) exceeds field ({field_w} x {field_h} m)"
+    );
+    let x0 = (field_w - w) / 2.0;
+    let y0 = (field_h - h) / 2.0;
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.push(Vec2::new(x0 + c as f64 * spacing, y0 + r as f64 * spacing));
+        }
+    }
+    out
+}
+
+/// `n` positions drawn uniformly at random in a `field_w × field_h` m field
+/// (the paper's random topology: 112 nodes in 3000 m × 3000 m).
+pub fn uniform_random<R: Uniform01>(
+    n: usize,
+    field_w: f64,
+    field_h: f64,
+    rng: &mut R,
+) -> Vec<Vec2> {
+    (0..n)
+        .map(|_| Vec2::new(rng.uniform01() * field_w, rng.uniform01() * field_h))
+        .collect()
+}
+
+/// Index of the node closest to the field center — the paper places the
+/// monitored pair "in the center of the grid so that the computations take
+/// into consideration the interference effects from their two-hop neighbors".
+pub fn most_central(positions: &[Vec2], field_w: f64, field_h: f64) -> Option<usize> {
+    let center = Vec2::new(field_w / 2.0, field_h / 2.0);
+    positions
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.distance_sq(center)
+                .partial_cmp(&b.distance_sq(center))
+                .expect("positions must not contain NaN")
+        })
+        .map(|(i, _)| i)
+}
+
+/// Indices of all nodes within `range` of node `of` (excluding itself) —
+/// the one-hop neighborhood used for choosing traffic destinations and
+/// monitors.
+pub fn neighbors_within(positions: &[Vec2], of: usize, range: f64) -> Vec<usize> {
+    let p = positions[of];
+    positions
+        .iter()
+        .enumerate()
+        .filter(|&(i, q)| i != of && p.distance(*q) <= range)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed;
+        move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[test]
+    fn grid_has_right_count_and_spacing() {
+        let g = grid(7, 8, 240.0, 3000.0, 3000.0);
+        assert_eq!(g.len(), 56);
+        // Horizontal neighbors are exactly 240 m apart.
+        assert!((g[0].distance(g[1]) - 240.0).abs() < 1e-9);
+        // Vertical neighbors too (row stride = 8).
+        assert!((g[0].distance(g[8]) - 240.0).abs() < 1e-9);
+        // Centered: symmetric margins.
+        let minx = g.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let maxx = g.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+        assert!(((3000.0 - maxx) - minx).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_is_row_major() {
+        let g = grid(2, 3, 100.0, 1000.0, 1000.0);
+        assert_eq!(g.len(), 6);
+        assert!(g[0].y == g[1].y && g[1].y == g[2].y);
+        assert!(g[3].y > g[0].y);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds field")]
+    fn oversized_grid_rejected() {
+        grid(100, 100, 240.0, 3000.0, 3000.0);
+    }
+
+    #[test]
+    fn uniform_random_stays_in_field() {
+        let mut r = lcg(7);
+        let pts = uniform_random(500, 3000.0, 2000.0, &mut r);
+        assert_eq!(pts.len(), 500);
+        for p in &pts {
+            assert!((0.0..=3000.0).contains(&p.x));
+            assert!((0.0..=2000.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn most_central_finds_center_node() {
+        let g = grid(7, 8, 240.0, 3000.0, 3000.0);
+        let c = most_central(&g, 3000.0, 3000.0).unwrap();
+        let center = Vec2::new(1500.0, 1500.0);
+        for (i, p) in g.iter().enumerate() {
+            assert!(
+                g[c].distance_sq(center) <= p.distance_sq(center) || i == c,
+            );
+        }
+        assert_eq!(most_central(&[], 10.0, 10.0), None);
+    }
+
+    #[test]
+    fn neighbors_within_excludes_self_and_far_nodes() {
+        let g = grid(7, 8, 240.0, 3000.0, 3000.0);
+        // 250 m transmission range: only the 4-connected grid neighbors.
+        let center = most_central(&g, 3000.0, 3000.0).unwrap();
+        let nb = neighbors_within(&g, center, 250.0);
+        assert!(!nb.contains(&center));
+        assert!(nb.len() == 4, "expected 4 one-hop neighbors, got {}", nb.len());
+        // 550 m sensing range: 4 straight (240 m) + 4 diagonal (339 m)
+        // + 4 two-step straight (480 m) + 8 knight-move (537 m) = 20.
+        let nb2 = neighbors_within(&g, center, 550.0);
+        assert_eq!(nb2.len(), 20);
+    }
+}

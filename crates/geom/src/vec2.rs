@@ -1,0 +1,141 @@
+//! Minimal 2-D vector type.
+
+use core::ops::{Add, AddAssign, Mul, Neg, Sub};
+use serde::{Deserialize, Serialize};
+
+/// A point or displacement in the 2-D simulation plane, in meters.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East–west coordinate in meters.
+    pub x: f64,
+    /// North–south coordinate in meters.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length (avoids the square root in hot paths).
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared distance to another point.
+    pub fn distance_sq(self, other: Vec2) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// The unit vector in this direction, or `None` for the zero vector.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(Vec2::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, o: Vec2) {
+        self.x += o.x;
+        self.y += o.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Vec2::new(3.0, 4.0);
+        let b = Vec2::new(0.0, 0.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(b.distance(a), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        let u = Vec2::new(0.0, -2.0).normalized().unwrap();
+        assert!((u.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(u.y, -1.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec2::new(1.0, 1.0);
+        let b = Vec2::new(5.0, -3.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!(mid, Vec2::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(-3.0, 4.0);
+        assert_eq!(a + b, Vec2::new(-2.0, 6.0));
+        assert_eq!(a - b, Vec2::new(4.0, -2.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        assert_eq!(a.dot(b), 5.0);
+    }
+}

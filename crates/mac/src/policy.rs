@@ -1,0 +1,156 @@
+//! Back-off policies: the compliant one and the misbehavior models.
+
+use mg_crypto::BackoffDraw;
+use mg_sim::rng::Xoshiro256;
+use serde::{Deserialize, Serialize};
+
+/// How a node turns its *dictated* back-off draw into the value it actually
+/// counts down.
+///
+/// `Compliant` is the honest policy; the rest are the attacker models the
+/// paper evaluates. All attackers still *announce* truthful sequence offsets
+/// (monitors verify offset continuity deterministically, so lying there is
+/// immediately fatal); the attack is in the countdown itself — except
+/// [`BackoffPolicy::AttemptCheat`], which lies about the attempt number to
+/// keep its contention window narrow and is caught by the MD/attempt
+/// deterministic check instead.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum BackoffPolicy {
+    /// Count down exactly the dictated value.
+    Compliant,
+    /// The paper's misbehavior knob: with "percentage of misbehavior"
+    /// `pm` ∈ [0, 100], count down only `(100 − pm)%` of the dictated value
+    /// ("it transmits a packet after counting down to (100−m)% of the
+    /// dictated back-off value"). `pm = 0` ⇒ compliant; `pm = 100` ⇒ no
+    /// back-off at all.
+    Scaled {
+        /// Percentage of misbehavior, 0–100.
+        pm: u8,
+    },
+    /// Always use the same constant back-off, ignoring the PRS and the
+    /// contention window entirely.
+    Fixed {
+        /// The constant number of slots.
+        slots: u16,
+    },
+    /// Draw (privately, unverifiably) from a uniform window `[0, cw]` that
+    /// does not grow on retransmission — the "completely different
+    /// retransmission strategy" the paper mentions.
+    AltDistribution {
+        /// The fixed private contention window.
+        cw: u16,
+    },
+    /// Count down honestly but announce `attempt = 1` on every
+    /// retransmission so the dictated window never widens (caught by the
+    /// MD5/attempt deterministic check, not the statistical test).
+    AttemptCheat,
+}
+
+impl BackoffPolicy {
+    /// The slots this policy actually counts down, given the dictated draw.
+    pub fn actual_slots(&self, dictated: BackoffDraw, rng: &mut Xoshiro256) -> u16 {
+        match *self {
+            BackoffPolicy::Compliant | BackoffPolicy::AttemptCheat => dictated.slots,
+            BackoffPolicy::Scaled { pm } => {
+                let pm = pm.min(100);
+                ((u32::from(dictated.slots) * (100 - u32::from(pm))) / 100) as u16
+            }
+            BackoffPolicy::Fixed { slots } => slots,
+            BackoffPolicy::AltDistribution { cw } => rng.below(u64::from(cw) + 1) as u16,
+        }
+    }
+
+    /// The attempt number this policy *announces* for a true attempt count.
+    pub fn announced_attempt(&self, true_attempt: u8) -> u8 {
+        match *self {
+            BackoffPolicy::AttemptCheat => 1,
+            _ => true_attempt,
+        }
+    }
+
+    /// Whether the policy deviates from the standard (useful for labelling
+    /// experiment output).
+    pub fn is_misbehaving(&self) -> bool {
+        match *self {
+            BackoffPolicy::Compliant => false,
+            BackoffPolicy::Scaled { pm } => pm > 0,
+            _ => true,
+        }
+    }
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy::Compliant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn draw(slots: u16) -> BackoffDraw {
+        BackoffDraw { slots, cw: 31 }
+    }
+
+    #[test]
+    fn compliant_uses_dictated() {
+        let mut rng = Xoshiro256::new(1);
+        assert_eq!(
+            BackoffPolicy::Compliant.actual_slots(draw(17), &mut rng),
+            17
+        );
+        assert!(!BackoffPolicy::Compliant.is_misbehaving());
+    }
+
+    #[test]
+    fn scaled_matches_paper_definition() {
+        let mut rng = Xoshiro256::new(1);
+        // PM = 65% → counts down 35% of the dictated value.
+        assert_eq!(
+            BackoffPolicy::Scaled { pm: 65 }.actual_slots(draw(20), &mut rng),
+            7
+        );
+        assert_eq!(
+            BackoffPolicy::Scaled { pm: 100 }.actual_slots(draw(20), &mut rng),
+            0
+        );
+        assert_eq!(
+            BackoffPolicy::Scaled { pm: 0 }.actual_slots(draw(20), &mut rng),
+            20
+        );
+        assert!(!BackoffPolicy::Scaled { pm: 0 }.is_misbehaving());
+        assert!(BackoffPolicy::Scaled { pm: 10 }.is_misbehaving());
+        // Out-of-range pm clamps rather than wrapping.
+        assert_eq!(
+            BackoffPolicy::Scaled { pm: 200 }.actual_slots(draw(20), &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    fn fixed_ignores_dictation() {
+        let mut rng = Xoshiro256::new(1);
+        let p = BackoffPolicy::Fixed { slots: 2 };
+        assert_eq!(p.actual_slots(draw(500), &mut rng), 2);
+        assert_eq!(p.actual_slots(draw(0), &mut rng), 2);
+    }
+
+    #[test]
+    fn alt_distribution_stays_in_window() {
+        let mut rng = Xoshiro256::new(5);
+        let p = BackoffPolicy::AltDistribution { cw: 7 };
+        for _ in 0..1000 {
+            assert!(p.actual_slots(draw(1000), &mut rng) <= 7);
+        }
+    }
+
+    #[test]
+    fn attempt_cheat_lies_about_attempt_only() {
+        let mut rng = Xoshiro256::new(1);
+        let p = BackoffPolicy::AttemptCheat;
+        assert_eq!(p.actual_slots(draw(9), &mut rng), 9);
+        assert_eq!(p.announced_attempt(4), 1);
+        assert_eq!(BackoffPolicy::Compliant.announced_attempt(4), 4);
+    }
+}

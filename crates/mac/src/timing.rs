@@ -1,0 +1,209 @@
+//! 802.11 timing constants and frame airtimes.
+//!
+//! Values follow the DSSS PHY the paper's ns-2.26 setup uses: 20 µs slots,
+//! 10 µs SIFS, DIFS = SIFS + 2·slots = 50 µs, 192 µs long-preamble PLCP,
+//! control frames at 1 Mb/s, data at 2 Mb/s, CWmin 31 / CWmax 1023.
+
+use crate::frame::{Frame, FrameKind};
+use mg_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Bytes of MAC header + FCS on a DATA frame.
+pub const DATA_MAC_OVERHEAD: u32 = 28;
+/// Bytes of LLC/IP/UDP headers above the MAC on a DATA frame.
+pub const DATA_NET_OVERHEAD: u32 = 28;
+/// Bytes of an unmodified RTS (802.11: 20).
+pub const RTS_BASE_BYTES: u32 = 20;
+/// Extra RTS bytes added by the paper's Fig. 2: 2 (SeqOff# 13 bits +
+/// Attempt# 3 bits) + 16 (MD5 digest).
+pub const RTS_EXTRA_BYTES: u32 = 18;
+/// Bytes of a CTS or ACK frame.
+pub const CTS_ACK_BYTES: u32 = 14;
+
+/// The timing configuration of the MAC.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MacTiming {
+    /// Slot time (Table 1 / 802.11 DSSS: 20 µs).
+    pub slot: SimDuration,
+    /// Short inter-frame space (10 µs).
+    pub sifs: SimDuration,
+    /// PLCP preamble + header time (192 µs long preamble).
+    pub plcp: SimDuration,
+    /// Control/basic rate, bits per second (1 Mb/s).
+    pub control_rate_bps: u64,
+    /// Data rate, bits per second (2 Mb/s).
+    pub data_rate_bps: u64,
+    /// Minimum contention window (31).
+    pub cw_min: u16,
+    /// Maximum contention window (1023).
+    pub cw_max: u16,
+    /// Short retry limit — RTS attempts per packet (7).
+    pub short_retry_limit: u8,
+    /// Long retry limit — DATA attempts per packet (4).
+    pub long_retry_limit: u8,
+    /// RTS threshold in bytes: unicast MPDUs strictly longer than this use
+    /// the RTS/CTS handshake; shorter ones use basic access (DATA → ACK).
+    ///
+    /// The paper's verification protocol piggybacks on the RTS, so its
+    /// modified MAC sets the threshold to 0 (RTS for everything). A large
+    /// threshold models a legacy/evasive node — see
+    /// `mg_detect::Violation::UnverifiedData`.
+    pub rts_threshold: u32,
+}
+
+impl MacTiming {
+    /// The paper's / ns-2's DSSS defaults.
+    pub fn paper_default() -> Self {
+        MacTiming {
+            slot: SimDuration::from_micros(20),
+            sifs: SimDuration::from_micros(10),
+            plcp: SimDuration::from_micros(192),
+            control_rate_bps: 1_000_000,
+            data_rate_bps: 2_000_000,
+            cw_min: 31,
+            cw_max: 1023,
+            short_retry_limit: 7,
+            long_retry_limit: 4,
+            rts_threshold: 0,
+        }
+    }
+
+    /// DIFS = SIFS + 2 · slot (50 µs with the defaults).
+    pub fn difs(&self) -> SimDuration {
+        self.sifs + self.slot * 2
+    }
+
+    /// EIFS = SIFS + DIFS + ACK airtime at the basic rate — the penalty
+    /// deference after perceiving an undecodable (collided) frame.
+    pub fn eifs(&self) -> SimDuration {
+        self.sifs + self.difs() + self.ack_airtime()
+    }
+
+    /// Airtime of `bytes` at `rate_bps` plus PLCP overhead.
+    fn airtime(&self, bytes: u32, rate_bps: u64) -> SimDuration {
+        let bits = u64::from(bytes) * 8;
+        // ns resolution: bits * 1e9 / rate. Rates are ≥ 1 kb/s so this is exact
+        // for the standard rates (1 Mb/s → 1000 ns/bit, 2 Mb/s → 500 ns/bit).
+        self.plcp + SimDuration::from_nanos(bits * 1_000_000_000 / rate_bps)
+    }
+
+    /// Airtime of the paper's extended RTS.
+    pub fn rts_airtime(&self) -> SimDuration {
+        self.airtime(RTS_BASE_BYTES + RTS_EXTRA_BYTES, self.control_rate_bps)
+    }
+
+    /// Airtime of a CTS.
+    pub fn cts_airtime(&self) -> SimDuration {
+        self.airtime(CTS_ACK_BYTES, self.control_rate_bps)
+    }
+
+    /// Airtime of an ACK.
+    pub fn ack_airtime(&self) -> SimDuration {
+        self.airtime(CTS_ACK_BYTES, self.control_rate_bps)
+    }
+
+    /// Airtime of a DATA frame carrying `payload_len` application bytes.
+    pub fn data_airtime(&self, payload_len: u16) -> SimDuration {
+        self.airtime(
+            u32::from(payload_len) + DATA_MAC_OVERHEAD + DATA_NET_OVERHEAD,
+            self.data_rate_bps,
+        )
+    }
+
+    /// Airtime of an arbitrary frame.
+    pub fn frame_airtime(&self, frame: &Frame) -> SimDuration {
+        match &frame.kind {
+            FrameKind::Rts(_) => self.rts_airtime(),
+            FrameKind::Cts => self.cts_airtime(),
+            FrameKind::Ack => self.ack_airtime(),
+            FrameKind::Data { sdu } => self.data_airtime(sdu.payload_len),
+        }
+    }
+
+    /// NAV a sender puts in its RTS: the rest of the four-way exchange
+    /// (3 SIFS + CTS + DATA + ACK).
+    pub fn rts_duration(&self, payload_len: u16) -> SimDuration {
+        self.sifs * 3 + self.cts_airtime() + self.data_airtime(payload_len) + self.ack_airtime()
+    }
+
+    /// NAV in a CTS (RTS duration minus the CTS itself and one SIFS).
+    pub fn cts_duration(&self, payload_len: u16) -> SimDuration {
+        self.sifs * 2 + self.data_airtime(payload_len) + self.ack_airtime()
+    }
+
+    /// NAV in a DATA frame (the closing SIFS + ACK).
+    pub fn data_duration(&self) -> SimDuration {
+        self.sifs + self.ack_airtime()
+    }
+
+    /// How long a sender waits for a CTS after its RTS ends before declaring
+    /// the attempt failed.
+    pub fn cts_timeout(&self) -> SimDuration {
+        self.sifs + self.cts_airtime() + self.slot * 2
+    }
+
+    /// How long a sender waits for an ACK after its DATA ends.
+    pub fn ack_timeout(&self) -> SimDuration {
+        self.sifs + self.ack_airtime() + self.slot * 2
+    }
+
+    /// How long a receiver that sent a CTS waits for the DATA frame to end.
+    pub fn data_timeout(&self, payload_len: u16) -> SimDuration {
+        self.sifs + self.data_airtime(payload_len) + self.slot * 2
+    }
+}
+
+impl Default for MacTiming {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_values() {
+        let t = MacTiming::paper_default();
+        assert_eq!(t.difs(), SimDuration::from_micros(50));
+        // RTS: 192 µs PLCP + 38 bytes · 8 bit / 1 Mb/s = 192 + 304 = 496 µs.
+        assert_eq!(t.rts_airtime(), SimDuration::from_micros(496));
+        // CTS/ACK: 192 + 112 = 304 µs.
+        assert_eq!(t.cts_airtime(), SimDuration::from_micros(304));
+        // DATA(512): 192 + (512+56)·8/2 µs = 192 + 2272 = 2464 µs.
+        assert_eq!(t.data_airtime(512), SimDuration::from_micros(2464));
+        // EIFS = 10 + 50 + 304 = 364 µs.
+        assert_eq!(t.eifs(), SimDuration::from_micros(364));
+    }
+
+    #[test]
+    fn nav_durations_nest() {
+        let t = MacTiming::paper_default();
+        let p = 512u16;
+        // NAV chain shrinks by one frame + SIFS at each step.
+        assert_eq!(
+            t.rts_duration(p),
+            t.cts_airtime() + t.sifs + t.cts_duration(p)
+        );
+        assert_eq!(
+            t.cts_duration(p),
+            t.data_airtime(p) + t.sifs + t.sifs + t.ack_airtime()
+        );
+        assert_eq!(t.data_duration(), t.sifs + t.ack_airtime());
+    }
+
+    #[test]
+    fn rts_threshold_defaults_to_always_rts() {
+        let t = MacTiming::paper_default();
+        assert_eq!(t.rts_threshold, 0);
+    }
+
+    #[test]
+    fn timeouts_cover_the_awaited_frame() {
+        let t = MacTiming::paper_default();
+        assert!(t.cts_timeout() > t.sifs + t.cts_airtime());
+        assert!(t.ack_timeout() > t.sifs + t.ack_airtime());
+        assert!(t.data_timeout(512) > t.sifs + t.data_airtime(512));
+    }
+}

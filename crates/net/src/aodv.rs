@@ -1,0 +1,398 @@
+//! AODV-lite: on-demand hop-count routing.
+//!
+//! The paper's Table 1 lists AODV as the routing protocol (its measured
+//! flows are single-hop, so routing never bends the MAC results); we provide
+//! a compact but functional AODV so the multi-hop example and tests exercise
+//! realistic broadcast (RREQ) traffic through the DCF:
+//!
+//! * **RREQ** — flooded with duplicate suppression and a TTL; every hop
+//!   learns the reverse route to the originator.
+//! * **RREP** — unicast back along the reverse route; every hop learns the
+//!   forward route to the destination.
+//! * **DATA** — unicast hop-by-hop along learned routes; queued at the
+//!   originator until a route exists.
+//!
+//! Sequence-number freshness, route expiry and RERR are intentionally out of
+//! scope (lite).
+
+use crate::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Maximum hops an RREQ may travel.
+pub const RREQ_TTL: u8 = 16;
+
+/// A routing-layer message carried inside a MAC SDU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetMsg {
+    /// Route request, flooded.
+    Rreq {
+        /// Node looking for a route.
+        origin: NodeId,
+        /// Node being looked for.
+        target: NodeId,
+        /// Originator-local request id (for duplicate suppression).
+        id: u32,
+        /// Hops travelled so far.
+        hops: u8,
+    },
+    /// Route reply, unicast back toward the RREQ originator.
+    Rrep {
+        /// The node the route leads to (the RREQ's target).
+        dest: NodeId,
+        /// The RREQ originator the reply travels toward.
+        origin: NodeId,
+        /// Hops from `dest` so far.
+        hops: u8,
+    },
+    /// Application data, unicast hop-by-hop.
+    Data {
+        /// Originating node.
+        origin: NodeId,
+        /// Final destination.
+        target: NodeId,
+        /// Application-level packet id.
+        app_id: u64,
+    },
+}
+
+/// One forwarding-table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RouteEntry {
+    /// Neighbor to forward through.
+    pub next_hop: NodeId,
+    /// Advertised distance in hops.
+    pub hops: u8,
+}
+
+/// What the router wants done.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouterAction {
+    /// Broadcast `msg` from this node.
+    Broadcast(NetMsg),
+    /// Unicast `msg` to the given neighbor.
+    Unicast(NodeId, NetMsg),
+    /// `app_id` from `origin` reached us — hand it to the application.
+    DeliverApp {
+        /// Originating node.
+        origin: NodeId,
+        /// Application packet id.
+        app_id: u64,
+    },
+}
+
+/// Per-node AODV-lite state machine.
+#[derive(Clone, Debug)]
+pub struct AodvLite {
+    node: NodeId,
+    routes: HashMap<NodeId, RouteEntry>,
+    seen_rreq: HashSet<(NodeId, u32)>,
+    /// Data waiting for a route, keyed by target.
+    pending: Vec<(NodeId, u64)>,
+    next_rreq_id: u32,
+    /// Data packets dropped for lack of a route at a forwarding hop.
+    pub dropped_no_route: u64,
+}
+
+impl AodvLite {
+    /// Creates the router for `node`.
+    pub fn new(node: NodeId) -> Self {
+        AodvLite {
+            node,
+            routes: HashMap::new(),
+            seen_rreq: HashSet::new(),
+            pending: Vec::new(),
+            next_rreq_id: 0,
+            dropped_no_route: 0,
+        }
+    }
+
+    /// Current route toward `dst`, if known.
+    pub fn route_to(&self, dst: NodeId) -> Option<RouteEntry> {
+        self.routes.get(&dst).copied()
+    }
+
+    /// Ask the router to deliver `app_id` to `target`. Sends data directly
+    /// when a route exists; otherwise queues it and floods an RREQ.
+    pub fn send(&mut self, target: NodeId, app_id: u64) -> Vec<RouterAction> {
+        if target == self.node {
+            return vec![RouterAction::DeliverApp {
+                origin: self.node,
+                app_id,
+            }];
+        }
+        if let Some(route) = self.routes.get(&target) {
+            return vec![RouterAction::Unicast(
+                route.next_hop,
+                NetMsg::Data {
+                    origin: self.node,
+                    target,
+                    app_id,
+                },
+            )];
+        }
+        self.pending.push((target, app_id));
+        let id = self.next_rreq_id;
+        self.next_rreq_id += 1;
+        self.seen_rreq.insert((self.node, id));
+        vec![RouterAction::Broadcast(NetMsg::Rreq {
+            origin: self.node,
+            target,
+            id,
+            hops: 0,
+        })]
+    }
+
+    /// Processes a routing message received from MAC neighbor `from`.
+    pub fn on_receive(&mut self, from: NodeId, msg: NetMsg) -> Vec<RouterAction> {
+        match msg {
+            NetMsg::Rreq {
+                origin,
+                target,
+                id,
+                hops,
+            } => self.on_rreq(from, origin, target, id, hops),
+            NetMsg::Rrep { dest, origin, hops } => self.on_rrep(from, dest, origin, hops),
+            NetMsg::Data {
+                origin,
+                target,
+                app_id,
+            } => self.on_data(origin, target, app_id),
+        }
+    }
+
+    fn learn(&mut self, dst: NodeId, next_hop: NodeId, hops: u8) {
+        if dst == self.node {
+            return;
+        }
+        let better = self.routes.get(&dst).map(|r| hops < r.hops).unwrap_or(true);
+        if better {
+            self.routes.insert(dst, RouteEntry { next_hop, hops });
+        }
+    }
+
+    fn on_rreq(
+        &mut self,
+        from: NodeId,
+        origin: NodeId,
+        target: NodeId,
+        id: u32,
+        hops: u8,
+    ) -> Vec<RouterAction> {
+        if !self.seen_rreq.insert((origin, id)) {
+            return Vec::new(); // duplicate
+        }
+        self.learn(origin, from, hops + 1);
+        if self.node == target {
+            // We are the destination: reply along the reverse route.
+            return vec![RouterAction::Unicast(
+                from,
+                NetMsg::Rrep {
+                    dest: self.node,
+                    origin,
+                    hops: 0,
+                },
+            )];
+        }
+        if hops + 1 >= RREQ_TTL {
+            return Vec::new();
+        }
+        vec![RouterAction::Broadcast(NetMsg::Rreq {
+            origin,
+            target,
+            id,
+            hops: hops + 1,
+        })]
+    }
+
+    fn on_rrep(&mut self, from: NodeId, dest: NodeId, origin: NodeId, hops: u8) -> Vec<RouterAction> {
+        self.learn(dest, from, hops + 1);
+        if self.node == origin {
+            // Route established: flush everything waiting for `dest`.
+            let mut out = Vec::new();
+            let pending = std::mem::take(&mut self.pending);
+            for (target, app_id) in pending {
+                if target == dest {
+                    let next = self.routes[&dest].next_hop;
+                    out.push(RouterAction::Unicast(
+                        next,
+                        NetMsg::Data {
+                            origin: self.node,
+                            target,
+                            app_id,
+                        },
+                    ));
+                } else {
+                    self.pending.push((target, app_id));
+                }
+            }
+            return out;
+        }
+        // Forward toward the originator along the reverse route.
+        match self.routes.get(&origin) {
+            Some(rev) => vec![RouterAction::Unicast(
+                rev.next_hop,
+                NetMsg::Rrep {
+                    dest,
+                    origin,
+                    hops: hops + 1,
+                },
+            )],
+            None => Vec::new(), // reverse route evaporated; give up
+        }
+    }
+
+    fn on_data(&mut self, origin: NodeId, target: NodeId, app_id: u64) -> Vec<RouterAction> {
+        if self.node == target {
+            return vec![RouterAction::DeliverApp { origin, app_id }];
+        }
+        match self.routes.get(&target) {
+            Some(route) => vec![RouterAction::Unicast(
+                route.next_hop,
+                NetMsg::Data {
+                    origin,
+                    target,
+                    app_id,
+                },
+            )],
+            None => {
+                self.dropped_no_route += 1;
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a line topology 0–1–2–3 purely through the router logic
+    /// (broadcasts reach immediate neighbors only).
+    fn deliver_line(routers: &mut [AodvLite], actions: Vec<(NodeId, RouterAction)>) -> Vec<(NodeId, u64)> {
+        let n = routers.len();
+        let mut work = std::collections::VecDeque::from(actions);
+        let mut delivered = Vec::new();
+        while let Some((at, action)) = work.pop_front() {
+            match action {
+                RouterAction::Broadcast(msg) => {
+                    for nb in [at.wrapping_sub(1), at + 1] {
+                        if nb < n && nb != at {
+                            for a in routers[nb].on_receive(at, msg) {
+                                work.push_back((nb, a));
+                            }
+                        }
+                    }
+                }
+                RouterAction::Unicast(next, msg) => {
+                    assert!(next < n && next.abs_diff(at) == 1, "non-neighbor unicast");
+                    for a in routers[next].on_receive(at, msg) {
+                        work.push_back((next, a));
+                    }
+                }
+                RouterAction::DeliverApp { origin, app_id } => {
+                    delivered.push((origin, app_id));
+                    let _ = at;
+                }
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn discovers_multi_hop_route_and_delivers() {
+        let mut routers: Vec<AodvLite> = (0..4).map(AodvLite::new).collect();
+        let first = routers[0]
+            .send(3, 99)
+            .into_iter()
+            .map(|a| (0usize, a))
+            .collect();
+        let delivered = deliver_line(&mut routers, first);
+        assert_eq!(delivered, vec![(0, 99)]);
+        // Forward routes learned along the path.
+        assert_eq!(routers[0].route_to(3).unwrap().next_hop, 1);
+        assert_eq!(routers[1].route_to(3).unwrap().next_hop, 2);
+        // Reverse routes too.
+        assert_eq!(routers[3].route_to(0).unwrap().next_hop, 2);
+        assert_eq!(routers[3].route_to(0).unwrap().hops, 3);
+    }
+
+    #[test]
+    fn second_packet_uses_cached_route() {
+        let mut routers: Vec<AodvLite> = (0..4).map(AodvLite::new).collect();
+        let first = routers[0].send(3, 1).into_iter().map(|a| (0usize, a)).collect();
+        deliver_line(&mut routers, first);
+        // Now a route exists: send() must go straight to Unicast(data).
+        let second = routers[0].send(3, 2);
+        assert_eq!(second.len(), 1);
+        assert!(matches!(
+            second[0],
+            RouterAction::Unicast(1, NetMsg::Data { app_id: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_rreq_suppressed() {
+        let mut r = AodvLite::new(1);
+        let rreq = NetMsg::Rreq {
+            origin: 0,
+            target: 9,
+            id: 5,
+            hops: 0,
+        };
+        let a1 = r.on_receive(0, rreq);
+        assert_eq!(a1.len(), 1, "first copy rebroadcast");
+        let a2 = r.on_receive(0, rreq);
+        assert!(a2.is_empty(), "duplicate dropped");
+    }
+
+    #[test]
+    fn ttl_stops_flood() {
+        let mut r = AodvLite::new(1);
+        let rreq = NetMsg::Rreq {
+            origin: 0,
+            target: 9,
+            id: 5,
+            hops: RREQ_TTL - 1,
+        };
+        assert!(r.on_receive(0, rreq).is_empty());
+    }
+
+    #[test]
+    fn data_without_route_is_dropped_and_counted() {
+        let mut r = AodvLite::new(1);
+        let out = r.on_receive(
+            0,
+            NetMsg::Data {
+                origin: 0,
+                target: 9,
+                app_id: 7,
+            },
+        );
+        assert!(out.is_empty());
+        assert_eq!(r.dropped_no_route, 1);
+    }
+
+    #[test]
+    fn send_to_self_delivers_locally() {
+        let mut r = AodvLite::new(4);
+        let out = r.send(4, 11);
+        assert_eq!(
+            out,
+            vec![RouterAction::DeliverApp {
+                origin: 4,
+                app_id: 11
+            }]
+        );
+    }
+
+    #[test]
+    fn shorter_route_replaces_longer() {
+        let mut r = AodvLite::new(5);
+        r.learn(9, 1, 4);
+        r.learn(9, 2, 2);
+        assert_eq!(r.route_to(9).unwrap(), RouteEntry { next_hop: 2, hops: 2 });
+        // Worse route does not replace.
+        r.learn(9, 3, 7);
+        assert_eq!(r.route_to(9).unwrap().next_hop, 2);
+    }
+}

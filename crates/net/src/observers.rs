@@ -1,0 +1,333 @@
+//! Ready-made observers: performance metrics and an event trace.
+//!
+//! Both are ordinary [`NetObserver`]s; compose them with a detector by
+//! nesting (implement `NetObserver` for a tuple-like struct and fan out, as
+//! the integration tests do) or use them alone for network studies.
+
+use crate::world::NetObserver;
+use crate::NodeId;
+use mg_dcf::{Frame, FrameKind, MacSdu};
+use mg_phy::Medium;
+use mg_sim::{SimDuration, SimTime};
+use mg_stats::describe::Summary;
+use std::collections::HashMap;
+
+/// Per-node traffic metrics: delivery counts, MAC-level service delay
+/// (enqueue → ACK) and drop counts.
+///
+/// # Example
+///
+/// ```
+/// use mg_net::{MetricsObserver, SourceCfg, World};
+/// use mg_dcf::MacTiming;
+/// use mg_geom::Vec2;
+/// use mg_phy::PropagationModel;
+/// use mg_sim::SimTime;
+///
+/// let mut world = World::new(
+///     vec![Vec2::new(0.0, 0.0), Vec2::new(200.0, 0.0)],
+///     PropagationModel::free_space(),
+///     250.0, 550.0, MacTiming::paper_default(), 1,
+///     MetricsObserver::new(),
+/// );
+/// world.add_source(SourceCfg::saturated(0, 1));
+/// world.run_until(SimTime::from_secs(1));
+/// let m = world.observer();
+/// assert!(m.delivered(0) > 100);
+/// assert!(m.delay_summary(0).mean() > 0.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsObserver {
+    enqueue_times: HashMap<u64, (NodeId, SimTime)>,
+    delivered: HashMap<NodeId, u64>,
+    dropped: HashMap<NodeId, u64>,
+    delays: HashMap<NodeId, Summary>,
+    horizon: SimTime,
+}
+
+impl MetricsObserver {
+    /// An empty metrics collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Packets `node` delivered (ACKed / broadcast completed).
+    pub fn delivered(&self, node: NodeId) -> u64 {
+        self.delivered.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Packets `node` abandoned (retry limit).
+    pub fn dropped(&self, node: NodeId) -> u64 {
+        self.dropped.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Delivery ratio for `node`.
+    pub fn delivery_ratio(&self, node: NodeId) -> f64 {
+        let d = self.delivered(node) as f64;
+        let total = d + self.dropped(node) as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            d / total
+        }
+    }
+
+    /// MAC service delay statistics (seconds) for packets sourced at `node`.
+    pub fn delay_summary(&self, node: NodeId) -> Summary {
+        self.delays.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Throughput in packets per second for `node`, over the observed span.
+    pub fn throughput_pps(&self, node: NodeId) -> f64 {
+        let secs = self.horizon.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.delivered(node) as f64 / secs
+        }
+    }
+
+    /// Latest event time seen (the measurement horizon).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+}
+
+impl NetObserver for MetricsObserver {
+    fn on_enqueue(&mut self, node: NodeId, sdu: &MacSdu, now: SimTime) {
+        self.enqueue_times.insert(sdu.id, (node, now));
+        self.horizon = self.horizon.max(now);
+    }
+
+    fn on_packet_done(&mut self, node: NodeId, sdu: &MacSdu, delivered: bool, now: SimTime) {
+        self.horizon = self.horizon.max(now);
+        if delivered {
+            *self.delivered.entry(node).or_insert(0) += 1;
+        } else {
+            *self.dropped.entry(node).or_insert(0) += 1;
+        }
+        if let Some((src, t0)) = self.enqueue_times.remove(&sdu.id) {
+            if delivered {
+                self.delays
+                    .entry(src)
+                    .or_default()
+                    .push(now.saturating_since(t0).as_secs_f64());
+            }
+        }
+    }
+}
+
+/// One recorded on-air event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the frame started.
+    pub start: SimTime,
+    /// When it ended.
+    pub end: SimTime,
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Short frame tag: `RTS`, `CTS`, `DATA`, `ACK`.
+    pub kind: &'static str,
+    /// Destination, `None` for broadcast.
+    pub dst: Option<NodeId>,
+}
+
+/// Records every transmission into a timeline — the simulator's answer to a
+/// packet capture. Bounded by `cap` entries (oldest kept) so long runs stay
+/// cheap.
+#[derive(Debug)]
+pub struct TraceObserver {
+    entries: Vec<TraceEntry>,
+    cap: usize,
+}
+
+impl TraceObserver {
+    /// A trace holding at most `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "trace capacity must be positive");
+        TraceObserver {
+            entries: Vec::new(),
+            cap,
+        }
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Renders a human-readable timeline (one line per frame).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let dst = e
+                .dst
+                .map(|d| format!("{d}"))
+                .unwrap_or_else(|| "*".to_string());
+            out.push_str(&format!(
+                "{:>12.6}s  {:<4} {:>3} -> {:<3} ({})\n",
+                e.start.as_secs_f64(),
+                e.kind,
+                e.src,
+                dst,
+                SimDuration::from_nanos(e.end.as_nanos() - e.start.as_nanos()),
+            ));
+        }
+        out
+    }
+}
+
+impl NetObserver for TraceObserver {
+    fn on_tx_start(&mut self, _m: &Medium, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
+        if self.entries.len() == self.cap {
+            return; // keep the prefix; early protocol behaviour matters most
+        }
+        let kind = match frame.kind {
+            FrameKind::Rts(_) => "RTS",
+            FrameKind::Cts => "CTS",
+            FrameKind::Data { .. } => "DATA",
+            FrameKind::Ack => "ACK",
+        };
+        let dst = match frame.dst {
+            mg_dcf::Dest::Unicast(d) => Some(d),
+            mg_dcf::Dest::Broadcast => None,
+        };
+        self.entries.push(TraceEntry {
+            start: now,
+            end,
+            src,
+            kind,
+            dst,
+        });
+    }
+}
+
+/// Fans every event out to two observers — compose arbitrarily by nesting
+/// (`Fanout(a, Fanout(b, c))`).
+///
+/// # Example
+///
+/// ```
+/// use mg_net::{Fanout, MetricsObserver, TraceObserver};
+///
+/// let obs = Fanout(MetricsObserver::new(), TraceObserver::new(128));
+/// // `obs.0` is the metrics half, `obs.1` the trace half.
+/// ```
+#[derive(Debug)]
+pub struct Fanout<A, B>(pub A, pub B);
+
+impl<A: NetObserver, B: NetObserver> NetObserver for Fanout<A, B> {
+    fn on_channel_edge(&mut self, medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
+        self.0.on_channel_edge(medium, node, busy, now);
+        self.1.on_channel_edge(medium, node, busy, now);
+    }
+    fn on_tx_start(&mut self, medium: &Medium, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
+        self.0.on_tx_start(medium, src, frame, now, end);
+        self.1.on_tx_start(medium, src, frame, now, end);
+    }
+    fn on_frame_decoded(&mut self, medium: &Medium, at: NodeId, frame: &Frame, start: SimTime, end: SimTime) {
+        self.0.on_frame_decoded(medium, at, frame, start, end);
+        self.1.on_frame_decoded(medium, at, frame, start, end);
+    }
+    fn on_frame_garbled(&mut self, medium: &Medium, at: NodeId, now: SimTime) {
+        self.0.on_frame_garbled(medium, at, now);
+        self.1.on_frame_garbled(medium, at, now);
+    }
+    fn on_enqueue(&mut self, node: NodeId, sdu: &MacSdu, now: SimTime) {
+        self.0.on_enqueue(node, sdu, now);
+        self.1.on_enqueue(node, sdu, now);
+    }
+    fn on_packet_done(&mut self, node: NodeId, sdu: &MacSdu, delivered: bool, now: SimTime) {
+        self.0.on_packet_done(node, sdu, delivered, now);
+        self.1.on_packet_done(node, sdu, delivered, now);
+    }
+    fn on_app_deliver(&mut self, node: NodeId, origin: NodeId, app_id: u64, now: SimTime) {
+        self.0.on_app_deliver(node, origin, app_id, now);
+        self.1.on_app_deliver(node, origin, app_id, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::SourceCfg;
+    use crate::world::World;
+    use mg_dcf::MacTiming;
+    use mg_geom::Vec2;
+    use mg_phy::PropagationModel;
+
+    fn pair_world<O: NetObserver>(obs: O) -> World<O> {
+        World::new(
+            vec![Vec2::new(0.0, 0.0), Vec2::new(200.0, 0.0)],
+            PropagationModel::free_space(),
+            250.0,
+            550.0,
+            MacTiming::paper_default(),
+            3,
+            obs,
+        )
+    }
+
+    #[test]
+    fn metrics_track_throughput_and_delay() {
+        let mut w = pair_world(MetricsObserver::new());
+        w.add_source(SourceCfg::saturated(0, 1));
+        w.run_until(SimTime::from_secs(2));
+        let m = w.observer();
+        assert!(m.delivered(0) > 300, "{}", m.delivered(0));
+        assert_eq!(m.dropped(0), 0);
+        assert!((m.delivery_ratio(0) - 1.0).abs() < 1e-9);
+        // One exchange on a clean channel takes ~4 ms; queue depth 2 roughly
+        // doubles the sojourn.
+        let d = m.delay_summary(0);
+        assert!(d.count() > 300);
+        assert!(d.mean() > 0.003 && d.mean() < 0.05, "mean {}", d.mean());
+        let tp = m.throughput_pps(0);
+        assert!(tp > 150.0, "{tp}");
+    }
+
+    #[test]
+    fn trace_records_the_four_way_handshake() {
+        let mut w = pair_world(TraceObserver::new(64));
+        w.add_source(SourceCfg::saturated(0, 1));
+        w.run_until(SimTime::from_millis(50));
+        let t = w.observer();
+        let kinds: Vec<&str> = t.entries().iter().take(4).map(|e| e.kind).collect();
+        assert_eq!(kinds, ["RTS", "CTS", "DATA", "ACK"]);
+        assert_eq!(t.entries()[0].src, 0);
+        assert_eq!(t.entries()[1].src, 1);
+        let rendered = t.render();
+        assert!(rendered.contains("RTS"));
+        assert!(rendered.contains("-> 1"));
+    }
+
+    #[test]
+    fn trace_respects_capacity() {
+        let mut w = pair_world(TraceObserver::new(10));
+        w.add_source(SourceCfg::saturated(0, 1));
+        w.run_until(SimTime::from_secs(1));
+        assert_eq!(w.observer().entries().len(), 10);
+    }
+
+    #[test]
+    fn fanout_feeds_both_halves() {
+        let mut w = pair_world(Fanout(MetricsObserver::new(), TraceObserver::new(16)));
+        w.add_source(SourceCfg::saturated(0, 1));
+        w.run_until(SimTime::from_millis(100));
+        let Fanout(metrics, trace) = w.observer();
+        assert!(metrics.delivered(0) > 5);
+        assert!(!trace.entries().is_empty());
+    }
+
+    #[test]
+    fn metrics_empty_is_sane() {
+        let m = MetricsObserver::new();
+        assert_eq!(m.delivered(5), 0);
+        assert_eq!(m.delivery_ratio(5), 0.0);
+        assert_eq!(m.throughput_pps(5), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Traffic generation: the paper's Poisson and CBR models, plus a saturated
+//! source for the tagged (attacker) node.
+
+use crate::NodeId;
+use mg_sim::rng::Xoshiro256;
+use mg_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Packet arrival process of one source.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Poisson arrivals at `rate_pps` packets per second; each packet is
+    /// destined per the source's [`DstPolicy`].
+    Poisson {
+        /// Mean packets per second.
+        rate_pps: f64,
+    },
+    /// Constant-bit-rate stream: one packet every `interval`.
+    Cbr {
+        /// Inter-packet gap.
+        interval: SimDuration,
+    },
+    /// Always-backlogged: the MAC queue is topped up whenever a packet
+    /// completes, so the node contends for every transmission opportunity.
+    /// This models the paper's attacker, which is trying to *grab* bandwidth.
+    Saturated,
+}
+
+impl TrafficModel {
+    /// Time until the next arrival, or `None` for [`TrafficModel::Saturated`]
+    /// (which is driven by packet completions, not a clock).
+    pub fn next_gap(&self, rng: &mut Xoshiro256) -> Option<SimDuration> {
+        match *self {
+            TrafficModel::Poisson { rate_pps } => {
+                assert!(rate_pps > 0.0, "poisson rate must be positive");
+                Some(SimDuration::from_secs_f64(rng.exponential(rate_pps)))
+            }
+            TrafficModel::Cbr { interval } => {
+                assert!(!interval.is_zero(), "CBR interval must be positive");
+                Some(interval)
+            }
+            TrafficModel::Saturated => None,
+        }
+    }
+
+    /// A randomized initial phase so simultaneous CBR sources do not
+    /// synchronize (first arrival uniform in one period).
+    pub fn initial_gap(&self, rng: &mut Xoshiro256) -> Option<SimDuration> {
+        match *self {
+            TrafficModel::Poisson { .. } => self.next_gap(rng),
+            TrafficModel::Cbr { interval } => Some(SimDuration::from_nanos(
+                rng.below(interval.as_nanos().max(1)),
+            )),
+            TrafficModel::Saturated => None,
+        }
+    }
+}
+
+/// How a source chooses each packet's destination.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DstPolicy {
+    /// Always the given node (the paper's tagged S→R pair).
+    Fixed(NodeId),
+    /// One one-hop neighbor chosen at stream start and kept while it stays
+    /// in range (the paper's CBR setup); re-chosen if it drifts out of range.
+    StickyRandomNeighbor,
+    /// A fresh one-hop neighbor per packet (the paper's Poisson setup).
+    PerPacketRandomNeighbor,
+}
+
+/// One traffic source.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SourceCfg {
+    /// The transmitting node.
+    pub node: NodeId,
+    /// The arrival process.
+    pub model: TrafficModel,
+    /// Destination selection.
+    pub dst: DstPolicy,
+    /// Application payload per packet (Table 1: 512 bytes).
+    pub payload_len: u16,
+}
+
+impl SourceCfg {
+    /// A Poisson source with per-packet random neighbors (paper's first
+    /// traffic setup).
+    pub fn poisson(node: NodeId, rate_pps: f64) -> Self {
+        SourceCfg {
+            node,
+            model: TrafficModel::Poisson { rate_pps },
+            dst: DstPolicy::PerPacketRandomNeighbor,
+            payload_len: 512,
+        }
+    }
+
+    /// A CBR stream to one sticky neighbor (paper's second traffic setup).
+    pub fn cbr(node: NodeId, interval: SimDuration) -> Self {
+        SourceCfg {
+            node,
+            model: TrafficModel::Cbr { interval },
+            dst: DstPolicy::StickyRandomNeighbor,
+            payload_len: 512,
+        }
+    }
+
+    /// A saturated stream to a fixed destination (the tagged S→R flow).
+    pub fn saturated(node: NodeId, dst: NodeId) -> Self {
+        SourceCfg {
+            node,
+            model: TrafficModel::Saturated,
+            dst: DstPolicy::Fixed(dst),
+            payload_len: 512,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gaps_have_right_mean() {
+        let m = TrafficModel::Poisson { rate_pps: 100.0 };
+        let mut rng = Xoshiro256::new(3);
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| m.next_gap(&mut rng).unwrap().as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.01).abs() < 0.0005, "mean gap {mean}");
+    }
+
+    #[test]
+    fn cbr_gaps_are_constant_with_random_phase() {
+        let m = TrafficModel::Cbr {
+            interval: SimDuration::from_millis(20),
+        };
+        let mut rng = Xoshiro256::new(4);
+        assert_eq!(m.next_gap(&mut rng), Some(SimDuration::from_millis(20)));
+        let phase = m.initial_gap(&mut rng).unwrap();
+        assert!(phase < SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn saturated_has_no_clock() {
+        let mut rng = Xoshiro256::new(5);
+        assert_eq!(TrafficModel::Saturated.next_gap(&mut rng), None);
+        assert_eq!(TrafficModel::Saturated.initial_gap(&mut rng), None);
+    }
+
+    #[test]
+    fn constructors_set_policies() {
+        assert_eq!(
+            SourceCfg::poisson(3, 10.0).dst,
+            DstPolicy::PerPacketRandomNeighbor
+        );
+        assert_eq!(
+            SourceCfg::cbr(3, SimDuration::from_millis(5)).dst,
+            DstPolicy::StickyRandomNeighbor
+        );
+        assert_eq!(SourceCfg::saturated(3, 4).dst, DstPolicy::Fixed(4));
+    }
+}

@@ -1,0 +1,153 @@
+//! Radio front-end parameters: power, thresholds, capture.
+
+use crate::propagation::PropagationModel;
+use serde::{Deserialize, Serialize};
+
+/// Converts dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts milliwatts to dBm.
+///
+/// # Panics
+///
+/// Panics if `mw` is not strictly positive.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    assert!(mw > 0.0, "power must be positive to express in dBm");
+    10.0 * mw.log10()
+}
+
+/// The radio's operating point.
+///
+/// Two thresholds realize the paper's two disks:
+///
+/// * `rx_thresh_dbm` — minimum power to *decode* a frame (≙ transmission
+///   range, 250 m in Table 1);
+/// * `cs_thresh_dbm` — minimum power to *sense* energy (≙ sensing /
+///   interference range, 550 m in Table 1).
+///
+/// `capture_db` is the SINR margin required to decode in the presence of
+/// interference (ns-2's `CPThresh_`, 10 dB).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RadioParams {
+    /// Transmit power, dBm (ns-2 default 24.5 dBm ≈ 281.8 mW).
+    pub tx_power_dbm: f64,
+    /// Reception (decode) threshold, dBm.
+    pub rx_thresh_dbm: f64,
+    /// Carrier-sense threshold, dBm; must not exceed `rx_thresh_dbm`.
+    pub cs_thresh_dbm: f64,
+    /// Capture (SINR) threshold, dB.
+    pub capture_db: f64,
+    /// Thermal-noise floor, dBm.
+    pub noise_floor_dbm: f64,
+}
+
+impl RadioParams {
+    /// ns-2's default transmit power.
+    pub const DEFAULT_TX_POWER_DBM: f64 = 24.5;
+
+    /// Derives thresholds so that the *mean* received power at `tx_range`
+    /// meters equals the decode threshold and at `cs_range` meters equals
+    /// the sense threshold — i.e. builds the paper's 250 m / 550 m disks for
+    /// the given propagation model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < tx_range ≤ cs_range`.
+    pub fn calibrated(prop: &PropagationModel, tx_range: f64, cs_range: f64) -> Self {
+        assert!(
+            tx_range > 0.0 && tx_range <= cs_range,
+            "need 0 < tx_range ≤ cs_range, got {tx_range}, {cs_range}"
+        );
+        let tx_power_dbm = Self::DEFAULT_TX_POWER_DBM;
+        RadioParams {
+            tx_power_dbm,
+            rx_thresh_dbm: tx_power_dbm - prop.mean_path_loss_db(tx_range),
+            cs_thresh_dbm: tx_power_dbm - prop.mean_path_loss_db(cs_range),
+            capture_db: 10.0,
+            noise_floor_dbm: -100.0,
+        }
+    }
+
+    /// The paper's Table 1 radio: 250 m transmission range, 550 m sensing
+    /// range, over the given propagation model.
+    pub fn paper_default(prop: &PropagationModel) -> Self {
+        Self::calibrated(prop, 250.0, 550.0)
+    }
+
+    /// Received power (dBm) for a given path loss.
+    pub fn rx_power_dbm(&self, path_loss_db: f64) -> f64 {
+        self.tx_power_dbm - path_loss_db
+    }
+
+    /// Whether power `p_dbm` is decodable in the absence of interference.
+    pub fn decodable(&self, p_dbm: f64) -> bool {
+        p_dbm >= self.rx_thresh_dbm
+    }
+
+    /// Whether power `p_dbm` trips the carrier-sense circuit.
+    pub fn senseable(&self, p_dbm: f64) -> bool {
+        p_dbm >= self.cs_thresh_dbm
+    }
+
+    /// Whether a signal of `signal_mw` survives interference of
+    /// `interference_mw` (plus the noise floor) under the capture threshold.
+    pub fn captures(&self, signal_mw: f64, interference_mw: f64) -> bool {
+        let noise_mw = dbm_to_mw(self.noise_floor_dbm);
+        let sinr_db = mw_to_dbm(signal_mw) - mw_to_dbm(interference_mw + noise_mw);
+        sinr_db >= self.capture_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_mw_roundtrip() {
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+        assert!((dbm_to_mw(30.0) - 1000.0).abs() < 1e-9);
+        for dbm in [-90.0, -30.0, 0.0, 24.5] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn calibration_builds_the_two_disks() {
+        let prop = PropagationModel::free_space();
+        let r = RadioParams::paper_default(&prop);
+        let power_at = |d: f64| r.rx_power_dbm(prop.mean_path_loss_db(d));
+        // Inside / outside the decode disk.
+        assert!(r.decodable(power_at(249.0)));
+        assert!(r.decodable(power_at(250.0)));
+        assert!(!r.decodable(power_at(251.0)));
+        // Inside / outside the sense disk.
+        assert!(r.senseable(power_at(549.0)));
+        assert!(!r.senseable(power_at(551.0)));
+        // The rings nest properly.
+        assert!(r.cs_thresh_dbm < r.rx_thresh_dbm);
+        // Between 250 m and 550 m: sensed but not decodable (the paper's
+        // "interference footprint" zone).
+        let mid = power_at(400.0);
+        assert!(r.senseable(mid) && !r.decodable(mid));
+    }
+
+    #[test]
+    fn capture_threshold() {
+        let prop = PropagationModel::free_space();
+        let r = RadioParams::paper_default(&prop);
+        // 20 dB above the interferer: captured.
+        assert!(r.captures(dbm_to_mw(-50.0), dbm_to_mw(-70.0)));
+        // 3 dB above: not captured at a 10 dB threshold.
+        assert!(!r.captures(dbm_to_mw(-50.0), dbm_to_mw(-53.0)));
+        // No interference: limited by the noise floor only.
+        assert!(r.captures(dbm_to_mw(-80.0), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tx_range")]
+    fn inverted_ranges_rejected() {
+        RadioParams::calibrated(&PropagationModel::free_space(), 600.0, 550.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the PHY: propagation laws and medium
+//! bookkeeping invariants under random transmission schedules.
+
+use mg_geom::Vec2;
+use mg_phy::{dbm_to_mw, mw_to_dbm, Medium, PropagationModel, RadioParams, RxOutcome};
+use mg_sim::rng::Xoshiro256;
+use mg_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// dBm/mW conversions are inverse bijections on the sane range.
+    #[test]
+    fn power_conversions_roundtrip(dbm in -150.0..60.0f64) {
+        prop_assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+    }
+
+    /// Path loss is monotone non-decreasing in distance for every model.
+    #[test]
+    fn path_loss_monotone(d1 in 0.0..3000.0f64, d2 in 0.0..3000.0f64, beta in 1.5..5.0f64) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        for model in [
+            PropagationModel::FreeSpace,
+            PropagationModel::TwoRayGround { ht: 1.5, hr: 1.5 },
+            PropagationModel::shadowing(beta, 0.0),
+        ] {
+            prop_assert!(
+                model.mean_path_loss_db(lo) <= model.mean_path_loss_db(hi) + 1e-9,
+                "{model:?}"
+            );
+        }
+    }
+
+    /// Calibration puts the decode boundary exactly at the requested range.
+    #[test]
+    fn calibration_boundary(tx_range in 50.0..500.0f64, margin in 1.01..2.0f64) {
+        let prop_model = PropagationModel::free_space();
+        let cs_range = tx_range * margin * 1.5;
+        let r = RadioParams::calibrated(&prop_model, tx_range, cs_range);
+        let p_in = r.rx_power_dbm(prop_model.mean_path_loss_db(tx_range / margin));
+        let p_out = r.rx_power_dbm(prop_model.mean_path_loss_db(tx_range * margin));
+        prop_assert!(r.decodable(p_in));
+        prop_assert!(!r.decodable(p_out));
+    }
+
+    /// Medium bookkeeping: after an arbitrary schedule of begin/end pairs,
+    /// all carrier-sense counters return to idle and every outcome vector is
+    /// complete and self-consistent.
+    #[test]
+    fn medium_returns_to_quiescence(
+        positions in prop::collection::vec((0.0..2000.0f64, 0.0..2000.0f64), 2..12),
+        tx_plan in prop::collection::vec((0usize..12, 1u64..50), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let n = positions.len();
+        let prop_model = PropagationModel::free_space();
+        let radio = RadioParams::paper_default(&prop_model);
+        let pts: Vec<Vec2> = positions.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        let mut medium = Medium::new(prop_model, radio, pts);
+        let mut rng = Xoshiro256::new(seed);
+        let mut in_flight = Vec::new();
+        let mut t = 0u64;
+        for &(src, gap) in &tx_plan {
+            let src = src % n;
+            t += gap;
+            // A node cannot start a second transmission while its first is
+            // still in flight: end it first.
+            if medium.is_transmitting(src) {
+                let idx = in_flight.iter().position(|&(_, s)| s == src).unwrap();
+                let (tx, _) = in_flight.remove(idx);
+                let ended = medium.end_tx(tx);
+                prop_assert_eq!(ended.outcomes.len(), n);
+            }
+            let (tx, _) = medium.begin_tx(src, SimTime::from_micros(t), &mut rng);
+            in_flight.push((tx, src));
+        }
+        for (tx, src) in in_flight {
+            let ended = medium.end_tx(tx);
+            prop_assert_eq!(ended.src, src);
+            prop_assert_eq!(ended.outcomes.len(), n);
+            prop_assert_eq!(ended.outcomes[src], RxOutcome::SelfTx);
+        }
+        prop_assert_eq!(medium.active_count(), 0);
+        for v in 0..n {
+            prop_assert!(!medium.carrier_busy(v), "node {v} stuck busy");
+        }
+    }
+
+    /// A single clean transmission is decoded by everyone strictly inside
+    /// the decode disk and unheard strictly outside the sense disk.
+    #[test]
+    fn clean_reception_by_distance(d in 1.0..1200.0f64, seed in any::<u64>()) {
+        let prop_model = PropagationModel::free_space();
+        let radio = RadioParams::paper_default(&prop_model);
+        let mut medium = Medium::new(
+            prop_model,
+            radio,
+            vec![Vec2::ZERO, Vec2::new(d, 0.0)],
+        );
+        let mut rng = Xoshiro256::new(seed);
+        let (tx, _) = medium.begin_tx(0, SimTime::ZERO, &mut rng);
+        let out = medium.end_tx(tx).outcomes[1];
+        if d < 249.0 {
+            prop_assert_eq!(out, RxOutcome::Decoded);
+        } else if d > 251.0 && d < 549.0 {
+            prop_assert_eq!(out, RxOutcome::Sensed);
+        } else if d > 551.0 {
+            prop_assert_eq!(out, RxOutcome::OutOfRange);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the simulation kernel.
+
+use mg_sim::rng::{RngDirectory, Xoshiro256};
+use mg_sim::{Scheduler, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in (time, insertion) order regardless of insertion
+    /// order.
+    #[test]
+    fn scheduler_is_a_stable_priority_queue(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut s: Scheduler<(u64, usize)> = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule_at(SimTime::from_micros(t), (t, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((at, (t, i))) = s.pop() {
+            prop_assert_eq!(at, SimTime::from_micros(t));
+            popped.push((t, i));
+        }
+        let mut expected = times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect::<Vec<_>>();
+        expected.sort();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Cancelling an arbitrary subset delivers exactly the complement.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..1000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| s.schedule_at(SimTime::from_micros(t), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, h) in handles.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                s.cancel(*h);
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut delivered: Vec<usize> = Vec::new();
+        while let Some((_, i)) = s.pop() {
+            delivered.push(i);
+        }
+        delivered.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// Durations: div_periods is consistent with multiplication.
+    #[test]
+    fn div_periods_inverse(period_us in 1u64..10_000, k in 0u64..10_000, rem_ns in 0u64..1000) {
+        let period = SimDuration::from_micros(period_us);
+        let rem = SimDuration::from_nanos(rem_ns % period.as_nanos());
+        let total = period * k + rem;
+        prop_assert_eq!(total.div_periods(period), k);
+    }
+
+    /// Derived RNG streams with the same key replay; different keys differ.
+    #[test]
+    fn rng_directory_streams(seed in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
+        let dir = RngDirectory::new(seed);
+        let take = |mut r: Xoshiro256| -> Vec<u64> { (0..4).map(|_| r.next()).collect() };
+        prop_assert_eq!(take(dir.stream("x", a)), take(dir.stream("x", a)));
+        if a != b {
+            prop_assert_ne!(take(dir.stream("x", a)), take(dir.stream("x", b)));
+        }
+        prop_assert_ne!(take(dir.stream("x", a)), take(dir.stream("y", a)));
+    }
+
+    /// Uniform draws honor their bounds.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), lo in -1e6..1e6f64, width in 0.001..1e6f64, n in 1u64..1000) {
+        let mut r = Xoshiro256::new(seed);
+        let hi = lo + width;
+        for _ in 0..100 {
+            let u = r.uniform(lo, hi);
+            prop_assert!((lo..hi).contains(&u), "{u} not in [{lo}, {hi})");
+        }
+        for _ in 0..100 {
+            prop_assert!(r.below(n) < n);
+        }
+    }
+}
+
+// `Xoshiro256::next` is private; use the RngCore face for the directory test.
+use rand::RngCore;
+trait Next {
+    fn next(&mut self) -> u64;
+}
+impl Next for Xoshiro256 {
+    fn next(&mut self) -> u64 {
+        self.next_u64()
+    }
+}

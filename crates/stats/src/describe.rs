@@ -1,0 +1,311 @@
+//! Streaming descriptive statistics.
+
+use crate::normal;
+
+/// Streaming mean/variance/extrema via Welford's algorithm — numerically
+/// stable and single-pass, suitable for accumulating millions of slot
+/// samples without storing them.
+///
+/// # Example
+///
+/// ```
+/// use mg_stats::describe::Summary;
+///
+/// let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN input.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot summarize NaN");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by n; 0 when n < 1).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divides by n−1; 0 when n < 2).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (∞ if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Normal-theory two-sided confidence interval for the mean at the given
+    /// confidence level (e.g. `0.95`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < level < 1`.
+    pub fn mean_ci(&self, level: f64) -> (f64, f64) {
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level must be in (0,1)"
+        );
+        let z = normal::quantile(0.5 + level / 2.0);
+        let half = z * self.std_err();
+        (self.mean() - half, self.mean() + half)
+    }
+
+    /// Merges another summary into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+/// A Bernoulli proportion accumulator with a Wilson confidence interval —
+/// the right tool for detection/misdiagnosis probabilities, which live near
+/// 0 and 1 where the normal interval misbehaves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Proportion {
+    successes: u64,
+    trials: u64,
+}
+
+impl Proportion {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Proportion::default()
+    }
+
+    /// Records one Bernoulli trial.
+    pub fn push(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Number of successes recorded.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The point estimate (0 when no trials have been recorded).
+    pub fn estimate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson score interval at the given confidence level.
+    pub fn wilson_ci(&self, level: f64) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let z = normal::quantile(0.5 + level / 2.0);
+        let n = self.trials as f64;
+        let p = self.estimate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Proportion) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0].iter().copied().collect();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let all: Summary = xs.iter().copied().collect();
+        let mut left: Summary = xs[..37].iter().copied().collect();
+        let right: Summary = xs[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.sample_variance() - all.sample_variance()).abs() < 1e-10);
+        assert_eq!(left.min(), all.min());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    fn ci_contains_mean_and_shrinks() {
+        let s: Summary = (0..1000).map(|i| (i % 10) as f64).collect();
+        let (lo, hi) = s.mean_ci(0.95);
+        assert!(lo < s.mean() && s.mean() < hi);
+        let narrow: Summary = (0..100_000).map(|i| (i % 10) as f64).collect();
+        let (lo2, hi2) = narrow.mean_ci(0.95);
+        assert!(hi2 - lo2 < hi - lo);
+    }
+
+    #[test]
+    fn proportion_wilson_interval() {
+        let mut p = Proportion::new();
+        for i in 0..100 {
+            p.push(i < 30);
+        }
+        assert_eq!(p.estimate(), 0.3);
+        let (lo, hi) = p.wilson_ci(0.95);
+        assert!(lo > 0.2 && hi < 0.41, "({lo}, {hi})");
+        // Degenerate: all failures still yields a sane interval.
+        let mut q = Proportion::new();
+        for _ in 0..50 {
+            q.push(false);
+        }
+        let (lo, hi) = q.wilson_ci(0.95);
+        assert!(lo.abs() < 1e-12, "lo={lo}");
+        assert!(hi < 0.12);
+    }
+
+    #[test]
+    fn proportion_merge() {
+        let mut a = Proportion::new();
+        a.push(true);
+        a.push(false);
+        let mut b = Proportion::new();
+        b.push(true);
+        a.merge(&b);
+        assert_eq!(a.trials(), 3);
+        assert_eq!(a.successes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot summarize NaN")]
+    fn nan_rejected() {
+        Summary::new().push(f64::NAN);
+    }
+}

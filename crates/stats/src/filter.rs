@@ -1,0 +1,252 @@
+//! Online estimators: the paper's ARMA traffic-intensity filter and a plain
+//! EWMA.
+
+/// The paper's Equation 6 estimator of traffic intensity:
+///
+/// ```text
+/// ρ(t+1) = α·ρ(t) + (1 − α) · (1/s) · Σ_{i=1..s} b_i
+/// ```
+///
+/// where `b_i ∈ {0, 1}` are the busy indicators of the last `s` observed
+/// channel slots (1 = busy). The paper uses α = 0.995 (after Bianchi &
+/// Tinnirello) and notes results are insensitive to α as long as α ≈ 1.
+///
+/// The filter updates once per full window of `s` fresh samples, matching
+/// the "moving average taken over the last s samples" formulation.
+///
+/// # Example
+///
+/// ```
+/// use mg_stats::filter::Arma;
+///
+/// let mut rho = Arma::new(0.9, 4);
+/// for _ in 0..100 {
+///     for &b in &[1.0, 1.0, 0.0, 0.0] {
+///         rho.push(b);
+///     }
+/// }
+/// assert!((rho.value() - 0.5).abs() < 0.01); // converges to the busy fraction
+/// ```
+#[derive(Clone, Debug)]
+pub struct Arma {
+    alpha: f64,
+    acc_sum: f64,
+    acc_len: usize,
+    sample_size: usize,
+    value: f64,
+    updates: u64,
+}
+
+impl Arma {
+    /// Creates a filter with smoothing `alpha` and moving-average window
+    /// `sample_size` (the paper's `s`). The estimate starts at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ alpha < 1` and `sample_size ≥ 1`.
+    pub fn new(alpha: f64, sample_size: usize) -> Self {
+        assert!(
+            (0.0..1.0).contains(&alpha),
+            "alpha must be in [0,1), got {alpha}"
+        );
+        assert!(sample_size >= 1, "sample size must be at least 1");
+        Arma {
+            alpha,
+            acc_sum: 0.0,
+            acc_len: 0,
+            sample_size,
+            value: 0.0,
+            updates: 0,
+        }
+    }
+
+    /// The paper's configuration: α = 0.995, window of `s` slot samples.
+    pub fn paper_default(sample_size: usize) -> Self {
+        Arma::new(0.995, sample_size)
+    }
+
+    /// Feeds one slot observation (1.0 = busy, 0.0 = idle; fractional values
+    /// are accepted for aggregated samples).
+    pub fn push(&mut self, busy: f64) {
+        self.push_n(busy, 1);
+    }
+
+    /// Feeds `count` consecutive slot observations with the same value —
+    /// O(count / sample_size + 1), so integrating a long idle or busy period
+    /// costs almost nothing. This is how the monitor absorbs channel-edge
+    /// durations as slot samples.
+    pub fn push_n(&mut self, busy: f64, mut count: u64) {
+        while count > 0 {
+            let room = (self.sample_size - self.acc_len) as u64;
+            let take = room.min(count);
+            self.acc_sum += busy * take as f64;
+            self.acc_len += take as usize;
+            count -= take;
+            if self.acc_len == self.sample_size {
+                let mean = self.acc_sum / self.sample_size as f64;
+                if self.updates == 0 {
+                    // Seed with the first full window rather than decaying
+                    // from 0, so early estimates are not biased low.
+                    self.value = mean;
+                } else {
+                    self.value = self.alpha * self.value + (1.0 - self.alpha) * mean;
+                }
+                self.updates += 1;
+                self.acc_sum = 0.0;
+                self.acc_len = 0;
+            }
+        }
+    }
+
+    /// The current smoothed estimate ρ(t).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Number of completed window updates so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Whether at least one full window has been absorbed (the estimate is
+    /// meaningful).
+    pub fn is_warm(&self) -> bool {
+        self.updates > 0
+    }
+}
+
+/// Exponentially-weighted moving average with per-sample updates.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing `alpha` (weight of history).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ alpha < 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&alpha),
+            "alpha must be in [0,1), got {alpha}"
+        );
+        Ewma { alpha, value: None }
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * v + (1.0 - self.alpha) * x,
+        });
+    }
+
+    /// The current estimate, or `None` before the first sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arma_converges_to_constant_input() {
+        let mut f = Arma::new(0.5, 10);
+        for _ in 0..300 {
+            f.push(1.0);
+        }
+        assert!((f.value() - 1.0).abs() < 1e-6);
+        assert_eq!(f.updates(), 30);
+    }
+
+    #[test]
+    fn arma_first_window_seeds_estimate() {
+        let mut f = Arma::paper_default(4);
+        assert!(!f.is_warm());
+        for &b in &[1.0, 0.0, 1.0, 0.0] {
+            f.push(b);
+        }
+        assert!(f.is_warm());
+        assert!((f.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arma_tracks_load_changes_slowly_with_high_alpha() {
+        let mut f = Arma::new(0.995, 10);
+        for _ in 0..100 {
+            f.push(0.0);
+        }
+        let low = f.value();
+        for _ in 0..50 {
+            f.push(1.0);
+        }
+        let after = f.value();
+        assert!(after > low);
+        assert!(after < 0.2, "alpha=0.995 should move slowly, got {after}");
+    }
+
+    #[test]
+    fn arma_partial_window_does_not_update() {
+        let mut f = Arma::new(0.9, 100);
+        for _ in 0..99 {
+            f.push(1.0);
+        }
+        assert_eq!(f.updates(), 0);
+        assert_eq!(f.value(), 0.0);
+        f.push(1.0);
+        assert_eq!(f.updates(), 1);
+        assert_eq!(f.value(), 1.0);
+    }
+
+    #[test]
+    fn ewma_behaviour() {
+        let mut e = Ewma::new(0.8);
+        assert_eq!(e.value(), None);
+        e.push(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        e.push(0.0);
+        assert!((e.value().unwrap() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_n_equals_repeated_push() {
+        let mut a = Arma::new(0.9, 7);
+        let mut b = Arma::new(0.9, 7);
+        for i in 0..100u64 {
+            let v = if i % 3 == 0 { 1.0 } else { 0.0 };
+            a.push(v);
+        }
+        // Same stream delivered in runs.
+        let mut i = 0u64;
+        while i < 100 {
+            let v = if i % 3 == 0 { 1.0 } else { 0.0 };
+            let mut run = 1;
+            while i + run < 100 && ((i + run) % 3 == 0) == (i % 3 == 0) {
+                run += 1;
+            }
+            b.push_n(v, run);
+            i += run;
+        }
+        assert_eq!(a.updates(), b.updates());
+        assert!((a.value() - b.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_n_bulk_is_fast_and_correct() {
+        let mut a = Arma::new(0.5, 1000);
+        a.push_n(1.0, 10_000_000);
+        assert_eq!(a.updates(), 10_000);
+        assert!((a.value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1)")]
+    fn bad_alpha_rejected() {
+        Arma::new(1.0, 5);
+    }
+}

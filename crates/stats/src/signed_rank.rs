@@ -1,0 +1,238 @@
+//! The Wilcoxon **signed-rank** test (paired samples).
+//!
+//! An extension beyond the paper: the monitor's samples arrive naturally
+//! *paired* — for each observed transmission there is one dictated value `x`
+//! and one estimated value `y`. The paper's rank-sum test ignores the
+//! pairing; the signed-rank test exploits it, cancelling the per-window
+//! variance of the dictated draw itself and often gaining power against
+//! proportional back-off shrinking. The `ablation_tests` bench quantifies
+//! the difference.
+//!
+//! Exact small-sample null distribution (generating-function DP over the
+//! 2ⁿ sign assignments) when the absolute differences are tie-free and
+//! `n ≤` [`SIGNED_EXACT_LIMIT`]; otherwise the normal approximation with
+//! tie and continuity corrections.
+
+use crate::normal;
+use crate::rank::midranks;
+use crate::wilcoxon::{Alternative, Method};
+
+/// Above this number of non-zero differences the exact enumeration switches
+/// to the normal approximation.
+pub const SIGNED_EXACT_LIMIT: usize = 30;
+
+/// Result of a signed-rank test.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SignedRankResult {
+    /// Sum of ranks of the positive differences (`W⁺`).
+    pub w_plus: f64,
+    /// Number of non-zero differences actually tested.
+    pub n_used: usize,
+    /// Significance probability for the requested alternative.
+    pub p_value: f64,
+    /// Which computational path produced the p-value.
+    pub method: Method,
+}
+
+impl SignedRankResult {
+    /// Convenience: `p_value < alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs the signed-rank test on paired samples, testing the location of
+/// `first − second`.
+///
+/// `Alternative::Less` asks whether `first` is systematically *smaller*
+/// than `second` (negative differences dominate).
+///
+/// Zero differences are dropped per the standard procedure. If every
+/// difference is zero the test cannot reject (`p = 1`).
+///
+/// # Panics
+///
+/// Panics if the samples differ in length, are empty, or contain NaN.
+pub fn signed_rank_test(first: &[f64], second: &[f64], alt: Alternative) -> SignedRankResult {
+    assert_eq!(
+        first.len(),
+        second.len(),
+        "signed-rank test requires paired samples"
+    );
+    assert!(!first.is_empty(), "signed-rank test requires samples");
+    let diffs: Vec<f64> = first
+        .iter()
+        .zip(second)
+        .map(|(a, b)| {
+            assert!(!a.is_nan() && !b.is_nan(), "samples must not contain NaN");
+            a - b
+        })
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return SignedRankResult {
+            w_plus: 0.0,
+            n_used: 0,
+            p_value: 1.0,
+            method: Method::Exact,
+        };
+    }
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = midranks(&abs);
+    let w_plus: f64 = ranks
+        .iter()
+        .zip(&diffs)
+        .filter(|&(_, d)| *d > 0.0)
+        .map(|(r, _)| *r)
+        .sum();
+
+    // Ties among |differences| force the approximation (midranks break the
+    // integer lattice the exact DP walks).
+    let mut sorted = abs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let has_ties = sorted.windows(2).any(|w| w[0] == w[1]);
+
+    let (p, method) = if !has_ties && n <= SIGNED_EXACT_LIMIT {
+        (exact_p(w_plus as u64, n, alt), Method::Exact)
+    } else {
+        (approx_p(w_plus, &ranks, alt), Method::NormalApprox)
+    };
+    SignedRankResult {
+        w_plus,
+        n_used: n,
+        p_value: p.clamp(0.0, 1.0),
+        method,
+    }
+}
+
+/// Exact null distribution of `W⁺`: under H0 each rank contributes to the
+/// positive sum independently with probability ½; `count[s]` = number of
+/// sign assignments with `W⁺ = s`.
+fn exact_p(w: u64, n: usize, alt: Alternative) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    let mut count = vec![0.0f64; max_sum + 1];
+    count[0] = 1.0;
+    for rank in 1..=n {
+        for s in (rank..=max_sum).rev() {
+            let add = count[s - rank];
+            if add != 0.0 {
+                count[s] += add;
+            }
+        }
+    }
+    let total: f64 = count.iter().sum(); // = 2^n
+    let w = w as usize;
+    let cdf: f64 = count[..=w.min(max_sum)].iter().sum::<f64>() / total;
+    let sf: f64 = if w > max_sum {
+        0.0
+    } else {
+        count[w..].iter().sum::<f64>() / total
+    };
+    match alt {
+        Alternative::Less => cdf,
+        Alternative::Greater => sf,
+        Alternative::TwoSided => (2.0 * cdf.min(sf)).min(1.0),
+    }
+}
+
+/// Normal approximation with tie-corrected variance.
+fn approx_p(w_plus: f64, ranks: &[f64], alt: Alternative) -> f64 {
+    let n = ranks.len() as f64;
+    let mean = n * (n + 1.0) / 4.0;
+    // Var = Σ r_i² / 4 (exactly right with midranks).
+    let var: f64 = ranks.iter().map(|r| r * r).sum::<f64>() / 4.0;
+    if var <= 0.0 {
+        return 1.0;
+    }
+    let sd = var.sqrt();
+    match alt {
+        Alternative::Less => normal::cdf((w_plus - mean + 0.5) / sd),
+        Alternative::Greater => 1.0 - normal::cdf((w_plus - mean - 0.5) / sd),
+        Alternative::TwoSided => {
+            let z = (w_plus - mean).abs() - 0.5;
+            (2.0 * (1.0 - normal::cdf(z.max(0.0) / sd))).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_negative_differences_reject_less() {
+        let y = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
+        let r = signed_rank_test(&y, &x, Alternative::Less);
+        assert_eq!(r.method, Method::Exact); // |d| = 1..6, tie-free
+        // w_plus = 0, the unique minimum: p = 2^-6.
+        assert_eq!(r.w_plus, 0.0);
+        assert!((r.p_value - 1.0 / 64.0).abs() < 1e-12, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn exact_matches_hand_enumeration_n3() {
+        // Differences -1, -2, -3 (tie-free): W+ = 0. P(W+ <= 0) = 1/8.
+        let y = [0.0, 0.0, 0.0];
+        let x = [1.0, 2.0, 3.0];
+        let r = signed_rank_test(&y, &x, Alternative::Less);
+        assert_eq!(r.method, Method::Exact);
+        assert!((r.p_value - 0.125).abs() < 1e-12, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn symmetric_differences_do_not_reject() {
+        let y = [1.0, -1.0, 2.0, -2.0, 3.0, -3.0, 4.0, -4.0];
+        let x = [0.0; 8];
+        let r = signed_rank_test(&y, &x, Alternative::TwoSided);
+        assert!(r.p_value > 0.5, "{r:?}");
+    }
+
+    #[test]
+    fn zero_differences_are_dropped() {
+        let y = [5.0, 5.0, 1.0, 2.0];
+        let x = [5.0, 5.0, 3.0, 4.0];
+        let r = signed_rank_test(&y, &x, Alternative::Less);
+        assert_eq!(r.n_used, 2);
+        // All-zero case.
+        let r0 = signed_rank_test(&[7.0, 7.0], &[7.0, 7.0], Alternative::Less);
+        assert_eq!(r0.p_value, 1.0);
+        assert_eq!(r0.n_used, 0);
+    }
+
+    #[test]
+    fn pairing_beats_rank_sum_on_correlated_noise() {
+        // y = 0.8·x + big per-pair noise, with x spread wide: the unpaired
+        // rank-sum drowns, the paired signed-rank doesn't.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut s = 12345u64;
+        let mut unif = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..40 {
+            let xi = (unif() * 1000.0).round();
+            x.push(xi);
+            y.push(0.8 * xi + 1.0 + unif() * 0.5); // strictly informative pairs
+        }
+        let paired = signed_rank_test(&y, &x, Alternative::Less);
+        assert!(paired.p_value < 0.05, "paired p={}", paired.p_value);
+    }
+
+    #[test]
+    fn greater_and_less_are_complementary() {
+        let y = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let x = [2.0, 7.0, 1.0, 8.0, 2.0];
+        let less = signed_rank_test(&y, &x, Alternative::Less).p_value;
+        let greater = signed_rank_test(&y, &x, Alternative::Greater).p_value;
+        assert!(less + greater >= 1.0 - 1e-9, "{less} + {greater}");
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn unpaired_lengths_rejected() {
+        signed_rank_test(&[1.0], &[1.0, 2.0], Alternative::Less);
+    }
+}

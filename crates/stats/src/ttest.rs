@@ -1,0 +1,294 @@
+//! Welch's unequal-variance t-test.
+//!
+//! The paper notes t-tests are "fairly popular" for two-sample location
+//! comparisons but rejects them because back-off samples are not Gaussian.
+//! We implement Welch's test anyway so the `ablation_tests` bench can
+//! quantify how much the Gaussianity assumption costs on this workload.
+
+use crate::wilcoxon::Alternative;
+
+/// Result of a Welch t-test.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Significance probability for the requested alternative.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// Convenience: `p_value < alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Welch's t-test of `first` against `second`.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two observations or contains NaN.
+pub fn welch_t_test(first: &[f64], second: &[f64], alt: Alternative) -> TTestResult {
+    assert!(
+        first.len() >= 2 && second.len() >= 2,
+        "welch t-test requires at least 2 observations per sample"
+    );
+    assert!(
+        first.iter().chain(second).all(|v| !v.is_nan()),
+        "samples must not contain NaN"
+    );
+    let (m1, v1) = mean_var(first);
+    let (m2, v2) = mean_var(second);
+    let n1 = first.len() as f64;
+    let n2 = second.len() as f64;
+    let se2 = v1 / n1 + v2 / n2;
+    if se2 <= 0.0 {
+        // Zero variance in both samples: decide by comparing means outright.
+        let p = match alt {
+            Alternative::Less => {
+                if m1 < m2 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            Alternative::Greater => {
+                if m1 > m2 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            Alternative::TwoSided => {
+                if m1 == m2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        return TTestResult {
+            t: 0.0,
+            df: n1 + n2 - 2.0,
+            p_value: p,
+        };
+    }
+    let t = (m1 - m2) / se2.sqrt();
+    let df = se2 * se2
+        / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
+    let p = match alt {
+        Alternative::Less => student_t_cdf(t, df),
+        Alternative::Greater => 1.0 - student_t_cdf(t, df),
+        Alternative::TwoSided => 2.0 * (1.0 - student_t_cdf(t.abs(), df)),
+    };
+    TTestResult {
+        t,
+        df,
+        p_value: p.clamp(0.0, 1.0),
+    }
+}
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom, via the
+/// regularized incomplete beta function.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t.is_nan() {
+        return f64::NAN;
+    }
+    let x = df / (df + t * t);
+    let ib = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+    if t >= 0.0 {
+        1.0 - ib
+    } else {
+        ib
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` (continued-fraction
+/// evaluation, Lentz's method — Numerical Recipes `betai`/`betacf`).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return h;
+        }
+    }
+    h // converged well enough for test purposes
+}
+
+/// Natural log of the gamma function (Lanczos, g = 7, n = 9).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_cdf_known_values() {
+        // t=0 -> 0.5 for any df.
+        assert!((student_t_cdf(0.0, 5.0) - 0.5).abs() < 1e-12);
+        // df=1 is Cauchy: CDF(1) = 0.75.
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-8);
+        // Large df approaches the normal.
+        assert!((student_t_cdf(1.96, 1e6) - 0.975).abs() < 1e-3);
+        // R: pt(2.0, df=10) = 0.9633060
+        assert!((student_t_cdf(2.0, 10.0) - 0.963_306).abs() < 1e-5);
+    }
+
+    #[test]
+    fn welch_detects_shift() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..30).map(|i| i as f64 * 0.1 + 2.0).collect();
+        let r = welch_t_test(&a, &b, Alternative::Less);
+        assert!(r.p_value < 1e-6, "p={}", r.p_value);
+        let r2 = welch_t_test(&a, &b, Alternative::Greater);
+        assert!(r2.p_value > 0.99);
+    }
+
+    #[test]
+    fn welch_null_is_calibrated() {
+        let mut s: u64 = 777;
+        let mut unif = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let trials = 2000;
+        let mut rej = 0;
+        for _ in 0..trials {
+            let a: Vec<f64> = (0..15).map(|_| unif()).collect();
+            let b: Vec<f64> = (0..15).map(|_| unif()).collect();
+            if welch_t_test(&a, &b, Alternative::TwoSided).rejects_at(0.05) {
+                rej += 1;
+            }
+        }
+        let rate = rej as f64 / trials as f64;
+        assert!(rate < 0.08, "false rejection rate {rate}");
+    }
+
+    #[test]
+    fn zero_variance_handled() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [2.0, 2.0, 2.0];
+        let r = welch_t_test(&a, &b, Alternative::Less);
+        assert_eq!(r.p_value, 0.0);
+        let r2 = welch_t_test(&b, &a, Alternative::Less);
+        assert_eq!(r2.p_value, 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.7), (5.0, 1.0, 0.2)] {
+            let lhs = incomplete_beta(a, b, x);
+            let rhs = 1.0 - incomplete_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-10, "a={a} b={b} x={x}");
+        }
+        // I_x(1,1) = x (uniform).
+        assert!((incomplete_beta(1.0, 1.0, 0.3) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 observations")]
+    fn tiny_sample_rejected() {
+        welch_t_test(&[1.0], &[2.0, 3.0], Alternative::Less);
+    }
+}

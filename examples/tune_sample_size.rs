@@ -1,0 +1,61 @@
+//! The detection-speed / accuracy trade-off (paper Section 5).
+//!
+//! "With an increase in the sample size, the accuracy improves
+//! significantly, but it now takes longer to record a bigger history" — this
+//! example quantifies that trade-off for a PM = 50 attacker: per sample
+//! size, the per-test detection probability and the (virtual) time needed to
+//! fill one test's history.
+//!
+//! ```text
+//! cargo run --release --example tune_sample_size
+//! ```
+
+use manet_guard::prelude::*;
+
+fn main() {
+    let pm = 50u8;
+    let secs = 60;
+    println!("PM = {pm} attacker, {secs}s runs, grid topology, light background\n");
+    println!("{:>11}  {:>6}  {:>9}  {:>14}  {:>13}", "sample size", "tests", "rejected", "P(detect)/test", "secs/test");
+
+    for sample_size in [10usize, 25, 50, 100, 200] {
+        let mut tests = 0usize;
+        let mut rejections = 0usize;
+        let mut sim_time_per_test = 0.0;
+        for seed in 0..4u64 {
+            let scenario = Scenario::new(ScenarioConfig {
+                sim_secs: secs,
+                rate_pps: 2.0,
+                ..ScenarioConfig::grid_paper(seed)
+            });
+            let (s, r) = scenario.tagged_pair();
+            let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
+            mc.sample_size = sample_size;
+            mc.blatant_check = false; // statistical path only
+            let mut world = scenario.build(&[s, r], Monitor::new(mc));
+            world.set_policy(s, BackoffPolicy::Scaled { pm });
+            world.add_source(SourceCfg::saturated(s, r));
+            world.run_until(SimTime::from_secs(secs));
+            let d = world.observer().diagnosis();
+            tests += d.tests_run;
+            rejections += d.rejections;
+            if d.tests_run > 0 {
+                sim_time_per_test += secs as f64 / d.tests_run as f64;
+            }
+        }
+        let p = if tests > 0 {
+            rejections as f64 / tests as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>11}  {:>6}  {:>9}  {:>14.3}  {:>13.2}",
+            sample_size,
+            tests,
+            rejections,
+            p,
+            sim_time_per_test / 4.0
+        );
+    }
+    println!("\n(bigger histories detect subtler cheating but verdicts arrive more slowly)");
+}

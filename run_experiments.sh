@@ -1,0 +1,30 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper plus ablations/extensions.
+# Tune MG_TRIALS / MG_SIM_SECS for fidelity vs wall-clock.
+set -e
+cd "$(dirname "$0")"
+export MG_TRIALS=${MG_TRIALS:-3}
+export MG_SIM_SECS=${MG_SIM_SECS:-60}
+export MG_CSV_DIR=${MG_CSV_DIR:-results}
+mkdir -p "$MG_CSV_DIR"
+run() {
+  echo "### $* ###"
+  local t0=$SECONDS
+  cargo run --release -q -p mg-bench --bin "$@" 2>&1
+  echo "(wall $((SECONDS-t0))s)"
+  echo
+}
+run table1
+run fig3
+run fig4
+run fig5
+run fig5 -- --mobile
+run fig6
+run fig6 -- --mobile
+run ablation_regions
+run ablation_tests
+run ablation_alpha
+run ext_shadowing
+run ext_pause
+run ext_fairness
+echo "ALL EXPERIMENTS COMPLETE"
