@@ -1,87 +1,86 @@
-//! Criterion micro-benchmarks for the performance-critical primitives:
-//! the event loop, the full protocol stack, MD5, the rank-sum test, and the
-//! analytic model evaluation.
+//! Micro-benchmarks (in-tree `mg-testkit` runner, `harness = false`) for the
+//! performance-critical primitives: the event loop, the full protocol stack,
+//! MD5, the rank-sum test, and the analytic model evaluation.
+//!
+//! ```text
+//! cargo bench -p mg-bench
+//! MG_BENCH_MS=1000 cargo bench -p mg-bench   # longer, steadier runs
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mg_detect::AnalyticModel;
 use mg_geom::PreclusionRule;
 use mg_net::{Scenario, ScenarioConfig, SourceCfg};
 use mg_sim::{Scheduler, SimDuration, SimTime};
 use mg_stats::wilcoxon::{rank_sum_test, Alternative};
+use mg_testkit::bench::{bench, bench_with_setup, black_box};
 
-fn bench_scheduler(c: &mut Criterion) {
-    c.bench_function("scheduler_push_pop_10k", |b| {
-        b.iter_batched(
-            Scheduler::<u32>::new,
-            |mut s| {
-                for i in 0..10_000u32 {
-                    s.schedule_in(SimDuration::from_micros(u64::from(i % 997)), i);
-                }
-                while s.pop().is_some() {}
-                s
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_scheduler() {
+    bench_with_setup(
+        "scheduler_push_pop_10k",
+        Scheduler::<u32>::new,
+        |mut s| {
+            for i in 0..10_000u32 {
+                s.schedule_in(SimDuration::from_micros(u64::from(i % 997)), i);
+            }
+            while s.pop().is_some() {}
+            s
+        },
+    );
 }
 
-fn bench_full_stack(c: &mut Criterion) {
-    c.bench_function("grid56_one_virtual_second", |b| {
-        b.iter_batched(
-            || {
-                let cfg = ScenarioConfig {
-                    sim_secs: 1,
-                    rate_pps: 4.0,
-                    ..ScenarioConfig::grid_paper(1)
-                };
-                let scenario = Scenario::new(cfg);
-                let (s, r) = scenario.tagged_pair();
-                let mut w = scenario.build(&[s, r], ());
-                w.add_source(SourceCfg::saturated(s, r));
-                w
-            },
-            |mut w| {
-                w.run_until(SimTime::from_secs(1));
-                w
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn bench_full_stack() {
+    bench_with_setup(
+        "grid56_one_virtual_second",
+        || {
+            let cfg = ScenarioConfig {
+                sim_secs: 1,
+                rate_pps: 4.0,
+                ..ScenarioConfig::grid_paper(1)
+            };
+            let scenario = Scenario::new(cfg);
+            let (s, r) = scenario.tagged_pair();
+            let mut w = scenario.build(&[s, r], ());
+            w.add_source(SourceCfg::saturated(s, r));
+            w
+        },
+        |mut w| {
+            w.run_until(SimTime::from_secs(1));
+            w
+        },
+    );
 }
 
-fn bench_md5(c: &mut Criterion) {
+fn bench_md5() {
     let data = vec![0xABu8; 1500];
-    c.bench_function("md5_1500B", |b| {
-        b.iter(|| mg_crypto::digest(std::hint::black_box(&data)));
+    bench("md5_1500B", || {
+        black_box(mg_crypto::digest(black_box(&data)));
     });
 }
 
-fn bench_rank_sum(c: &mut Criterion) {
+fn bench_rank_sum() {
     let x: Vec<f64> = (0..100).map(|i| (i * 7 % 97) as f64).collect();
     let y: Vec<f64> = (0..100).map(|i| (i * 13 % 89) as f64 + 0.5).collect();
-    c.bench_function("rank_sum_100v100", |b| {
-        b.iter(|| rank_sum_test(std::hint::black_box(&x), std::hint::black_box(&y), Alternative::Less));
+    bench("rank_sum_100v100", || {
+        black_box(rank_sum_test(black_box(&x), black_box(&y), Alternative::Less));
     });
     let xs: Vec<f64> = (0..15).map(|i| (i * 7 % 23) as f64).collect();
     let ys: Vec<f64> = (0..15).map(|i| (i * 5 % 19) as f64 + 0.25).collect();
-    c.bench_function("rank_sum_exact_15v15", |b| {
-        b.iter(|| rank_sum_test(std::hint::black_box(&xs), std::hint::black_box(&ys), Alternative::Less));
+    bench("rank_sum_exact_15v15", || {
+        black_box(rank_sum_test(black_box(&xs), black_box(&ys), Alternative::Less));
     });
 }
 
-fn bench_analytic(c: &mut Criterion) {
+fn bench_analytic() {
     let m = AnalyticModel::grid_paper(240.0, 550.0, PreclusionRule::sim_calibrated());
-    c.bench_function("analytic_estimate", |b| {
-        b.iter(|| m.estimate_sender_slots(std::hint::black_box(0.6), 120.0, 80.0));
+    bench("analytic_estimate", || {
+        black_box(m.estimate_sender_slots(black_box(0.6), 120.0, 80.0));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_scheduler,
-    bench_full_stack,
-    bench_md5,
-    bench_rank_sum,
-    bench_analytic
-);
-criterion_main!(benches);
+fn main() {
+    bench_scheduler();
+    bench_full_stack();
+    bench_md5();
+    bench_rank_sum();
+    bench_analytic();
+}

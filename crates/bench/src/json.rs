@@ -1,0 +1,171 @@
+//! A tiny hand-rolled JSON writer for experiment results.
+//!
+//! The workspace builds with zero external dependencies (no `serde`), and
+//! the only serialization the stack needs is *writing* result files — so
+//! this module implements exactly that: a [`Json`] value tree with a
+//! deterministic renderer (insertion-ordered object keys, RFC 8259 string
+//! escaping, shortest-roundtrip numbers).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`; JSON has none).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for an array of strings.
+    pub fn strings(items: impl IntoIterator<Item = impl Into<String>>) -> Json {
+        Json::Arr(items.into_iter().map(|s| Json::Str(s.into())).collect())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // `{}` prints the shortest string that round-trips.
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Str("hi".into()).render(), "\"hi\"");
+    }
+
+    #[test]
+    fn escaping_is_rfc8259() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structures_render_in_order() {
+        let v = Json::obj([
+            ("title", "demo".into()),
+            ("rows", Json::Arr(vec![Json::strings(["1", "2"]), Json::strings(["3", "4"])])),
+            ("n", Json::from(2u64)),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\"title\":\"demo\",\"rows\":[[\"1\",\"2\"],[\"3\",\"4\"]],\"n\":2}"
+        );
+    }
+
+    #[test]
+    fn numbers_roundtrip_shortest() {
+        assert_eq!(Json::Num(0.1).render(), "0.1");
+        // Rust's `{}` prints large magnitudes in plain decimal (no exponent
+        // form); what matters is that the text parses back to the same value.
+        assert_eq!(
+            Json::Num(1e21).render().parse::<f64>().unwrap(),
+            1e21
+        );
+    }
+}

@@ -11,9 +11,10 @@
 //!   returning test/violation counts;
 //! * [`conditional_probability_run`] — the Figure 3/4 measurement: empirical
 //!   `p_{B|I}` / `p_{I|B}` from a [`mg_detect::JointTracker`];
-//! * [`parallel_seeds`] — crossbeam fan-out of independent trials across
+//! * [`parallel_seeds`] — scoped-thread fan-out of independent trials across
 //!   cores;
-//! * [`table`] — aligned-table and CSV output.
+//! * [`table`] — aligned-table output, mirrored to CSV and JSON files;
+//! * [`json`] — the hand-rolled JSON writer behind the result files.
 //!
 //! ## Environment knobs
 //!
@@ -31,6 +32,7 @@ use mg_net::{NetObserver, Scenario, ScenarioConfig, SourceCfg, TrafficKind};
 use mg_phy::Medium;
 use mg_sim::{SimDuration, SimTime};
 
+pub mod json;
 pub mod table;
 
 /// Reads an env knob with a default.
@@ -374,35 +376,42 @@ pub fn aggregate_points(points: &[CondProbPoint]) -> (f64, f64, f64, f64) {
 }
 
 /// Runs `f(seed)` for `n` seeds in parallel across the available cores.
+///
+/// Work-steals over a shared counter on `std::thread::scope` — no external
+/// crates — and returns results in seed order. Panics in any trial propagate
+/// once every thread has joined.
 pub fn parallel_seeds<T, F>(n: u64, base_seed: u64, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(n as usize)
+        .min(n.max(1) as usize)
         .max(1);
     let counter = std::sync::atomic::AtomicU64::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<T>>> =
-        out.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::scope(|scope| {
+    let slots: Vec<std::sync::Mutex<Option<T>>> = (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let value = f(base_seed + i);
-                **slots[i as usize].lock() = Some(value);
+                *slots[i as usize].lock().expect("slot poisoned") = Some(value);
             });
         }
-    })
-    .expect("trial thread panicked");
-    drop(slots);
-    out.into_iter().map(|v| v.expect("all trials ran")).collect()
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot poisoned")
+                .expect("all trials ran")
+        })
+        .collect()
 }
 
 /// Aggregates trial outcomes over seeds.

@@ -1,5 +1,7 @@
-//! Aligned-table and CSV output for the experiment binaries.
+//! Aligned-table output for the experiment binaries, mirrored to CSV
+//! (`MG_CSV_DIR`) and JSON (`MG_JSON_DIR`) result files.
 
+use crate::json::Json;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -63,8 +65,38 @@ impl Table {
         out
     }
 
-    /// Prints the table to stdout and, when `MG_CSV_DIR` is set, writes
-    /// `<dir>/<slug>.csv` too.
+    /// Renders the table as CSV (header line plus one line per row).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as a JSON object (title, headers, rows).
+    pub fn render_json(&self) -> String {
+        Json::obj([
+            ("title", Json::Str(self.title.clone())),
+            ("headers", Json::strings(self.headers.iter().cloned())),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::strings(r.iter().cloned()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Prints the table to stdout and, when `MG_CSV_DIR` / `MG_JSON_DIR`
+    /// are set, writes `<dir>/<slug>.csv` / `<dir>/<slug>.json` too.
     pub fn emit(&self, slug: &str) {
         print!("{}", self.render());
         println!();
@@ -73,11 +105,18 @@ impl Table {
             if std::fs::create_dir_all(&path).is_ok() {
                 path.push(format!("{slug}.csv"));
                 if let Ok(mut f) = std::fs::File::create(&path) {
-                    let _ = writeln!(f, "{}", self.headers.join(","));
-                    for row in &self.rows {
-                        let _ = writeln!(f, "{}", row.join(","));
-                    }
+                    let _ = f.write_all(self.render_csv().as_bytes());
                     eprintln!("(csv written to {})", path.display());
+                }
+            }
+        }
+        if let Ok(dir) = std::env::var("MG_JSON_DIR") {
+            let mut path = PathBuf::from(dir);
+            if std::fs::create_dir_all(&path).is_ok() {
+                path.push(format!("{slug}.json"));
+                if let Ok(mut f) = std::fs::File::create(&path) {
+                    let _ = writeln!(f, "{}", self.render_json());
+                    eprintln!("(json written to {})", path.display());
                 }
             }
         }

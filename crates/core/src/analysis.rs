@@ -24,10 +24,9 @@
 //! third approximations.
 
 use mg_geom::{PreclusionRule, RegionModel};
-use serde::{Deserialize, Serialize};
 
 /// Equations 1–5, bound to a concrete geometry and node counts.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct AnalyticModel {
     /// The A1–A5 areas for the S–R pair.
     pub regions: RegionModel,

@@ -1,81 +1,94 @@
 //! Property-based tests for the detection framework's analytic and
-//! channel-tracking layers.
+//! channel-tracking layers (mg-testkit harness).
 
 use mg_detect::{AnalyticModel, ChannelTracker, DensityEstimator, JointTracker};
 use mg_geom::PreclusionRule;
 use mg_sim::SimTime;
-use proptest::prelude::*;
+use mg_testkit::prop::{check, Gen, TkResult};
+use mg_testkit::{tk_assert, tk_assert_eq};
 
-fn any_model() -> impl Strategy<Value = AnalyticModel> {
-    (
-        0.0..1000.0f64,
-        100.0..900.0f64,
-        0.0..20.0f64,
-        0.0..20.0f64,
-        0.0..20.0f64,
-        0.0..20.0f64,
-        0.0..5.0f64,
-        0.0..5.0f64,
-    )
-        .prop_map(|(d, cs, n, k, m, j, a1f, a4f)| AnalyticModel {
-            regions: mg_geom::RegionModel::new(
-                d,
-                cs,
-                PreclusionRule::Calibrated {
-                    a1_over_a2: a1f,
-                    a4_over_a5: a4f,
-                },
-            ),
-            n,
-            k,
-            m,
-            j,
-        })
+fn any_model(g: &mut Gen) -> AnalyticModel {
+    let d = g.f64_in(0.0..1000.0);
+    let cs = g.f64_in(100.0..900.0);
+    let n = g.f64_in(0.0..20.0);
+    let k = g.f64_in(0.0..20.0);
+    let m = g.f64_in(0.0..20.0);
+    let j = g.f64_in(0.0..20.0);
+    let a1f = g.f64_in(0.0..5.0);
+    let a4f = g.f64_in(0.0..5.0);
+    AnalyticModel {
+        regions: mg_geom::RegionModel::new(
+            d,
+            cs,
+            PreclusionRule::Calibrated {
+                a1_over_a2: a1f,
+                a4_over_a5: a4f,
+            },
+        ),
+        n,
+        k,
+        m,
+        j,
+    }
 }
 
-proptest! {
-    /// All conditional probabilities stay in [0, 1] for every geometry, node
-    /// count and intensity — even silly ones.
-    #[test]
-    fn probabilities_always_valid(model in any_model(), rho in -0.5..1.5f64) {
+/// All conditional probabilities stay in [0, 1] for every geometry, node
+/// count and intensity — even silly ones.
+#[test]
+fn probabilities_always_valid() {
+    check("probabilities_always_valid", |g: &mut Gen| -> TkResult {
+        let model = any_model(g);
+        let rho = g.f64_in(-0.5..1.5);
         for p in [
             model.p_busy_given_idle(rho),
             model.p_idle_given_idle(rho),
             model.p_idle_given_busy(rho),
         ] {
-            prop_assert!((0.0..=1.0).contains(&p), "{p}");
+            tk_assert!((0.0..=1.0).contains(&p), "{p}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Eq. 3 is monotone in ρ and Eq. 4 is antitone in ρ.
-    #[test]
-    fn eq3_eq4_monotonicity(model in any_model(), r1 in 0.0..1.0f64, r2 in 0.0..1.0f64) {
+/// Eq. 3 is monotone in ρ and Eq. 4 is antitone in ρ.
+#[test]
+fn eq3_eq4_monotonicity() {
+    check("eq3_eq4_monotonicity", |g: &mut Gen| -> TkResult {
+        let model = any_model(g);
+        let r1 = g.f64_in(0.0..1.0);
+        let r2 = g.f64_in(0.0..1.0);
         let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
-        prop_assert!(model.p_busy_given_idle(lo) <= model.p_busy_given_idle(hi) + 1e-12);
-        prop_assert!(model.p_idle_given_busy(lo) >= model.p_idle_given_busy(hi) - 1e-12);
-    }
+        tk_assert!(model.p_busy_given_idle(lo) <= model.p_busy_given_idle(hi) + 1e-12);
+        tk_assert!(model.p_idle_given_busy(lo) >= model.p_idle_given_busy(hi) - 1e-12);
+        Ok(())
+    });
+}
 
-    /// The slot estimate partitions the window and responds monotonically to
-    /// its inputs.
-    #[test]
-    fn estimate_partitions_window(
-        model in any_model(),
-        rho in 0.0..1.0f64,
-        idle in 0.0..5000.0f64,
-        busy in 0.0..5000.0f64,
-    ) {
+/// The slot estimate partitions the window and responds monotonically to
+/// its inputs.
+#[test]
+fn estimate_partitions_window() {
+    check("estimate_partitions_window", |g: &mut Gen| -> TkResult {
+        let model = any_model(g);
+        let rho = g.f64_in(0.0..1.0);
+        let idle = g.f64_in(0.0..5000.0);
+        let busy = g.f64_in(0.0..5000.0);
         let (i_est, b_est) = model.estimate_sender_slots(rho, idle, busy);
-        prop_assert!((i_est + b_est - (idle + busy)).abs() < 1e-6);
-        prop_assert!(i_est >= -1e-9);
+        tk_assert!((i_est + b_est - (idle + busy)).abs() < 1e-6);
+        tk_assert!(i_est >= -1e-9);
         // More observed idle can only raise the idle estimate.
         let (i2, _) = model.estimate_sender_slots(rho, idle + 100.0, busy);
-        prop_assert!(i2 >= i_est - 1e-9);
-    }
+        tk_assert!(i2 >= i_est - 1e-9);
+        Ok(())
+    });
+}
 
-    /// ChannelTracker conserves time: busy + idle always equals the span it
-    /// has integrated, under any edge sequence.
-    #[test]
-    fn tracker_conserves_time(edges in prop::collection::vec((1u64..10_000, any::<bool>()), 1..100)) {
+/// ChannelTracker conserves time: busy + idle always equals the span it
+/// has integrated, under any edge sequence.
+#[test]
+fn tracker_conserves_time() {
+    check("tracker_conserves_time", |g: &mut Gen| -> TkResult {
+        let edges = g.vec(1..100, |g| (g.u64_in(1..10_000), g.bool()));
         let mut tracker = ChannelTracker::new();
         let mut t = 0u64;
         for &(gap, busy) in &edges {
@@ -83,16 +96,20 @@ proptest! {
             tracker.on_edge(busy, SimTime::from_micros(t));
         }
         let total = tracker.busy_time() + tracker.idle_time();
-        prop_assert_eq!(total.as_micros(), t);
-        prop_assert!((0.0..=1.0).contains(&tracker.rho()));
-    }
+        tk_assert_eq!(total.as_micros(), t);
+        tk_assert!((0.0..=1.0).contains(&tracker.rho()));
+        Ok(())
+    });
+}
 
-    /// JointTracker: observed time never exceeds wall time and conditionals
-    /// stay valid under arbitrary interleavings of edges and transmissions.
-    #[test]
-    fn joint_tracker_valid(
-        events in prop::collection::vec((1u64..1000, 0u8..4, 1u64..500), 1..100),
-    ) {
+/// JointTracker: observed time never exceeds wall time and conditionals
+/// stay valid under arbitrary interleavings of edges and transmissions.
+#[test]
+fn joint_tracker_valid() {
+    check("joint_tracker_valid", |g: &mut Gen| -> TkResult {
+        let events = g.vec(1..100, |g| {
+            (g.u64_in(1..1000), g.u8_in(0..4), g.u64_in(1..500))
+        });
         let mut j = JointTracker::new();
         let mut t = 0u64;
         for &(gap, kind, dur) in &events {
@@ -107,22 +124,28 @@ proptest! {
         }
         let horizon = t + 1000;
         j.finish(SimTime::from_micros(horizon));
-        prop_assert!(j.observed().as_micros() <= horizon);
+        tk_assert!(j.observed().as_micros() <= horizon);
         for p in [j.p_busy_given_idle(), j.p_idle_given_busy(), j.r_rho()] {
-            prop_assert!((0.0..=1.0).contains(&p), "{p}");
+            tk_assert!((0.0..=1.0).contains(&p), "{p}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Density estimation: n̂ is ≥ 1, finite, and monotone in the collision
-    /// probability.
-    #[test]
-    fn density_estimator_monotone(p1 in 0.0..0.95f64, p2 in 0.0..0.95f64) {
+/// Density estimation: n̂ is ≥ 1, finite, and monotone in the collision
+/// probability.
+#[test]
+fn density_estimator_monotone() {
+    check("density_estimator_monotone", |g: &mut Gen| -> TkResult {
+        let p1 = g.f64_in(0.0..0.95);
+        let p2 = g.f64_in(0.0..0.95);
         let est = DensityEstimator::paper_default();
         let n1 = est.competing_terminals_for(p1);
         let n2 = est.competing_terminals_for(p2);
-        prop_assert!(n1 >= 1.0 && n1.is_finite());
+        tk_assert!(n1 >= 1.0 && n1.is_finite());
         if p1 < p2 {
-            prop_assert!(n1 <= n2 + 1e-9, "p {p1}->{p2}: n {n1}->{n2}");
+            tk_assert!(n1 <= n2 + 1e-9, "p {p1}->{p2}: n {n1}->{n2}");
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,64 @@
+//! Golden-vector tests for MD5 against the RFC 1321 reference test suite
+//! (section A.5), plus incremental-API coverage of the same vectors.
+
+use mg_crypto::Md5;
+
+/// The seven vectors published in RFC 1321 §A.5.
+const RFC1321_VECTORS: &[(&str, &str)] = &[
+    ("", "d41d8cd98f00b204e9800998ecf8427e"),
+    ("a", "0cc175b9c0f1b6a831c399e269772661"),
+    ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+    (
+        "abcdefghijklmnopqrstuvwxyz",
+        "c3fcd3d76192e4007dfb496cca67e13b",
+    ),
+    (
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        "d174ab98d277d9f5a5611c2c9f419d9f",
+    ),
+    (
+        "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+        "57edf4a22be3c955ac49da2e2107b67a",
+    ),
+];
+
+#[test]
+fn rfc1321_test_suite() {
+    for &(input, expect) in RFC1321_VECTORS {
+        let mut h = Md5::new();
+        h.update(input.as_bytes());
+        assert_eq!(h.finalize_hex(), expect, "MD5({input:?})");
+    }
+}
+
+#[test]
+fn rfc1321_vectors_survive_byte_at_a_time_hashing() {
+    for &(input, expect) in RFC1321_VECTORS {
+        let mut h = Md5::new();
+        for b in input.as_bytes() {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize_hex(), expect, "MD5({input:?}) byte-wise");
+    }
+}
+
+/// Padding edge cases around the 448-bit boundary where the length block
+/// spills into a second compression: 55, 56, 63, 64, 65 byte messages.
+/// Expected digests computed with a second independent MD5 implementation.
+#[test]
+fn padding_boundary_lengths() {
+    let cases: &[(usize, &str)] = &[
+        (55, "ef1772b6dff9a122358552954ad0df65"),
+        (56, "3b0c8ac703f828b04c6c197006d17218"),
+        (63, "b06521f39153d618550606be297466d5"),
+        (64, "014842d480b571495a4a0363793f7367"),
+        (65, "c743a45e0d2e6a95cb859adae0248435"),
+    ];
+    for &(len, expect) in cases {
+        let data = vec![b'a'; len];
+        let mut h = Md5::new();
+        h.update(&data);
+        assert_eq!(h.finalize_hex(), expect, "MD5('a' x {len})");
+    }
+}

@@ -1,18 +1,18 @@
-//! Property-based tests for MD5 and the verifiable back-off sequence.
+//! Property-based tests for MD5 and the verifiable back-off sequence
+//! (mg-testkit harness).
 
 use mg_crypto::{digest, Md5, VerifiableSequence, SEQ_OFF_MOD};
-use proptest::prelude::*;
+use mg_testkit::prop::{check, Gen, TkResult};
+use mg_testkit::{tk_assert, tk_assert_eq, tk_assert_ne, tk_assume};
 
-proptest! {
-    /// Incremental hashing over arbitrary chunkings equals one-shot hashing.
-    #[test]
-    fn md5_chunking_invariant(
-        data in prop::collection::vec(any::<u8>(), 0..2048),
-        cuts in prop::collection::vec(0usize..2048, 0..8),
-    ) {
-        let oneshot = digest(&data);
-        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+/// Incremental hashing over arbitrary chunkings equals one-shot hashing.
+#[test]
+fn md5_chunking_invariant() {
+    check("md5_chunking_invariant", |g: &mut Gen| -> TkResult {
+        let data = g.vec(0..2048, Gen::any_u8);
+        let mut cuts = g.vec(0..8, |g| g.usize_in(0..2048) % (data.len() + 1));
         cuts.sort_unstable();
+        let oneshot = digest(&data);
         let mut h = Md5::new();
         let mut prev = 0;
         for &c in &cuts {
@@ -20,56 +20,85 @@ proptest! {
             prev = c;
         }
         h.update(&data[prev..]);
-        prop_assert_eq!(h.finalize(), oneshot);
-    }
+        tk_assert_eq!(h.finalize(), oneshot);
+        Ok(())
+    });
+}
 
-    /// Distinct inputs essentially never collide (sanity, not security).
-    #[test]
-    fn md5_distinguishes_suffixes(data in prop::collection::vec(any::<u8>(), 0..256), extra in any::<u8>()) {
+/// Distinct inputs essentially never collide (sanity, not security).
+#[test]
+fn md5_distinguishes_suffixes() {
+    check("md5_distinguishes_suffixes", |g: &mut Gen| -> TkResult {
+        let data = g.vec(0..256, Gen::any_u8);
+        let extra = g.any_u8();
         let mut longer = data.clone();
         longer.push(extra);
-        prop_assert_ne!(digest(&data), digest(&longer));
-    }
+        tk_assert_ne!(digest(&data), digest(&longer));
+        Ok(())
+    });
+}
 
-    /// Back-off draws always respect the contention window and are
-    /// deterministic per (mac, offset, attempt).
-    #[test]
-    fn backoff_within_window(mac in any::<u64>(), off in any::<u64>(), attempt in 1u8..16) {
+/// Back-off draws always respect the contention window and are
+/// deterministic per (mac, offset, attempt).
+#[test]
+fn backoff_within_window() {
+    check("backoff_within_window", |g: &mut Gen| -> TkResult {
+        let mac = g.any_u64();
+        let off = g.any_u64();
+        let attempt = g.u8_in(1..16);
         let s = VerifiableSequence::new(mac);
         let d = s.backoff(off, attempt, 31, 1023);
-        prop_assert!(d.slots <= d.cw);
-        prop_assert!(d.cw >= 31 && d.cw <= 1023);
-        prop_assert_eq!(d, s.backoff(off, attempt, 31, 1023));
-    }
+        tk_assert!(d.slots <= d.cw);
+        tk_assert!(d.cw >= 31 && d.cw <= 1023);
+        tk_assert_eq!(d, s.backoff(off, attempt, 31, 1023));
+        Ok(())
+    });
+}
 
-    /// The same variate scales across attempts: a wider window can never
-    /// yield a *smaller* draw at the same offset.
-    #[test]
-    fn wider_window_never_shrinks(mac in any::<u64>(), off in any::<u64>(), attempt in 1u8..9) {
+/// The same variate scales across attempts: a wider window can never
+/// yield a *smaller* draw at the same offset.
+#[test]
+fn wider_window_never_shrinks() {
+    check("wider_window_never_shrinks", |g: &mut Gen| -> TkResult {
+        let mac = g.any_u64();
+        let off = g.any_u64();
+        let attempt = g.u8_in(1..9);
         let s = VerifiableSequence::new(mac);
         let narrow = s.backoff(off, attempt, 31, 1023);
         let wide = s.backoff(off, attempt + 1, 31, 1023);
-        prop_assert!(wide.slots >= narrow.slots, "{narrow:?} vs {wide:?}");
-    }
+        tk_assert!(wide.slots >= narrow.slots, "{narrow:?} vs {wide:?}");
+        Ok(())
+    });
+}
 
-    /// Wire offsets round-trip through unwrap for any forward step smaller
-    /// than one wrap.
-    #[test]
-    fn offset_roundtrip(last in 0u64..1_000_000, step in 0u64..8191) {
+/// Wire offsets round-trip through unwrap for any forward step smaller
+/// than one wrap.
+#[test]
+fn offset_roundtrip() {
+    check("offset_roundtrip", |g: &mut Gen| -> TkResult {
+        let last = g.u64_in(0..1_000_000);
+        let step = g.u64_in(0..8191);
         let logical = last + step;
         let wire = VerifiableSequence::wire_offset(logical);
-        prop_assert_eq!(VerifiableSequence::unwrap_offset(wire, last), logical);
-        prop_assert!(u64::from(wire) < SEQ_OFF_MOD);
-    }
+        tk_assert_eq!(VerifiableSequence::unwrap_offset(wire, last), logical);
+        tk_assert!(u64::from(wire) < SEQ_OFF_MOD);
+        Ok(())
+    });
+}
 
-    /// Different MAC addresses give (essentially always) different draws
-    /// somewhere in any window of 16 offsets.
-    #[test]
-    fn macs_are_distinguishable(mac1 in any::<u64>(), mac2 in any::<u64>(), base in 0u64..1_000_000) {
-        prop_assume!(mac1 != mac2);
+/// Different MAC addresses give (essentially always) different draws
+/// somewhere in any window of 16 offsets.
+#[test]
+fn macs_are_distinguishable() {
+    check("macs_are_distinguishable", |g: &mut Gen| -> TkResult {
+        let mac1 = g.any_u64();
+        let mac2 = g.any_u64();
+        let base = g.u64_in(0..1_000_000);
+        tk_assume!(mac1 != mac2);
         let s1 = VerifiableSequence::new(mac1);
         let s2 = VerifiableSequence::new(mac2);
         let differs = (base..base + 16).any(|off| s1.raw(off) != s2.raw(off));
-        prop_assert!(differs);
-    }
+        tk_assert!(differs);
+        Ok(())
+    });
 }

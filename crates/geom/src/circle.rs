@@ -1,10 +1,9 @@
 //! Circles and circle–circle intersection ("lens") areas.
 
 use crate::Vec2;
-use serde::{Deserialize, Serialize};
 
 /// A circle in the simulation plane (e.g. a node's sensing footprint).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct Circle {
     /// Center of the circle.
     pub center: Vec2,

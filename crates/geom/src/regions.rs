@@ -33,10 +33,9 @@
 //! affects both the analytical curves and the detector's accuracy.
 
 use crate::circle::lens_area;
-use serde::{Deserialize, Serialize};
 
 /// How to construct the preclusion zones A1 and A4 (see module docs).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum PreclusionRule {
     /// Representative crescent node mirrored through the sensing node:
     /// `A1 = area(disk(2S−R, c) \ Ss)`, which equals the crescent area, so
@@ -101,7 +100,7 @@ impl Default for PreclusionRule {
 
 /// Areas (m²) of the five regions for a given sender–monitor distance, plus
 /// the ratios that enter the paper's Equations 3–4.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct RegionModel {
     /// Sender–monitor distance in meters.
     pub distance: f64,

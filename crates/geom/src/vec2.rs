@@ -1,10 +1,9 @@
 //! Minimal 2-D vector type.
 
 use core::ops::{Add, AddAssign, Mul, Neg, Sub};
-use serde::{Deserialize, Serialize};
 
 /// A point or displacement in the 2-D simulation plane, in meters.
-#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Vec2 {
     /// East–west coordinate in meters.
     pub x: f64,

@@ -1,41 +1,59 @@
-//! Property-based tests for the geometry primitives.
+//! Property-based tests for the geometry primitives (mg-testkit harness).
 
 use mg_geom::{lens_area, PreclusionRule, RegionModel, Vec2};
-use proptest::prelude::*;
+use mg_testkit::prop::{check, Gen, TkResult};
+use mg_testkit::tk_assert;
 
-proptest! {
-    /// The lens area is symmetric in its radii.
-    #[test]
-    fn lens_is_symmetric(r1 in 0.0..1000.0f64, r2 in 0.0..1000.0f64, d in 0.0..3000.0f64) {
+/// The lens area is symmetric in its radii.
+#[test]
+fn lens_is_symmetric() {
+    check("lens_is_symmetric", |g: &mut Gen| -> TkResult {
+        let r1 = g.f64_in(0.0..1000.0);
+        let r2 = g.f64_in(0.0..1000.0);
+        let d = g.f64_in(0.0..3000.0);
         let a = lens_area(r1, r2, d);
         let b = lens_area(r2, r1, d);
-        prop_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
-    }
+        tk_assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0));
+        Ok(())
+    });
+}
 
-    /// The lens can never exceed either disk, and is never negative.
-    #[test]
-    fn lens_is_bounded(r1 in 0.0..1000.0f64, r2 in 0.0..1000.0f64, d in 0.0..3000.0f64) {
+/// The lens can never exceed either disk, and is never negative.
+#[test]
+fn lens_is_bounded() {
+    check("lens_is_bounded", |g: &mut Gen| -> TkResult {
+        let r1 = g.f64_in(0.0..1000.0);
+        let r2 = g.f64_in(0.0..1000.0);
+        let d = g.f64_in(0.0..3000.0);
         let lens = lens_area(r1, r2, d);
         let a1 = std::f64::consts::PI * r1 * r1;
         let a2 = std::f64::consts::PI * r2 * r2;
-        prop_assert!(lens >= 0.0);
-        prop_assert!(lens <= a1.min(a2) + 1e-6);
-    }
+        tk_assert!(lens >= 0.0);
+        tk_assert!(lens <= a1.min(a2) + 1e-6);
+        Ok(())
+    });
+}
 
-    /// Moving the circles apart never grows the overlap.
-    #[test]
-    fn lens_monotone_in_distance(
-        r1 in 1.0..800.0f64,
-        r2 in 1.0..800.0f64,
-        d in 0.0..1500.0f64,
-        delta in 0.0..500.0f64,
-    ) {
-        prop_assert!(lens_area(r1, r2, d + delta) <= lens_area(r1, r2, d) + 1e-9);
-    }
+/// Moving the circles apart never grows the overlap.
+#[test]
+fn lens_monotone_in_distance() {
+    check("lens_monotone_in_distance", |g: &mut Gen| -> TkResult {
+        let r1 = g.f64_in(1.0..800.0);
+        let r2 = g.f64_in(1.0..800.0);
+        let d = g.f64_in(0.0..1500.0);
+        let delta = g.f64_in(0.0..500.0);
+        tk_assert!(lens_area(r1, r2, d + delta) <= lens_area(r1, r2, d) + 1e-9);
+        Ok(())
+    });
+}
 
-    /// Monte-Carlo cross-check of the analytic lens area.
-    #[test]
-    fn lens_matches_monte_carlo(r1 in 50.0..300.0f64, r2 in 50.0..300.0f64, d in 0.0..500.0f64) {
+/// Monte-Carlo cross-check of the analytic lens area.
+#[test]
+fn lens_matches_monte_carlo() {
+    check("lens_matches_monte_carlo", |g: &mut Gen| -> TkResult {
+        let r1 = g.f64_in(50.0..300.0);
+        let r2 = g.f64_in(50.0..300.0);
+        let d = g.f64_in(0.0..500.0);
         let analytic = lens_area(r1, r2, d);
         // Sample the bounding box of the smaller circle.
         let (rs, center_s, center_other, ro) = if r1 <= r2 {
@@ -59,49 +77,57 @@ proptest! {
         }
         let estimate = hits as f64 / n as f64 * 4.0 * rs * rs;
         let tol = 0.05 * (std::f64::consts::PI * rs * rs) + 50.0;
-        prop_assert!(
+        tk_assert!(
             (estimate - analytic).abs() < tol,
             "analytic {analytic}, monte-carlo {estimate}"
         );
-    }
+        Ok(())
+    });
+}
 
-    /// Region models always produce valid probabilities and a consistent
-    /// partition, for every preclusion rule.
-    #[test]
-    fn region_model_invariants(
-        d in 0.0..1200.0f64,
-        cs in 100.0..900.0f64,
-        a1f in 0.0..10.0f64,
-        a4f in 0.0..10.0f64,
-    ) {
+/// Region models always produce valid probabilities and a consistent
+/// partition, for every preclusion rule.
+#[test]
+fn region_model_invariants() {
+    check("region_model_invariants", |g: &mut Gen| -> TkResult {
+        let d = g.f64_in(0.0..1200.0);
+        let cs = g.f64_in(100.0..900.0);
+        let a1f = g.f64_in(0.0..10.0);
+        let a4f = g.f64_in(0.0..10.0);
         for rule in [
             PreclusionRule::Mirror,
             PreclusionRule::Centroid,
-            PreclusionRule::Calibrated { a1_over_a2: a1f, a4_over_a5: a4f },
+            PreclusionRule::Calibrated {
+                a1_over_a2: a1f,
+                a4_over_a5: a4f,
+            },
         ] {
             let m = RegionModel::new(d, cs, rule);
             let disk = std::f64::consts::PI * cs * cs;
-            prop_assert!((m.a2 + m.a3 - disk).abs() < 1e-6 * disk.max(1.0));
-            prop_assert!((m.a5 + m.a3 - disk).abs() < 1e-6 * disk.max(1.0));
+            tk_assert!((m.a2 + m.a3 - disk).abs() < 1e-6 * disk.max(1.0));
+            tk_assert!((m.a5 + m.a3 - disk).abs() < 1e-6 * disk.max(1.0));
             for r in [m.ratio_a1(), m.ratio_a2(), m.ratio_a5()] {
-                prop_assert!((0.0..=1.0).contains(&r), "{rule:?}: ratio {r}");
+                tk_assert!((0.0..=1.0).contains(&r), "{rule:?}: ratio {r}");
             }
-            prop_assert!((m.ratio_a1() + m.ratio_a2() - 1.0).abs() < 1e-9
-                || (m.ratio_a1() == 0.0 && m.ratio_a2() == 0.0));
+            tk_assert!(
+                (m.ratio_a1() + m.ratio_a2() - 1.0).abs() < 1e-9
+                    || (m.ratio_a1() == 0.0 && m.ratio_a2() == 0.0)
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Vector algebra: |a+b| ≤ |a| + |b| and lerp stays on the segment.
-    #[test]
-    fn vector_triangle_inequality(
-        ax in -1e3..1e3f64, ay in -1e3..1e3f64,
-        bx in -1e3..1e3f64, by in -1e3..1e3f64,
-        t in 0.0..1.0f64,
-    ) {
-        let a = Vec2::new(ax, ay);
-        let b = Vec2::new(bx, by);
-        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+/// Vector algebra: |a+b| ≤ |a| + |b| and lerp stays on the segment.
+#[test]
+fn vector_triangle_inequality() {
+    check("vector_triangle_inequality", |g: &mut Gen| -> TkResult {
+        let a = Vec2::new(g.f64_in(-1e3..1e3), g.f64_in(-1e3..1e3));
+        let b = Vec2::new(g.f64_in(-1e3..1e3), g.f64_in(-1e3..1e3));
+        let t = g.f64_in(0.0..1.0);
+        tk_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
         let p = a.lerp(b, t);
-        prop_assert!(a.distance(p) + p.distance(b) <= a.distance(b) + 1e-6);
-    }
+        tk_assert!(a.distance(p) + p.distance(b) <= a.distance(b) + 1e-6);
+        Ok(())
+    });
 }

@@ -1,8 +1,7 @@
 //! Back-off policies: the compliant one and the misbehavior models.
 
 use mg_crypto::BackoffDraw;
-use mg_sim::rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
+use mg_sim::rng::Rng;
 
 /// How a node turns its *dictated* back-off draw into the value it actually
 /// counts down.
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// [`BackoffPolicy::AttemptCheat`], which lies about the attempt number to
 /// keep its contention window narrow and is caught by the MD/attempt
 /// deterministic check instead.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum BackoffPolicy {
     /// Count down exactly the dictated value.
     Compliant,
@@ -48,7 +47,7 @@ pub enum BackoffPolicy {
 
 impl BackoffPolicy {
     /// The slots this policy actually counts down, given the dictated draw.
-    pub fn actual_slots(&self, dictated: BackoffDraw, rng: &mut Xoshiro256) -> u16 {
+    pub fn actual_slots<R: Rng>(&self, dictated: BackoffDraw, rng: &mut R) -> u16 {
         match *self {
             BackoffPolicy::Compliant | BackoffPolicy::AttemptCheat => dictated.slots,
             BackoffPolicy::Scaled { pm } => {
@@ -88,6 +87,7 @@ impl Default for BackoffPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mg_sim::rng::Xoshiro256;
 
     fn draw(slots: u16) -> BackoffDraw {
         BackoffDraw { slots, cw: 31 }

@@ -6,7 +6,6 @@
 
 use crate::frame::{Frame, FrameKind};
 use mg_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Bytes of MAC header + FCS on a DATA frame.
 pub const DATA_MAC_OVERHEAD: u32 = 28;
@@ -21,7 +20,7 @@ pub const RTS_EXTRA_BYTES: u32 = 18;
 pub const CTS_ACK_BYTES: u32 = 14;
 
 /// The timing configuration of the MAC.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MacTiming {
     /// Slot time (Table 1 / 802.11 DSSS: 20 µs).
     pub slot: SimDuration,

@@ -1,85 +1,113 @@
-//! Property-based tests for MAC timing and the back-off policies.
+//! Property-based tests for MAC timing and the back-off policies
+//! (mg-testkit harness).
 
 use mg_crypto::{BackoffDraw, VerifiableSequence};
 use mg_dcf::{BackoffPolicy, MacTiming};
 use mg_sim::rng::Xoshiro256;
-use proptest::prelude::*;
+use mg_testkit::prop::{check, Gen, TkResult};
+use mg_testkit::{tk_assert, tk_assert_eq};
 
-proptest! {
-    /// NAV durations nest exactly for any payload size: the reservation a
-    /// frame announces equals the airtime of everything that follows it.
-    #[test]
-    fn nav_nesting(payload in 0u16..2312) {
+/// NAV durations nest exactly for any payload size: the reservation a
+/// frame announces equals the airtime of everything that follows it.
+#[test]
+fn nav_nesting() {
+    check("nav_nesting", |g: &mut Gen| -> TkResult {
+        let payload = g.u16_in(0..2312);
         let t = MacTiming::paper_default();
-        prop_assert_eq!(
+        tk_assert_eq!(
             t.rts_duration(payload),
             t.sifs * 3 + t.cts_airtime() + t.data_airtime(payload) + t.ack_airtime()
         );
-        prop_assert_eq!(
+        tk_assert_eq!(
             t.cts_duration(payload),
             t.rts_duration(payload) - t.sifs - t.cts_airtime()
         );
-        prop_assert_eq!(t.data_duration(), t.sifs + t.ack_airtime());
-    }
+        tk_assert_eq!(t.data_duration(), t.sifs + t.ack_airtime());
+        Ok(())
+    });
+}
 
-    /// Airtime grows monotonically with payload size.
-    #[test]
-    fn airtime_monotone(p1 in 0u16..2312, p2 in 0u16..2312) {
+/// Airtime grows monotonically with payload size.
+#[test]
+fn airtime_monotone() {
+    check("airtime_monotone", |g: &mut Gen| -> TkResult {
+        let p1 = g.u16_in(0..2312);
+        let p2 = g.u16_in(0..2312);
         let t = MacTiming::paper_default();
         if p1 <= p2 {
-            prop_assert!(t.data_airtime(p1) <= t.data_airtime(p2));
+            tk_assert!(t.data_airtime(p1) <= t.data_airtime(p2));
         } else {
-            prop_assert!(t.data_airtime(p1) >= t.data_airtime(p2));
+            tk_assert!(t.data_airtime(p1) >= t.data_airtime(p2));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Timeouts always cover the SIFS + awaited frame.
-    #[test]
-    fn timeouts_cover(payload in 0u16..2312) {
+/// Timeouts always cover the SIFS + awaited frame.
+#[test]
+fn timeouts_cover() {
+    check("timeouts_cover", |g: &mut Gen| -> TkResult {
+        let payload = g.u16_in(0..2312);
         let t = MacTiming::paper_default();
-        prop_assert!(t.cts_timeout() >= t.sifs + t.cts_airtime());
-        prop_assert!(t.ack_timeout() >= t.sifs + t.ack_airtime());
-        prop_assert!(t.data_timeout(payload) >= t.sifs + t.data_airtime(payload));
-    }
+        tk_assert!(t.cts_timeout() >= t.sifs + t.cts_airtime());
+        tk_assert!(t.ack_timeout() >= t.sifs + t.ack_airtime());
+        tk_assert!(t.data_timeout(payload) >= t.sifs + t.data_airtime(payload));
+        Ok(())
+    });
+}
 
-    /// The Scaled policy counts down exactly ⌊(100−pm)%⌋ of the dictated
-    /// value — never more, and 0 at pm=100.
-    #[test]
-    fn scaled_policy_definition(pm in 0u8..=100, slots in 0u16..1024) {
+/// The Scaled policy counts down exactly ⌊(100−pm)%⌋ of the dictated
+/// value — never more, and 0 at pm=100.
+#[test]
+fn scaled_policy_definition() {
+    check("scaled_policy_definition", |g: &mut Gen| -> TkResult {
+        let pm = g.u8_in(0..101);
+        let slots = g.u16_in(0..1024);
         let mut rng = Xoshiro256::new(1);
         let d = BackoffDraw { slots, cw: 1023 };
         let actual = BackoffPolicy::Scaled { pm }.actual_slots(d, &mut rng);
         let expect = (u32::from(slots) * (100 - u32::from(pm)) / 100) as u16;
-        prop_assert_eq!(actual, expect);
-        prop_assert!(actual <= slots);
-    }
+        tk_assert_eq!(actual, expect);
+        tk_assert!(actual <= slots);
+        Ok(())
+    });
+}
 
-    /// Every policy yields a value a legitimate CW could contain (bounded by
-    /// its own declared window), and Compliant is the identity.
-    #[test]
-    fn policies_bounded(mac in any::<u64>(), off in any::<u64>(), attempt in 1u8..8) {
+/// Every policy yields a value a legitimate CW could contain (bounded by
+/// its own declared window), and Compliant is the identity.
+#[test]
+fn policies_bounded() {
+    check("policies_bounded", |g: &mut Gen| -> TkResult {
+        let mac = g.any_u64();
+        let off = g.any_u64();
+        let attempt = g.u8_in(1..8);
         let mut rng = Xoshiro256::new(mac);
         let prs = VerifiableSequence::new(mac);
         let dictated = prs.backoff(off, attempt, 31, 1023);
-        prop_assert_eq!(
+        tk_assert_eq!(
             BackoffPolicy::Compliant.actual_slots(dictated, &mut rng),
             dictated.slots
         );
         let fixed = BackoffPolicy::Fixed { slots: 3 }.actual_slots(dictated, &mut rng);
-        prop_assert_eq!(fixed, 3);
+        tk_assert_eq!(fixed, 3);
         let alt = BackoffPolicy::AltDistribution { cw: 15 }.actual_slots(dictated, &mut rng);
-        prop_assert!(alt <= 15);
-    }
+        tk_assert!(alt <= 15);
+        Ok(())
+    });
+}
 
-    /// Only AttemptCheat lies about attempts, and only upward attempts are
-    /// reported as 1.
-    #[test]
-    fn announced_attempts(attempt in 1u8..8) {
-        prop_assert_eq!(BackoffPolicy::AttemptCheat.announced_attempt(attempt), 1);
-        prop_assert_eq!(BackoffPolicy::Compliant.announced_attempt(attempt), attempt);
-        prop_assert_eq!(
+/// Only AttemptCheat lies about attempts, and only upward attempts are
+/// reported as 1.
+#[test]
+fn announced_attempts() {
+    check("announced_attempts", |g: &mut Gen| -> TkResult {
+        let attempt = g.u8_in(1..8);
+        tk_assert_eq!(BackoffPolicy::AttemptCheat.announced_attempt(attempt), 1);
+        tk_assert_eq!(BackoffPolicy::Compliant.announced_attempt(attempt), attempt);
+        tk_assert_eq!(
             BackoffPolicy::Scaled { pm: 50 }.announced_attempt(attempt),
             attempt
         );
-    }
+        Ok(())
+    });
 }

@@ -2,10 +2,9 @@
 
 use mg_phy::PropagationModel;
 use mg_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Node layout.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum TopologyCfg {
     /// Regular grid (paper: 7 rows × 8 columns, 240 m spacing).
     Grid {
@@ -34,7 +33,7 @@ impl TopologyCfg {
 }
 
 /// Which of the paper's two traffic models background sources use.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TrafficKind {
     /// Poisson arrivals, fresh random neighbor per packet.
     Poisson,
@@ -43,7 +42,7 @@ pub enum TrafficKind {
 }
 
 /// Random-waypoint mobility parameters.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MobilityCfg {
     /// Minimum speed, m/s (paper: 0).
     pub speed_min: f64,
@@ -64,7 +63,7 @@ impl Default for MobilityCfg {
 }
 
 /// A complete scenario description (Table 1 of the paper).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct ScenarioConfig {
     /// Node layout.
     pub topology: TopologyCfg,

@@ -2,7 +2,7 @@
 //! {0, 50, 100, 200, 300} s, 3000 m × 3000 m field).
 
 use mg_geom::Vec2;
-use mg_sim::rng::Xoshiro256;
+use mg_sim::rng::Rng;
 use mg_sim::{SimDuration, SimTime};
 
 /// Per-node random-waypoint state machine.
@@ -68,7 +68,7 @@ impl RandomWaypoint {
 
     /// Advances the walker from its state at `now - dt` to `now`, returning
     /// the new position. `rng` supplies waypoint/speed draws.
-    pub fn advance(&mut self, now: SimTime, dt: SimDuration, rng: &mut Xoshiro256) -> Vec2 {
+    pub fn advance<R: Rng>(&mut self, now: SimTime, dt: SimDuration, rng: &mut R) -> Vec2 {
         let mut remaining = dt.as_secs_f64();
         while remaining > 1e-12 {
             match self.phase {
@@ -116,6 +116,7 @@ impl RandomWaypoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mg_sim::rng::Xoshiro256;
 
     fn walker(pause_s: u64) -> RandomWaypoint {
         RandomWaypoint::new(

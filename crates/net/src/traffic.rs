@@ -2,12 +2,11 @@
 //! source for the tagged (attacker) node.
 
 use crate::NodeId;
-use mg_sim::rng::Xoshiro256;
+use mg_sim::rng::Rng;
 use mg_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Packet arrival process of one source.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum TrafficModel {
     /// Poisson arrivals at `rate_pps` packets per second; each packet is
     /// destined per the source's [`DstPolicy`].
@@ -29,7 +28,7 @@ pub enum TrafficModel {
 impl TrafficModel {
     /// Time until the next arrival, or `None` for [`TrafficModel::Saturated`]
     /// (which is driven by packet completions, not a clock).
-    pub fn next_gap(&self, rng: &mut Xoshiro256) -> Option<SimDuration> {
+    pub fn next_gap<R: Rng>(&self, rng: &mut R) -> Option<SimDuration> {
         match *self {
             TrafficModel::Poisson { rate_pps } => {
                 assert!(rate_pps > 0.0, "poisson rate must be positive");
@@ -45,7 +44,7 @@ impl TrafficModel {
 
     /// A randomized initial phase so simultaneous CBR sources do not
     /// synchronize (first arrival uniform in one period).
-    pub fn initial_gap(&self, rng: &mut Xoshiro256) -> Option<SimDuration> {
+    pub fn initial_gap<R: Rng>(&self, rng: &mut R) -> Option<SimDuration> {
         match *self {
             TrafficModel::Poisson { .. } => self.next_gap(rng),
             TrafficModel::Cbr { interval } => Some(SimDuration::from_nanos(
@@ -57,7 +56,7 @@ impl TrafficModel {
 }
 
 /// How a source chooses each packet's destination.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DstPolicy {
     /// Always the given node (the paper's tagged S→R pair).
     Fixed(NodeId),
@@ -69,7 +68,7 @@ pub enum DstPolicy {
 }
 
 /// One traffic source.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct SourceCfg {
     /// The transmitting node.
     pub node: NodeId,
@@ -117,6 +116,7 @@ impl SourceCfg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mg_sim::rng::Xoshiro256;
 
     #[test]
     fn poisson_gaps_have_right_mean() {

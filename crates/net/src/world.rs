@@ -9,7 +9,7 @@ use crate::NodeId;
 use mg_dcf::{BackoffPolicy, DcfMac, Dest, Frame, MacAction, MacSdu, MacTiming, Timer};
 use mg_geom::{placement, Vec2};
 use mg_phy::{Medium, PropagationModel, RadioParams, RxOutcome, TxId};
-use mg_sim::rng::{RngDirectory, Xoshiro256};
+use mg_sim::rng::{Rng, RngDirectory, Xoshiro256};
 use mg_sim::{EventHandle, Scheduler, SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 

@@ -1,0 +1,155 @@
+//! Property-based tests for the network layer: mobility, traffic models,
+//! and scenario layout (mg-testkit harness).
+
+use mg_geom::Vec2;
+use mg_net::{RandomWaypoint, Scenario, ScenarioConfig, TopologyCfg, TrafficModel};
+use mg_sim::rng::Xoshiro256;
+use mg_sim::{SimDuration, SimTime};
+use mg_testkit::prop::{check, Gen, TkResult};
+use mg_testkit::{tk_assert, tk_assert_eq, tk_assert_ne};
+
+/// Random waypoint never leaves the field and never exceeds its speed
+/// bound, for any field size, speed range, and pause time.
+#[test]
+fn rwp_stays_in_field_at_bounded_speed() {
+    check("rwp_stays_in_field_at_bounded_speed", |g: &mut Gen| -> TkResult {
+        let field_w = g.f64_in(100.0..3000.0);
+        let field_h = g.f64_in(100.0..3000.0);
+        let speed_max = g.f64_in(1.0..30.0);
+        let pause = SimDuration::from_millis(g.u64_in(0..5000));
+        let seed = g.any_u64();
+        let start = Vec2::new(
+            g.f64_in(0.0..1.0) * field_w,
+            g.f64_in(0.0..1.0) * field_h,
+        );
+        let mut w = RandomWaypoint::new(start, field_w, field_h, 0.0, speed_max, pause);
+        let mut rng = Xoshiro256::new(seed);
+        let dt = SimDuration::from_millis(100);
+        let mut t = SimTime::ZERO;
+        let mut prev = w.position();
+        for _ in 0..500 {
+            t += dt;
+            let p = w.advance(t, dt, &mut rng);
+            tk_assert!((0.0..=field_w).contains(&p.x), "{p:?} outside field");
+            tk_assert!((0.0..=field_h).contains(&p.y), "{p:?} outside field");
+            let moved = prev.distance(p);
+            tk_assert!(
+                moved <= speed_max * 0.1 + 1e-9,
+                "moved {moved} m in 100 ms at speed_max {speed_max}"
+            );
+            prev = p;
+        }
+        Ok(())
+    });
+}
+
+/// Poisson gaps are positive with (roughly) the configured mean.
+#[test]
+fn poisson_gaps_match_rate() {
+    check("poisson_gaps_match_rate", |g: &mut Gen| -> TkResult {
+        let rate = g.f64_in(1.0..500.0);
+        let seed = g.any_u64();
+        let m = TrafficModel::Poisson { rate_pps: rate };
+        let mut rng = Xoshiro256::new(seed);
+        let n = 2000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let gap = m.next_gap(&mut rng).expect("poisson has a clock");
+            let secs = gap.as_secs_f64();
+            tk_assert!(secs >= 0.0);
+            total += secs;
+        }
+        let mean = total / f64::from(n);
+        tk_assert!(
+            (mean - 1.0 / rate).abs() < 0.2 / rate,
+            "rate {rate}: mean gap {mean}"
+        );
+        Ok(())
+    });
+}
+
+/// CBR is exactly periodic, with a random initial phase inside one period.
+#[test]
+fn cbr_period_and_phase() {
+    check("cbr_period_and_phase", |g: &mut Gen| -> TkResult {
+        let interval = SimDuration::from_micros(g.u64_in(1..1_000_000));
+        let seed = g.any_u64();
+        let m = TrafficModel::Cbr { interval };
+        let mut rng = Xoshiro256::new(seed);
+        for _ in 0..10 {
+            tk_assert_eq!(m.next_gap(&mut rng), Some(interval));
+        }
+        let phase = m.initial_gap(&mut rng).expect("CBR has a clock");
+        tk_assert!(phase < interval, "phase {phase:?} >= interval {interval:?}");
+        Ok(())
+    });
+}
+
+/// Saturated sources are completion-driven: no clock at all.
+#[test]
+fn saturated_is_clockless() {
+    check("saturated_is_clockless", |g: &mut Gen| -> TkResult {
+        let seed = g.any_u64();
+        let mut rng = Xoshiro256::new(seed);
+        tk_assert_eq!(TrafficModel::Saturated.next_gap(&mut rng), None);
+        tk_assert_eq!(TrafficModel::Saturated.initial_gap(&mut rng), None);
+        Ok(())
+    });
+}
+
+/// Scenario layout honors the configured topology: node count matches and
+/// every node lands inside the field, for grids and random placements.
+#[test]
+fn scenario_layout_respects_config() {
+    check("scenario_layout_respects_config", |g: &mut Gen| -> TkResult {
+        let seed = g.any_u64();
+        let topology = if g.bool() {
+            TopologyCfg::Grid {
+                rows: g.usize_in(1..7),
+                cols: g.usize_in(1..7),
+                spacing: g.f64_in(50.0..300.0),
+            }
+        } else {
+            TopologyCfg::Random {
+                nodes: g.usize_in(2..40),
+            }
+        };
+        let cfg = ScenarioConfig {
+            topology,
+            seed,
+            ..ScenarioConfig::grid_paper(seed)
+        };
+        let scenario = Scenario::new(cfg);
+        tk_assert_eq!(scenario.positions().len(), topology.node_count());
+        for p in scenario.positions() {
+            tk_assert!((0.0..=cfg.field_w).contains(&p.x), "{p:?}");
+            tk_assert!((0.0..=cfg.field_h).contains(&p.y), "{p:?}");
+        }
+        // Layout is a pure function of the config.
+        let again = Scenario::new(cfg);
+        tk_assert_eq!(scenario.positions(), again.positions());
+        Ok(())
+    });
+}
+
+/// The tagged pair is always two distinct nodes within one-hop range of
+/// each other, for the paper's layouts under any seed.
+#[test]
+fn tagged_pair_is_a_one_hop_link() {
+    check("tagged_pair_is_a_one_hop_link", |g: &mut Gen| -> TkResult {
+        let seed = g.any_u64();
+        let cfg = if g.bool() {
+            ScenarioConfig::grid_paper(seed)
+        } else {
+            ScenarioConfig::random_paper(seed)
+        };
+        let scenario = Scenario::new(cfg);
+        let (s, r) = scenario.tagged_pair();
+        tk_assert_ne!(s, r);
+        tk_assert!(s < scenario.positions().len());
+        tk_assert!(r < scenario.positions().len());
+        let d = scenario.positions()[s].distance(scenario.positions()[r]);
+        tk_assert!(d <= cfg.tx_range, "tagged pair {d} m apart");
+        Ok(())
+    });
+}

@@ -23,7 +23,7 @@ use crate::propagation::PropagationModel;
 use crate::radio::{dbm_to_mw, mw_to_dbm, RadioParams};
 use crate::NodeId;
 use mg_geom::Vec2;
-use mg_sim::rng::Xoshiro256;
+use mg_sim::rng::Rng;
 use mg_sim::SimTime;
 
 /// Identifies one in-flight transmission.
@@ -172,11 +172,11 @@ impl Medium {
     /// Returns the transmission id (pass it to [`Medium::end_tx`] when the
     /// frame's airtime elapses) and the carrier-sense edges the new energy
     /// causes. Shadowing (if configured) is drawn per receiver from `rng`.
-    pub fn begin_tx(
+    pub fn begin_tx<R: Rng>(
         &mut self,
         src: NodeId,
         now: SimTime,
-        rng: &mut Xoshiro256,
+        rng: &mut R,
     ) -> (TxId, Vec<EdgeChange>) {
         let n = self.node_count();
         let id = TxId(self.next_id);
@@ -316,6 +316,7 @@ impl std::fmt::Debug for Medium {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mg_sim::rng::Xoshiro256;
 
     fn medium_with(positions: Vec<Vec2>) -> Medium {
         let prop = PropagationModel::free_space();

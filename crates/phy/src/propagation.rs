@@ -1,7 +1,6 @@
 //! Radio propagation models (the same trio ns-2 ships).
 
-use mg_sim::rng::Xoshiro256;
-use serde::{Deserialize, Serialize};
+use mg_sim::rng::Rng;
 
 /// Speed of light, m/s.
 const C: f64 = 299_792_458.0;
@@ -13,7 +12,7 @@ const D0: f64 = 1.0;
 /// A large-scale path-loss model: mean received power as a function of
 /// distance, plus (for the shadowing model) a log-normal random component
 /// drawn per transmission per receiver.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum PropagationModel {
     /// Friis free-space propagation (path-loss exponent 2).
     FreeSpace,
@@ -82,7 +81,7 @@ impl PropagationModel {
 
     /// Path loss for one concrete transmission, including the shadowing draw
     /// when the model has one.
-    pub fn sample_path_loss_db(&self, d: f64, rng: &mut Xoshiro256) -> f64 {
+    pub fn sample_path_loss_db<R: Rng>(&self, d: f64, rng: &mut R) -> f64 {
         let mean = self.mean_path_loss_db(d);
         match *self {
             PropagationModel::Shadowing { sigma_db, .. } if sigma_db > 0.0 => {
@@ -102,6 +101,7 @@ impl Default for PropagationModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mg_sim::rng::Xoshiro256;
 
     #[test]
     fn free_space_inverse_square() {

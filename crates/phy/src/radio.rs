@@ -1,7 +1,6 @@
 //! Radio front-end parameters: power, thresholds, capture.
 
 use crate::propagation::PropagationModel;
-use serde::{Deserialize, Serialize};
 
 /// Converts dBm to milliwatts.
 pub fn dbm_to_mw(dbm: f64) -> f64 {
@@ -29,7 +28,7 @@ pub fn mw_to_dbm(mw: f64) -> f64 {
 ///
 /// `capture_db` is the SINR margin required to decode in the presence of
 /// interference (ns-2's `CPThresh_`, 10 dB).
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct RadioParams {
     /// Transmit power, dBm (ns-2 default 24.5 dBm ≈ 281.8 mW).
     pub tx_power_dbm: f64,

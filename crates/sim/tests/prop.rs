@@ -1,34 +1,43 @@
-//! Property-based tests for the simulation kernel.
+//! Property-based tests for the simulation kernel (mg-testkit harness).
 
-use mg_sim::rng::{RngDirectory, Xoshiro256};
+use mg_sim::rng::{Rng, RngDirectory, Xoshiro256};
 use mg_sim::{Scheduler, SimDuration, SimTime};
-use proptest::prelude::*;
+use mg_testkit::prop::{check, Gen, TkResult};
+use mg_testkit::{tk_assert, tk_assert_eq, tk_assert_ne};
 
-proptest! {
-    /// Events always pop in (time, insertion) order regardless of insertion
-    /// order.
-    #[test]
-    fn scheduler_is_a_stable_priority_queue(times in prop::collection::vec(0u64..10_000, 1..200)) {
+/// Events always pop in (time, insertion) order regardless of insertion
+/// order.
+#[test]
+fn scheduler_is_a_stable_priority_queue() {
+    check("scheduler_is_a_stable_priority_queue", |g: &mut Gen| -> TkResult {
+        let times = g.vec(1..200, |g| g.u64_in(0..10_000));
         let mut s: Scheduler<(u64, usize)> = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
             s.schedule_at(SimTime::from_micros(t), (t, i));
         }
         let mut popped = Vec::new();
         while let Some((at, (t, i))) = s.pop() {
-            prop_assert_eq!(at, SimTime::from_micros(t));
+            tk_assert_eq!(at, SimTime::from_micros(t));
             popped.push((t, i));
         }
-        let mut expected = times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect::<Vec<_>>();
+        let mut expected = times
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, t)| (t, i))
+            .collect::<Vec<_>>();
         expected.sort();
-        prop_assert_eq!(popped, expected);
-    }
+        tk_assert_eq!(popped, expected);
+        Ok(())
+    });
+}
 
-    /// Cancelling an arbitrary subset delivers exactly the complement.
-    #[test]
-    fn cancellation_is_exact(
-        times in prop::collection::vec(0u64..1000, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Cancelling an arbitrary subset delivers exactly the complement.
+#[test]
+fn cancellation_is_exact() {
+    check("cancellation_is_exact", |g: &mut Gen| -> TkResult {
+        let times = g.vec(1..100, |g| g.u64_in(0..1000));
+        let cancel_mask = g.vec(1..100, |g| g.bool());
         let mut s: Scheduler<usize> = Scheduler::new();
         let handles: Vec<_> = times
             .iter()
@@ -49,52 +58,77 @@ proptest! {
         }
         delivered.sort_unstable();
         expected.sort_unstable();
-        prop_assert_eq!(delivered, expected);
-    }
+        tk_assert_eq!(delivered, expected);
+        Ok(())
+    });
+}
 
-    /// Durations: div_periods is consistent with multiplication.
-    #[test]
-    fn div_periods_inverse(period_us in 1u64..10_000, k in 0u64..10_000, rem_ns in 0u64..1000) {
+/// Durations: div_periods is consistent with multiplication.
+#[test]
+fn div_periods_inverse() {
+    check("div_periods_inverse", |g: &mut Gen| -> TkResult {
+        let period_us = g.u64_in(1..10_000);
+        let k = g.u64_in(0..10_000);
+        let rem_ns = g.u64_in(0..1000);
         let period = SimDuration::from_micros(period_us);
         let rem = SimDuration::from_nanos(rem_ns % period.as_nanos());
         let total = period * k + rem;
-        prop_assert_eq!(total.div_periods(period), k);
-    }
+        tk_assert_eq!(total.div_periods(period), k);
+        Ok(())
+    });
+}
 
-    /// Derived RNG streams with the same key replay; different keys differ.
-    #[test]
-    fn rng_directory_streams(seed in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
+/// Derived RNG streams with the same key replay; different keys differ.
+#[test]
+fn rng_directory_streams() {
+    check("rng_directory_streams", |g: &mut Gen| -> TkResult {
+        let seed = g.any_u64();
+        let a = g.u64_in(0..1000);
+        let b = g.u64_in(0..1000);
         let dir = RngDirectory::new(seed);
-        let take = |mut r: Xoshiro256| -> Vec<u64> { (0..4).map(|_| r.next()).collect() };
-        prop_assert_eq!(take(dir.stream("x", a)), take(dir.stream("x", a)));
+        let take = |mut r: Xoshiro256| -> Vec<u64> { (0..4).map(|_| r.next_u64()).collect() };
+        tk_assert_eq!(take(dir.stream("x", a)), take(dir.stream("x", a)));
         if a != b {
-            prop_assert_ne!(take(dir.stream("x", a)), take(dir.stream("x", b)));
+            tk_assert_ne!(take(dir.stream("x", a)), take(dir.stream("x", b)));
         }
-        prop_assert_ne!(take(dir.stream("x", a)), take(dir.stream("y", a)));
-    }
+        tk_assert_ne!(take(dir.stream("x", a)), take(dir.stream("y", a)));
+        Ok(())
+    });
+}
 
-    /// Uniform draws honor their bounds.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), lo in -1e6..1e6f64, width in 0.001..1e6f64, n in 1u64..1000) {
+/// Uniform draws honor their bounds.
+#[test]
+fn rng_bounds() {
+    check("rng_bounds", |g: &mut Gen| -> TkResult {
+        let seed = g.any_u64();
+        let lo = g.f64_in(-1e6..1e6);
+        let width = g.f64_in(0.001..1e6);
+        let n = g.u64_in(1..1000);
         let mut r = Xoshiro256::new(seed);
         let hi = lo + width;
         for _ in 0..100 {
             let u = r.uniform(lo, hi);
-            prop_assert!((lo..hi).contains(&u), "{u} not in [{lo}, {hi})");
+            tk_assert!((lo..hi).contains(&u), "{u} not in [{lo}, {hi})");
         }
         for _ in 0..100 {
-            prop_assert!(r.below(n) < n);
+            tk_assert!(r.below(n) < n);
         }
-    }
+        Ok(())
+    });
 }
 
-// `Xoshiro256::next` is private; use the RngCore face for the directory test.
-use rand::RngCore;
-trait Next {
-    fn next(&mut self) -> u64;
-}
-impl Next for Xoshiro256 {
-    fn next(&mut self) -> u64 {
-        self.next_u64()
-    }
+/// Bernoulli draws at p = 0 and p = 1 are degenerate; mid-p frequencies are
+/// sane over a short run.
+#[test]
+fn rng_bernoulli_bounds() {
+    check("rng_bernoulli_bounds", |g: &mut Gen| -> TkResult {
+        let seed = g.any_u64();
+        let p = g.f64_in(0.2..0.8);
+        let mut r = Xoshiro256::new(seed);
+        tk_assert!(!(0..50).any(|_| r.bernoulli(0.0)));
+        tk_assert!((0..50).all(|_| r.bernoulli(1.0)));
+        let hits = (0..2000).filter(|_| r.bernoulli(p)).count() as f64 / 2000.0;
+        tk_assert!((hits - p).abs() < 0.1, "p={p}, freq={hits}");
+        Ok(())
+    });
 }

@@ -1,0 +1,118 @@
+//! Golden-value tests for the Wilcoxon tests against published exact null
+//! distributions and critical-value tables.
+//!
+//! Rank-sum references: the exact Mann–Whitney null distribution for
+//! n₁ = n₂ = 5 (e.g. Mann & Whitney 1947, Table I; any standard U table):
+//! with C(10,5) = 252 equally likely rank subsets,
+//!
+//! ```text
+//! P(U ≤ 0) = 1/252    P(U ≤ 1) = 2/252    P(U ≤ 2) = 4/252
+//! P(U ≤ 3) = 7/252    P(U ≤ 4) = 12/252   P(U ≤ 5) = 19/252
+//! ```
+//!
+//! Signed-rank references: exact distribution over the 2ⁿ sign assignments
+//! (e.g. Wilcoxon 1945): for n = 8, P(W⁺ ≤ 3) = 5/256 and the one-sided
+//! α = 0.05 critical value is W⁺ = 5 (P(W⁺ ≤ 5) = 10/256 ≈ 0.039,
+//! P(W⁺ ≤ 6) = 14/256 ≈ 0.055).
+
+use mg_stats::signed_rank::signed_rank_test;
+use mg_stats::wilcoxon::{rank_sum_test, Alternative, Method};
+
+/// Builds a tie-free 5-vs-5 sample pair whose first-sample Mann–Whitney U
+/// equals `u` (first sample takes ranks 1..4 plus rank 5+u).
+fn five_v_five_with_u(u: u64) -> (Vec<f64>, Vec<f64>) {
+    let a: Vec<f64> = [1.0, 2.0, 3.0, 4.0, 5.0 + u as f64].to_vec();
+    let b: Vec<f64> = (1..=10)
+        .map(|r| r as f64)
+        .filter(|r| !a.contains(r))
+        .collect();
+    (a, b)
+}
+
+#[test]
+fn rank_sum_exact_tail_matches_published_table_5v5() {
+    let expect = [1.0, 2.0, 4.0, 7.0, 12.0, 19.0];
+    for (u, num) in expect.into_iter().enumerate() {
+        let (a, b) = five_v_five_with_u(u as u64);
+        let r = rank_sum_test(&a, &b, Alternative::Less);
+        assert_eq!(r.method, Method::Exact);
+        assert_eq!(r.u, u as f64);
+        let p = num / 252.0;
+        assert!(
+            (r.p_value - p).abs() < 1e-12,
+            "U={u}: p={} want {p}",
+            r.p_value
+        );
+    }
+}
+
+#[test]
+fn rank_sum_critical_value_5v5_alpha05_is_u4() {
+    // Published one-tailed critical value at α = 0.05 for n₁ = n₂ = 5 is
+    // U = 4: reject at U ≤ 4 (p ≈ 0.048), fail to reject at U = 5
+    // (p ≈ 0.075).
+    let (a, b) = five_v_five_with_u(4);
+    assert!(rank_sum_test(&a, &b, Alternative::Less).rejects_at(0.05));
+    let (a, b) = five_v_five_with_u(5);
+    assert!(!rank_sum_test(&a, &b, Alternative::Less).rejects_at(0.05));
+}
+
+#[test]
+fn rank_sum_critical_value_4v4_alpha05_is_u1() {
+    // For n₁ = n₂ = 4 (C(8,4) = 70 subsets): P(U ≤ 1) = 2/70 ≈ 0.029,
+    // P(U ≤ 2) = 4/70 ≈ 0.057, so the α = 0.05 critical value is U = 1.
+    let a = [1.0, 2.0, 3.0, 5.0]; // ranks 1,2,3,5 → W = 11, U = 1
+    let b = [4.0, 6.0, 7.0, 8.0];
+    let r = rank_sum_test(&a, &b, Alternative::Less);
+    assert_eq!(r.u, 1.0);
+    assert!((r.p_value - 2.0 / 70.0).abs() < 1e-12);
+    assert!(r.rejects_at(0.05));
+
+    let a = [1.0, 2.0, 3.0, 6.0]; // ranks 1,2,3,6 → W = 12, U = 2
+    let b = [4.0, 5.0, 7.0, 8.0];
+    let r = rank_sum_test(&a, &b, Alternative::Less);
+    assert_eq!(r.u, 2.0);
+    assert!((r.p_value - 4.0 / 70.0).abs() < 1e-12);
+    assert!(!r.rejects_at(0.05));
+}
+
+#[test]
+fn rank_sum_greater_mirrors_less() {
+    // By symmetry of the null distribution, the maximal U (= 25) under
+    // Greater has the same tail mass as U = 0 under Less.
+    let (a, b) = five_v_five_with_u(0);
+    let r = rank_sum_test(&b, &a, Alternative::Greater);
+    assert!((r.p_value - 1.0 / 252.0).abs() < 1e-12);
+}
+
+#[test]
+fn signed_rank_exact_tail_matches_published_table_n8() {
+    // Eight pairs with distinct |differences| of ranks 1..8; make the
+    // differences with ranks 1 and 2 positive: W⁺ = 3.
+    // Published: P(W⁺ ≤ 3) = 5/256 = 0.01953125.
+    let first = [1.0, 2.0, -3.0, -4.0, -5.0, -6.0, -7.0, -8.0];
+    let second = [0.0; 8];
+    let r = signed_rank_test(&first, &second, Alternative::Less);
+    assert_eq!(r.method, Method::Exact);
+    assert_eq!(r.w_plus, 3.0);
+    assert_eq!(r.n_used, 8);
+    assert!((r.p_value - 5.0 / 256.0).abs() < 1e-12, "p={}", r.p_value);
+}
+
+#[test]
+fn signed_rank_critical_value_n8_alpha05_is_w5() {
+    // Published one-sided critical value for n = 8 at α = 0.05 is W⁺ = 5:
+    // P(W⁺ ≤ 5) = 10/256 ≈ 0.039 rejects, P(W⁺ ≤ 6) = 14/256 ≈ 0.055
+    // does not.
+    let w5 = [-1.0, -2.0, -3.0, -4.0, 5.0, -6.0, -7.0, -8.0]; // W⁺ = 5
+    let r = signed_rank_test(&w5, &[0.0; 8], Alternative::Less);
+    assert_eq!(r.w_plus, 5.0);
+    assert!((r.p_value - 10.0 / 256.0).abs() < 1e-12);
+    assert!(r.rejects_at(0.05));
+
+    let w6 = [-1.0, -2.0, -3.0, -4.0, -5.0, 6.0, -7.0, -8.0]; // W⁺ = 6
+    let r = signed_rank_test(&w6, &[0.0; 8], Alternative::Less);
+    assert_eq!(r.w_plus, 6.0);
+    assert!((r.p_value - 14.0 / 256.0).abs() < 1e-12);
+    assert!(!r.rejects_at(0.05));
+}

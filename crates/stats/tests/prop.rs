@@ -1,4 +1,4 @@
-//! Property-based tests for the statistics crate.
+//! Property-based tests for the statistics crate (mg-testkit harness).
 
 use mg_stats::describe::Summary;
 use mg_stats::filter::Arma;
@@ -6,85 +6,124 @@ use mg_stats::normal;
 use mg_stats::rank::midranks;
 use mg_stats::ttest::welch_t_test;
 use mg_stats::wilcoxon::{rank_sum_test, Alternative};
-use proptest::prelude::*;
+use mg_testkit::prop::{check, Gen, TkResult};
+use mg_testkit::{tk_assert, tk_assert_eq};
 
-fn sample(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e3..1e3f64, 2..max_len)
+fn sample(g: &mut Gen, max_len: usize) -> Vec<f64> {
+    g.vec_f64(2..max_len, -1e3..1e3)
 }
 
-proptest! {
-    /// Midranks always sum to n(n+1)/2 and lie in [1, n].
-    #[test]
-    fn midrank_sum_invariant(values in sample(60)) {
+/// Midranks always sum to n(n+1)/2 and lie in [1, n].
+#[test]
+fn midrank_sum_invariant() {
+    check("midrank_sum_invariant", |g: &mut Gen| -> TkResult {
+        let values = sample(g, 60);
         let ranks = midranks(&values);
         let n = values.len() as f64;
         let sum: f64 = ranks.iter().sum();
-        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        tk_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
         for &r in &ranks {
-            prop_assert!((1.0..=n).contains(&r));
+            tk_assert!((1.0..=n).contains(&r));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Ranking is invariant under order-preserving (affine, positive-slope)
-    /// transformations.
-    #[test]
-    fn midranks_affine_invariant(values in sample(40), scale in 0.1..10.0f64, shift in -100.0..100.0f64) {
+/// Ranking is invariant under order-preserving (affine, positive-slope)
+/// transformations.
+#[test]
+fn midranks_affine_invariant() {
+    check("midranks_affine_invariant", |g: &mut Gen| -> TkResult {
+        let values = sample(g, 40);
+        let scale = g.f64_in(0.1..10.0);
+        let shift = g.f64_in(-100.0..100.0);
         let transformed: Vec<f64> = values.iter().map(|v| v * scale + shift).collect();
-        prop_assert_eq!(midranks(&values), midranks(&transformed));
-    }
+        tk_assert_eq!(midranks(&values), midranks(&transformed));
+        Ok(())
+    });
+}
 
-    /// p-values are probabilities, and Less/Greater are complementary up to
-    /// the point mass at the observed statistic.
-    #[test]
-    fn rank_sum_p_bounds(a in sample(30), b in sample(30)) {
+/// p-values are probabilities, and Less/Greater are complementary up to
+/// the point mass at the observed statistic.
+#[test]
+fn rank_sum_p_bounds() {
+    check("rank_sum_p_bounds", |g: &mut Gen| -> TkResult {
+        let a = sample(g, 30);
+        let b = sample(g, 30);
         for alt in [Alternative::Less, Alternative::Greater, Alternative::TwoSided] {
             let r = rank_sum_test(&a, &b, alt);
-            prop_assert!((0.0..=1.0).contains(&r.p_value), "{alt:?}: {}", r.p_value);
+            tk_assert!((0.0..=1.0).contains(&r.p_value), "{alt:?}: {}", r.p_value);
         }
         let less = rank_sum_test(&a, &b, Alternative::Less).p_value;
         let greater = rank_sum_test(&a, &b, Alternative::Greater).p_value;
         // P(W <= w) + P(W >= w) = 1 + P(W = w) >= 1 (exact); approximately
         // holds for the normal path too (continuity correction overlaps).
-        prop_assert!(less + greater >= 0.95, "less {less} + greater {greater}");
-    }
+        tk_assert!(less + greater >= 0.95, "less {less} + greater {greater}");
+        Ok(())
+    });
+}
 
-    /// Shifting one sample down can only make the Less-p smaller (or equal).
-    #[test]
-    fn rank_sum_monotone_under_shift(a in sample(25), b in sample(25), shift in 0.0..500.0f64) {
+/// Shifting one sample down can only make the Less-p smaller (or equal).
+#[test]
+fn rank_sum_monotone_under_shift() {
+    check("rank_sum_monotone_under_shift", |g: &mut Gen| -> TkResult {
+        let a = sample(g, 25);
+        let b = sample(g, 25);
+        let shift = g.f64_in(0.0..500.0);
         let shifted: Vec<f64> = a.iter().map(|v| v - shift).collect();
         let p0 = rank_sum_test(&a, &b, Alternative::Less).p_value;
         let p1 = rank_sum_test(&shifted, &b, Alternative::Less).p_value;
-        prop_assert!(p1 <= p0 + 1e-9, "shift {shift}: {p0} -> {p1}");
-    }
+        tk_assert!(p1 <= p0 + 1e-9, "shift {shift}: {p0} -> {p1}");
+        Ok(())
+    });
+}
 
-    /// Swapping the samples swaps the roles of Less and Greater.
-    #[test]
-    fn rank_sum_swap_symmetry(a in sample(20), b in sample(20)) {
+/// Swapping the samples swaps the roles of Less and Greater.
+#[test]
+fn rank_sum_swap_symmetry() {
+    check("rank_sum_swap_symmetry", |g: &mut Gen| -> TkResult {
+        let a = sample(g, 20);
+        let b = sample(g, 20);
         let ab = rank_sum_test(&a, &b, Alternative::Less).p_value;
         let ba = rank_sum_test(&b, &a, Alternative::Greater).p_value;
-        prop_assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
-    }
+        tk_assert!((ab - ba).abs() < 1e-9, "{ab} vs {ba}");
+        Ok(())
+    });
+}
 
-    /// Welch t p-values are probabilities and the statistic is antisymmetric.
-    #[test]
-    fn welch_antisymmetric(a in sample(20), b in sample(20)) {
+/// Welch t p-values are probabilities and the statistic is antisymmetric.
+#[test]
+fn welch_antisymmetric() {
+    check("welch_antisymmetric", |g: &mut Gen| -> TkResult {
+        let a = sample(g, 20);
+        let b = sample(g, 20);
         let r1 = welch_t_test(&a, &b, Alternative::TwoSided);
         let r2 = welch_t_test(&b, &a, Alternative::TwoSided);
-        prop_assert!((0.0..=1.0).contains(&r1.p_value));
-        prop_assert!((r1.t + r2.t).abs() < 1e-9);
-        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
-    }
+        tk_assert!((0.0..=1.0).contains(&r1.p_value));
+        tk_assert!((r1.t + r2.t).abs() < 1e-9);
+        tk_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        Ok(())
+    });
+}
 
-    /// The normal CDF is monotone and its quantile inverts it.
-    #[test]
-    fn normal_cdf_quantile_inverse(p in 0.0005..0.9995f64) {
+/// The normal CDF is monotone and its quantile inverts it.
+#[test]
+fn normal_cdf_quantile_inverse() {
+    check("normal_cdf_quantile_inverse", |g: &mut Gen| -> TkResult {
+        let p = g.f64_in(0.0005..0.9995);
         let x = normal::quantile(p);
-        prop_assert!((normal::cdf(x) - p).abs() < 1e-6);
-    }
+        tk_assert!((normal::cdf(x) - p).abs() < 1e-6);
+        Ok(())
+    });
+}
 
-    /// Summary::merge is associative-enough and order-independent.
-    #[test]
-    fn summary_merge_order_independent(a in sample(30), b in sample(30), c in sample(30)) {
+/// Summary::merge is associative-enough and order-independent.
+#[test]
+fn summary_merge_order_independent() {
+    check("summary_merge_order_independent", |g: &mut Gen| -> TkResult {
+        let a = sample(g, 30);
+        let b = sample(g, 30);
+        let c = sample(g, 30);
         let all: Summary = a.iter().chain(&b).chain(&c).copied().collect();
         let mut left: Summary = a.iter().copied().collect();
         left.merge(&b.iter().copied().collect());
@@ -93,34 +132,40 @@ proptest! {
         right.merge(&a.iter().copied().collect());
         right.merge(&b.iter().copied().collect());
         for s in [&left, &right] {
-            prop_assert_eq!(s.count(), all.count());
-            prop_assert!((s.mean() - all.mean()).abs() < 1e-6);
-            prop_assert!((s.sample_variance() - all.sample_variance()).abs()
-                < 1e-6 * all.sample_variance().max(1.0));
+            tk_assert_eq!(s.count(), all.count());
+            tk_assert!((s.mean() - all.mean()).abs() < 1e-6);
+            tk_assert!(
+                (s.sample_variance() - all.sample_variance()).abs()
+                    < 1e-6 * all.sample_variance().max(1.0)
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The ARMA estimate always stays inside the convex hull of its inputs.
-    #[test]
-    fn arma_stays_in_input_hull(
-        alpha in 0.0..0.999f64,
-        window in 1usize..50,
-        inputs in prop::collection::vec(0.0..1.0f64, 1..500),
-    ) {
+/// The ARMA estimate always stays inside the convex hull of its inputs.
+#[test]
+fn arma_stays_in_input_hull() {
+    check("arma_stays_in_input_hull", |g: &mut Gen| -> TkResult {
+        let alpha = g.f64_in(0.0..0.999);
+        let window = g.usize_in(1..50);
+        let inputs = g.vec_f64(1..500, 0.0..1.0);
         let mut f = Arma::new(alpha, window);
         for &x in &inputs {
             f.push(x);
         }
-        prop_assert!((0.0..=1.0).contains(&f.value()), "{}", f.value());
-    }
+        tk_assert!((0.0..=1.0).contains(&f.value()), "{}", f.value());
+        Ok(())
+    });
+}
 
-    /// push_n(x, k) equals k pushes of x.
-    #[test]
-    fn arma_push_n_equivalence(
-        alpha in 0.0..0.999f64,
-        window in 1usize..20,
-        runs in prop::collection::vec((0.0..1.0f64, 1u64..40), 1..20),
-    ) {
+/// push_n(x, k) equals k pushes of x.
+#[test]
+fn arma_push_n_equivalence() {
+    check("arma_push_n_equivalence", |g: &mut Gen| -> TkResult {
+        let alpha = g.f64_in(0.0..0.999);
+        let window = g.usize_in(1..20);
+        let runs = g.vec(1..20, |g| (g.f64_in(0.0..1.0), g.u64_in(1..40)));
         let mut a = Arma::new(alpha, window);
         let mut b = Arma::new(alpha, window);
         for &(v, k) in &runs {
@@ -129,7 +174,8 @@ proptest! {
                 b.push(v);
             }
         }
-        prop_assert_eq!(a.updates(), b.updates());
-        prop_assert!((a.value() - b.value()).abs() < 1e-9);
-    }
+        tk_assert_eq!(a.updates(), b.updates());
+        tk_assert!((a.value() - b.value()).abs() < 1e-9);
+        Ok(())
+    });
 }

@@ -1,0 +1,180 @@
+//! A wall-clock micro-benchmark runner for `harness = false` bench targets.
+//!
+//! No statistics beyond mean/min/max — the goal is a dependable relative
+//! signal with zero dependencies, not publication-grade rigor. Iteration
+//! counts are calibrated so each benchmark runs for roughly `MG_BENCH_MS`
+//! milliseconds (default 300), then results are printed one line per bench:
+//!
+//! ```text
+//! md5_1500B                 ...      1_935 ns/iter (min 1_902, max 2_210, 155k iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock per benchmark (`MG_BENCH_MS`, default 300).
+fn target() -> Duration {
+    let ms = std::env::var("MG_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms.max(1))
+}
+
+/// Formats an integer with `_` thousands separators.
+fn sep(n: u128) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// One benchmark's timing summary.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Total iterations measured.
+    pub iters: u64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed batch, per iteration.
+    pub min_ns: f64,
+    /// Slowest observed batch, per iteration.
+    pub max_ns: f64,
+}
+
+impl BenchReport {
+    fn print(&self) {
+        let iters = if self.iters >= 10_000 {
+            format!("{}k", self.iters / 1_000)
+        } else {
+            self.iters.to_string()
+        };
+        println!(
+            "{:<28} ... {:>10} ns/iter (min {}, max {}, {} iters)",
+            self.name,
+            sep(self.mean_ns.round() as u128),
+            sep(self.min_ns.round() as u128),
+            sep(self.max_ns.round() as u128),
+            iters
+        );
+    }
+}
+
+/// Benchmarks a routine with no per-iteration setup.
+///
+/// The routine is first timed once to pick a batch size, then run in batches
+/// until the wall-clock target is spent.
+pub fn bench(name: &str, mut f: impl FnMut()) -> BenchReport {
+    // Calibration: find how many iterations fit in ~1/20 of the budget.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(20));
+    let budget = target();
+    let batch = (budget.as_nanos() / 20 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns: f64 = 0.0;
+    while total < budget {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let dt = t.elapsed();
+        let per = dt.as_nanos() as f64 / batch as f64;
+        min_ns = min_ns.min(per);
+        max_ns = max_ns.max(per);
+        total += dt;
+        iters += batch;
+    }
+    let report = BenchReport {
+        name: name.to_string(),
+        iters,
+        mean_ns: total.as_nanos() as f64 / iters as f64,
+        min_ns,
+        max_ns,
+    };
+    report.print();
+    report
+}
+
+/// Benchmarks a routine that consumes fresh state per iteration; only the
+/// routine (not `setup`) is timed.
+pub fn bench_with_setup<S, T>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> T,
+) -> BenchReport {
+    let budget = target();
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    let mut min_ns = f64::INFINITY;
+    let mut max_ns: f64 = 0.0;
+    while total < budget {
+        let state = setup();
+        let t = Instant::now();
+        let out = routine(state);
+        let dt = t.elapsed();
+        black_box(out);
+        let per = dt.as_nanos() as f64;
+        min_ns = min_ns.min(per);
+        max_ns = max_ns.max(per);
+        total += dt;
+        iters += 1;
+        if iters >= 1_000_000 {
+            break;
+        }
+    }
+    let report = BenchReport {
+        name: name.to_string(),
+        iters,
+        mean_ns: total.as_nanos() as f64 / iters as f64,
+        min_ns,
+        max_ns,
+    };
+    report.print();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        std::env::set_var("MG_BENCH_MS", "5");
+        let r = bench("noop_add", || {
+            black_box(black_box(1u64) + black_box(2u64));
+        });
+        assert!(r.iters > 0);
+        assert!(r.mean_ns >= 0.0 && r.mean_ns.is_finite());
+        assert!(r.min_ns <= r.mean_ns + 1e-9);
+    }
+
+    #[test]
+    fn setup_variant_times_only_the_routine() {
+        std::env::set_var("MG_BENCH_MS", "5");
+        let r = bench_with_setup(
+            "sum_vec",
+            || (0..1000u64).collect::<Vec<_>>(),
+            |v| v.iter().sum::<u64>(),
+        );
+        assert!(r.iters > 0);
+    }
+
+    #[test]
+    fn separators() {
+        assert_eq!(sep(1), "1");
+        assert_eq!(sep(1234), "1_234");
+        assert_eq!(sep(1234567), "1_234_567");
+    }
+}

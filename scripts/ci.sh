@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the workspace. Fully offline: the workspace has zero
+# external dependencies by policy, so this script also *enforces* that no
+# Cargo.toml sneaks a registry dependency back in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== hermetic guard: no registry dependencies =="
+# Any dependency in a [dependencies]/[dev-dependencies]/[workspace.dependencies]
+# section must be a path (or workspace = true) entry. A bare version string or
+# a { version = ... } without a path means a crates.io dependency — reject it.
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Extract dependency sections and drop blank/comment/section lines.
+    deps=$(awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies/) ; next }
+        in_deps && NF && $0 !~ /^#/ { print }
+    ' "$manifest")
+    while IFS= read -r line; do
+        [ -z "$line" ] && continue
+        case "$line" in
+            *path*|*workspace*) ;;
+            *)
+                echo "error: non-path dependency in $manifest: $line" >&2
+                fail=1
+                ;;
+        esac
+    done <<< "$deps"
+done
+if [ "$fail" -ne 0 ]; then
+    echo "hermetic guard FAILED: the workspace must not depend on registry crates" >&2
+    exit 1
+fi
+echo "ok: all dependencies are path/workspace entries"
+
+echo "== cargo tree: workspace crates only =="
+if cargo tree --workspace --prefix none --offline 2>/dev/null | awk 'NF {print $1}' | sort -u | grep -vE '^(mg-|manet-guard$)'; then
+    echo "error: cargo tree lists a non-workspace crate" >&2
+    exit 1
+fi
+echo "ok: dependency tree is workspace-only"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --workspace --offline
+
+echo "CI green."
