@@ -13,6 +13,7 @@ use mg_net::{Scenario, ScenarioConfig, SourceCfg};
 use mg_sim::{Scheduler, SimDuration, SimTime};
 use mg_stats::wilcoxon::{rank_sum_test, Alternative};
 use mg_testkit::bench::{bench, bench_with_setup, black_box};
+use mg_trace::{EventKind, TraceConfig, Tracer};
 
 fn bench_scheduler() {
     bench_with_setup(
@@ -28,25 +29,59 @@ fn bench_scheduler() {
     );
 }
 
-fn bench_full_stack() {
-    bench_with_setup(
-        "grid56_one_virtual_second",
-        || {
-            let cfg = ScenarioConfig {
-                sim_secs: 1,
-                rate_pps: 4.0,
-                ..ScenarioConfig::grid_paper(1)
-            };
-            let scenario = Scenario::new(cfg);
-            let (s, r) = scenario.tagged_pair();
-            let mut w = scenario.build(&[s, r], ());
-            w.add_source(SourceCfg::saturated(s, r));
-            w
-        },
-        |mut w| {
-            w.run_until(SimTime::from_secs(1));
-            w
-        },
+fn grid56_world() -> mg_net::World<()> {
+    let cfg = ScenarioConfig {
+        sim_secs: 1,
+        rate_pps: 4.0,
+        ..ScenarioConfig::grid_paper(1)
+    };
+    let scenario = Scenario::new(cfg);
+    let (s, r) = scenario.tagged_pair();
+    let mut w = scenario.build_with_observer(&[s, r], ());
+    w.add_source(SourceCfg::saturated(s, r));
+    w
+}
+
+fn bench_full_stack() -> mg_testkit::bench::BenchReport {
+    bench_with_setup("grid56_one_virtual_second", grid56_world, |mut w| {
+        w.run_until(SimTime::from_secs(1));
+        w
+    })
+}
+
+/// Measures the cost of the instrumentation hooks and gates the
+/// tracing-disabled path: a disabled `Tracer::emit` is on every hot edge of
+/// the event loop (scheduler pop, channel edge, MAC tx/rx, net enqueue), so
+/// a handful of them must stay far below the cost of processing one event.
+fn bench_trace_overhead(stack: &mg_testkit::bench::BenchReport) {
+    let disabled = Tracer::disabled();
+    let off = bench("tracer_emit_disabled", || {
+        black_box(&disabled).emit(black_box(1_000), Some(3), EventKind::Collision);
+    });
+    let enabled = Tracer::new(TraceConfig::verbose());
+    bench("tracer_emit_enabled", || {
+        black_box(&enabled).emit(black_box(1_000), Some(3), EventKind::Collision);
+    });
+
+    // Gate: with tracing disabled, the ~4 emit sites an event can touch must
+    // cost < 5% of handling one full-stack event, i.e. tracing off ≈ free.
+    let events = {
+        let mut w = grid56_world();
+        w.run_until(SimTime::from_secs(1));
+        w.events_fired()
+    };
+    let per_event_ns = stack.mean_ns / events as f64;
+    let per_emit_ns = off.mean_ns;
+    println!(
+        "trace overhead gate: 4 disabled emits = {:.2} ns vs 5% of one event = {:.2} ns \
+         ({events} events/virtual-second)",
+        4.0 * per_emit_ns,
+        0.05 * per_event_ns
+    );
+    assert!(
+        4.0 * per_emit_ns < 0.05 * per_event_ns,
+        "disabled tracing too expensive: 4 x {per_emit_ns:.2} ns/emit \
+         vs {per_event_ns:.2} ns/event"
     );
 }
 
@@ -79,7 +114,8 @@ fn bench_analytic() {
 
 fn main() {
     bench_scheduler();
-    bench_full_stack();
+    let stack = bench_full_stack();
+    bench_trace_overhead(&stack);
     bench_md5();
     bench_rank_sum();
     bench_analytic();

@@ -30,7 +30,7 @@ fn trial(seed: u64, pm: u8, arma_alpha: f64) -> TrialOutcome {
     mc.arma_alpha = arma_alpha;
     mc.blatant_check = false;
     let monitor = Monitor::new(mc);
-    let mut world = scenario.build(&[s, r], monitor);
+    let mut world = scenario.build_with_observer(&[s, r], monitor);
     if pm > 0 {
         world.set_policy(s, BackoffPolicy::Scaled { pm });
     }
@@ -43,6 +43,7 @@ fn trial(seed: u64, pm: u8, arma_alpha: f64) -> TrialOutcome {
         violations: d.violations as u64,
         samples: d.samples_collected as u64,
         rho: world.observer().rho(),
+        ..TrialOutcome::default()
     }
 }
 

@@ -32,7 +32,7 @@ fn trial(seed: u64, pm: u8, rule: PreclusionRule, counts: NodeCounts, ss: usize)
     mc.counts = counts;
     mc.blatant_check = false;
     let monitor = Monitor::new(mc);
-    let mut world = scenario.build(&[s, r], monitor);
+    let mut world = scenario.build_with_observer(&[s, r], monitor);
     if pm > 0 {
         world.set_policy(s, BackoffPolicy::Scaled { pm });
     }
@@ -45,6 +45,7 @@ fn trial(seed: u64, pm: u8, rule: PreclusionRule, counts: NodeCounts, ss: usize)
         violations: d.violations as u64,
         samples: d.samples_collected as u64,
         rho: world.observer().overall_rho(),
+        ..TrialOutcome::default()
     }
 }
 

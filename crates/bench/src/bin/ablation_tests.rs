@@ -32,7 +32,7 @@ fn collect(seed: u64, pm: u8) -> Vec<(f64, f64)> {
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.auto_test = false;
     let monitor = Monitor::new(mc);
-    let mut world = scenario.build(&[s, r], monitor);
+    let mut world = scenario.build_with_observer(&[s, r], monitor);
     if pm > 0 {
         world.set_policy(s, BackoffPolicy::Scaled { pm });
     }

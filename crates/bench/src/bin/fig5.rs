@@ -21,6 +21,7 @@ use mg_bench::{
     trials, Load, TrialOutcome,
 };
 use mg_sim::SimDuration;
+use mg_trace::MetricsSnapshot;
 
 const SAMPLE_SIZES: [usize; 4] = [10, 25, 50, 100];
 const PMS: [u8; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
@@ -34,6 +35,7 @@ fn run_figure(load: Load, mobile: bool, slug: &str, title: &str) {
             "PM%", "n=10", "n=25", "n=50", "n=100", "rho", "blatant/100win",
         ],
     );
+    let mut figure_metrics = MetricsSnapshot::default();
     for &pm in &PMS {
         let mut cells = vec![format!("{pm}")];
         let mut rho_acc = 0.0;
@@ -51,6 +53,7 @@ fn run_figure(load: Load, mobile: bool, slug: &str, title: &str) {
                 }
             });
             let agg = aggregate(&outcomes);
+            figure_metrics.merge(&agg.metrics);
             cells.push(p3(agg.rejection_rate()));
             rho_acc = agg.rho;
             if ss == SAMPLE_SIZES[0] {
@@ -65,6 +68,7 @@ fn run_figure(load: Load, mobile: bool, slug: &str, title: &str) {
         cells.push(p3(blatant_rate));
         t.row(cells);
     }
+    t.meta("metrics", figure_metrics.to_json());
     t.emit(slug);
 }
 

@@ -15,6 +15,7 @@ use mg_bench::{
     trials, Load, TrialOutcome,
 };
 use mg_sim::SimDuration;
+use mg_trace::MetricsSnapshot;
 
 const SAMPLE_SIZES: [usize; 5] = [10, 25, 50, 75, 100];
 
@@ -28,11 +29,13 @@ fn main() {
             "Figure 6(b): P(misdiagnosis) vs sample size — mobile (RWP), load 0.6",
             &["sample size", "P(misdiagnosis)", "tests", "false viol"],
         );
+        let mut figure_metrics = MetricsSnapshot::default();
         for &ss in &SAMPLE_SIZES {
             let outcomes: Vec<TrialOutcome> = parallel_seeds(n, 4000 + ss as u64, |seed| {
                 mobile_detection_trial(seed, Load::Medium, 0, ss, secs, SimDuration::ZERO)
             });
             let agg = aggregate(&outcomes);
+            figure_metrics.merge(&agg.metrics);
             t.row(vec![
                 format!("{ss}"),
                 p3(agg.rejection_rate()),
@@ -40,6 +43,7 @@ fn main() {
                 format!("{}", agg.violations),
             ]);
         }
+        t.meta("metrics", figure_metrics.to_json());
         t.emit("fig6b");
     } else {
         let mut t = Table::new(
@@ -53,6 +57,7 @@ fn main() {
                 "false viol",
             ],
         );
+        let mut figure_metrics = MetricsSnapshot::default();
         for &ss in &SAMPLE_SIZES {
             let mut rates = Vec::new();
             let mut tests = Vec::new();
@@ -63,6 +68,7 @@ fn main() {
                         detection_trial(seed, load, 0, ss, secs, false, grid_base())
                     });
                 let agg = aggregate(&outcomes);
+                figure_metrics.merge(&agg.metrics);
                 rates.push(p3(agg.rejection_rate()));
                 tests.push(format!("{}", agg.tests));
                 viols += agg.violations;
@@ -76,6 +82,7 @@ fn main() {
                 format!("{viols}"),
             ]);
         }
+        t.meta("metrics", figure_metrics.to_json());
         t.emit("fig6a");
     }
     println!(

@@ -31,8 +31,10 @@ use mg_detect::{JointTracker, Monitor, MonitorConfig, MonitorPool, NodeCounts, V
 use mg_net::{NetObserver, Scenario, ScenarioConfig, SourceCfg, TrafficKind};
 use mg_phy::Medium;
 use mg_sim::{SimDuration, SimTime};
+use mg_trace::{Metrics, MetricsSnapshot, Tracer};
 
-pub mod json;
+pub use mg_trace::json;
+
 pub mod table;
 
 /// Reads an env knob with a default.
@@ -118,6 +120,8 @@ pub struct TrialOutcome {
     pub samples: u64,
     /// Measured overall busy fraction at the monitor.
     pub rho: f64,
+    /// Stack-wide counters and histograms from the trial's [`Metrics`].
+    pub metrics: MetricsSnapshot,
 }
 
 impl TrialOutcome {
@@ -128,6 +132,7 @@ impl TrialOutcome {
         self.violations += o.violations;
         self.samples += o.samples;
         self.rho += o.rho; // divide by trial count at the end
+        self.metrics.merge(&o.metrics);
     }
 
     /// Rejection rate (detection probability under H1, misdiagnosis
@@ -161,13 +166,17 @@ pub fn detection_trial_with_cfg(
     if matches!(scenario.config().topology, mg_net::TopologyCfg::Random { .. }) {
         mc.counts = NodeCounts::FromDensity;
     }
-    let monitor = Monitor::new(mc);
-    let mut world = scenario.build(&[s, r], monitor);
+    let mut monitor = Monitor::new(mc);
+    let handle = Metrics::new(scenario.positions().len());
+    monitor.set_instrumentation(Tracer::disabled(), handle.clone());
+    let mut world = scenario.build_with_observer(&[s, r], monitor);
+    world.set_metrics(handle);
     if pm > 0 {
         world.set_policy(s, BackoffPolicy::Scaled { pm });
     }
     world.add_source(SourceCfg::saturated(s, r));
     world.run_until(SimTime::from_secs(secs));
+    let metrics = world.metrics().snapshot();
     let m = world.observer();
     let diag = m.diagnosis();
     TrialOutcome {
@@ -176,6 +185,7 @@ pub fn detection_trial_with_cfg(
         violations: diag.violations as u64,
         samples: diag.samples_collected as u64,
         rho: m.overall_rho(),
+        metrics,
     }
 }
 
@@ -207,13 +217,17 @@ pub fn detection_trial(
     if matches!(cfg.topology, mg_net::TopologyCfg::Random { .. }) {
         mc.counts = NodeCounts::FromDensity;
     }
-    let monitor = Monitor::new(mc);
-    let mut world = scenario.build(&[s, r], monitor);
+    let mut monitor = Monitor::new(mc);
+    let handle = Metrics::new(scenario.positions().len());
+    monitor.set_instrumentation(Tracer::disabled(), handle.clone());
+    let mut world = scenario.build_with_observer(&[s, r], monitor);
+    world.set_metrics(handle);
     if pm > 0 {
         world.set_policy(s, BackoffPolicy::Scaled { pm });
     }
     world.add_source(SourceCfg::saturated(s, r));
     world.run_until(SimTime::from_secs(secs));
+    let metrics = world.metrics().snapshot();
     let m = world.observer();
     let diag = m.diagnosis();
     TrialOutcome {
@@ -222,6 +236,7 @@ pub fn detection_trial(
         violations: diag.violations as u64,
         samples: diag.samples_collected as u64,
         rho: m.overall_rho(),
+        metrics,
     }
 }
 
@@ -253,8 +268,11 @@ pub fn mobile_detection_trial(
     // Distance-scaled calibration tracks the elected vantage's proximity
     // (close vantages share almost all of the tagged node's channel view).
     template.counts = NodeCounts::SimCalibrated;
-    let pool = MonitorPool::new(s, &vantages, template);
-    let mut world = scenario.build(&[s, r], pool);
+    let mut pool = MonitorPool::new(s, &vantages, template);
+    let handle = Metrics::new(scenario.positions().len());
+    pool.set_instrumentation(Tracer::disabled(), handle.clone());
+    let mut world = scenario.build_with_observer(&[s, r], pool);
+    world.set_metrics(handle);
     if pm > 0 {
         world.set_policy(s, BackoffPolicy::Scaled { pm });
     }
@@ -266,6 +284,7 @@ pub fn mobile_detection_trial(
         payload_len: 512,
     });
     world.run_until(SimTime::from_secs(secs));
+    let metrics = world.metrics().snapshot();
     let pool = world.observer();
     let diag = pool.diagnosis();
     TrialOutcome {
@@ -274,6 +293,7 @@ pub fn mobile_detection_trial(
         violations: diag.violations as u64,
         samples: diag.samples_collected as u64,
         rho: diag.measured_rho,
+        metrics,
     }
 }
 
@@ -348,7 +368,7 @@ pub fn conditional_probability_run(seed: u64, rate_pps: f64, secs: u64, cfg_base
     let (s, r) = scenario.tagged_pair();
     let pair_distance = scenario.positions()[s].distance(scenario.positions()[r]);
     let probe = JointProbe::new(s, r);
-    let mut world = scenario.build(&[], probe);
+    let mut world = scenario.build_with_observer(&[], probe);
     world.run_until(SimTime::from_secs(secs));
     let now = world.now();
     let probe = world.observer_mut();
@@ -475,6 +495,10 @@ mod tests {
         let o = detection_trial(1, Load::Low, 90, 10, 10, false, grid_base());
         assert!(o.samples > 0, "{o:?}");
         assert!(o.violations > 0, "PM=90 must trip the blatant check: {o:?}");
+        assert!(
+            o.metrics.total(mg_trace::Counter::TxFrames) > 0,
+            "trials must carry a metrics snapshot: {o:?}"
+        );
     }
 
     #[test]
@@ -492,6 +516,7 @@ mod tests {
             violations: 0,
             samples: 10,
             rho: 0.4,
+            ..TrialOutcome::default()
         };
         let b = TrialOutcome {
             tests: 2,
@@ -499,6 +524,7 @@ mod tests {
             violations: 3,
             samples: 10,
             rho: 0.6,
+            ..TrialOutcome::default()
         };
         let agg = aggregate(&[a, b]);
         assert_eq!(agg.tests, 4);

@@ -10,6 +10,7 @@ pub struct Table {
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    meta: Vec<(String, Json)>,
 }
 
 impl Table {
@@ -19,7 +20,15 @@ impl Table {
             title: title.to_string(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            meta: Vec::new(),
         }
+    }
+
+    /// Attaches an out-of-band value (e.g. a metrics block) to the JSON
+    /// rendering. Meta entries appear as extra top-level keys, after
+    /// `title`/`headers`/`rows`; text and CSV output are unaffected.
+    pub fn meta(&mut self, key: &str, value: Json) {
+        self.meta.push((key.to_string(), value));
     }
 
     /// Appends a row.
@@ -77,13 +86,17 @@ impl Table {
         out
     }
 
-    /// Renders the table as a JSON object (title, headers, rows).
+    /// Renders the table as a JSON object (title, headers, rows, plus any
+    /// [`meta`](Table::meta) entries).
     pub fn render_json(&self) -> String {
-        Json::obj([
-            ("title", Json::Str(self.title.clone())),
-            ("headers", Json::strings(self.headers.iter().cloned())),
+        let mut fields: Vec<(String, Json)> = vec![
+            ("title".to_string(), Json::Str(self.title.clone())),
             (
-                "rows",
+                "headers".to_string(),
+                Json::strings(self.headers.iter().cloned()),
+            ),
+            (
+                "rows".to_string(),
                 Json::Arr(
                     self.rows
                         .iter()
@@ -91,8 +104,9 @@ impl Table {
                         .collect(),
                 ),
             ),
-        ])
-        .render()
+        ];
+        fields.extend(self.meta.iter().cloned());
+        Json::Obj(fields).render()
     }
 
     /// Prints the table to stdout and, when `MG_CSV_DIR` / `MG_JSON_DIR`
@@ -159,5 +173,16 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(p3(0.12345), "0.123");
         assert_eq!(f2(1.0 / 3.0), "0.33");
+    }
+
+    #[test]
+    fn meta_lands_in_json_only() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into()]);
+        t.meta("metrics", Json::obj([("tx_frames", Json::Num(7.0))]));
+        let j = t.render_json();
+        assert!(j.contains("\"metrics\":{\"tx_frames\":7}"), "{j}");
+        assert!(!t.render().contains("metrics"));
+        assert!(!t.render_csv().contains("metrics"));
     }
 }

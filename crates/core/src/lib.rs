@@ -27,7 +27,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use mg_detect::{Monitor, MonitorConfig};
+//! use mg_detect::{MonitorConfig, ScenarioBuilder, WorldMonitors};
 //! use mg_net::{ScenarioConfig, Scenario, SourceCfg};
 //! use mg_dcf::BackoffPolicy;
 //! use mg_sim::SimTime;
@@ -37,12 +37,14 @@
 //!     sim_secs: 20, rate_pps: 2.0, ..ScenarioConfig::grid_paper(1)
 //! });
 //! let (s, r) = scenario.tagged_pair();
-//! let monitor = Monitor::new(MonitorConfig::grid_paper(s, r, 240.0));
-//! let mut world = scenario.build(&[s, r], monitor);
-//! world.set_policy(s, BackoffPolicy::Scaled { pm: 80 }); // S cheats hard
-//! world.add_source(SourceCfg::saturated(s, r));
+//! let mut b = ScenarioBuilder::new(scenario);
+//! let attacker = b.attacker(s);
+//! let watch = b.monitor(MonitorConfig::grid_paper(s, r, 240.0));
+//! b.source(SourceCfg::saturated(s, r));
+//! let mut world = b.build();
+//! world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: 80 });
 //! world.run_until(SimTime::from_secs(20));
-//! assert!(world.observer().diagnosis().is_flagged());
+//! assert!(world.monitors().diagnosis(watch).is_flagged());
 //! ```
 
 #![warn(missing_docs)]
@@ -52,12 +54,14 @@ mod channel;
 mod density;
 mod monitor;
 mod pool;
+mod scenario;
 
 pub use analysis::AnalyticModel;
 pub use channel::{ChannelTracker, JointTracker};
 pub use density::DensityEstimator;
 pub use monitor::{Diagnosis, Judge, Monitor, MonitorConfig, NodeCounts, Violation};
 pub use pool::MonitorPool;
+pub use scenario::{AttackerHandle, MonitorHandle, Monitors, ScenarioBuilder, WorldMonitors};
 
 /// Index of a node in the simulation.
 pub type NodeId = usize;

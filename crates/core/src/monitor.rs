@@ -35,6 +35,7 @@ use mg_net::NetObserver;
 use mg_phy::Medium;
 use mg_geom::PreclusionRule;
 use mg_sim::SimTime;
+use mg_trace::{Counter, EventKind, Metrics, Tracer};
 use mg_stats::filter::Arma;
 use mg_stats::signed_rank::signed_rank_test;
 use mg_stats::wilcoxon::{rank_sum_test, Alternative, RankSumResult};
@@ -132,6 +133,30 @@ pub enum Violation {
         /// When it was observed.
         at: SimTime,
     },
+}
+
+impl Violation {
+    /// When the violation was observed.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            Violation::SequenceReuse { at, .. }
+            | Violation::AttemptMismatch { at, .. }
+            | Violation::ImplausibleAdvance { at, .. }
+            | Violation::UnverifiedData { at, .. }
+            | Violation::BlatantCountdown { at, .. } => at,
+        }
+    }
+
+    /// Stable snake_case tag for this violation kind (used in trace output).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Violation::SequenceReuse { .. } => "sequence_reuse",
+            Violation::AttemptMismatch { .. } => "attempt_mismatch",
+            Violation::ImplausibleAdvance { .. } => "implausible_advance",
+            Violation::UnverifiedData { .. } => "unverified_data",
+            Violation::BlatantCountdown { .. } => "blatant_countdown",
+        }
+    }
 }
 
 /// Monitor configuration.
@@ -308,6 +333,8 @@ pub struct Monitor {
     rejections: usize,
     violations: Vec<Violation>,
     discarded: usize,
+    tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl Monitor {
@@ -336,8 +363,18 @@ impl Monitor {
             rejections: 0,
             violations: Vec::new(),
             discarded: 0,
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
             cfg,
         }
+    }
+
+    /// Journals this monitor's samples, tests, and violations through
+    /// `tracer` and counts them into `metrics` (node-scoped to the tagged
+    /// node). Both disabled by default.
+    pub fn set_instrumentation(&mut self, tracer: Tracer, metrics: Metrics) {
+        self.tracer = tracer;
+        self.metrics = metrics;
     }
 
     /// The configuration.
@@ -449,6 +486,17 @@ impl Monitor {
 
     // ------------------------------------------------------------------
 
+    /// Records a violation: journal, count, store.
+    fn flag(&mut self, v: Violation) {
+        self.tracer.emit(
+            v.at().as_nanos(),
+            Some(self.cfg.tagged),
+            EventKind::MonitorViolation { kind: v.kind_str() },
+        );
+        self.metrics.bump(self.cfg.tagged, Counter::MonitorViolations);
+        self.violations.push(v);
+    }
+
     fn slot_ns(&self) -> f64 {
         self.cfg.timing.slot.as_nanos() as f64
     }
@@ -489,7 +537,7 @@ impl Monitor {
                 let logical =
                     VerifiableSequence::unwrap_offset(fields.seq_off_wire, prev.logical);
                 if logical <= prev.logical {
-                    self.violations.push(Violation::SequenceReuse {
+                    self.flag(Violation::SequenceReuse {
                         previous: prev.logical,
                         seen: logical,
                         at: end,
@@ -506,7 +554,7 @@ impl Monitor {
                     let feasible =
                         end.saturating_since(prev.at).div_periods(min_draw) + 2;
                     if jump > feasible {
-                        self.violations.push(Violation::ImplausibleAdvance {
+                        self.flag(Violation::ImplausibleAdvance {
                             jump,
                             feasible,
                             at: end,
@@ -516,7 +564,7 @@ impl Monitor {
                 if fields.md == prev.md && fields.attempt <= prev.attempt {
                     // Same DATA frame re-announced without bumping the
                     // attempt: the CW-widening dodge.
-                    self.violations.push(Violation::AttemptMismatch {
+                    self.flag(Violation::AttemptMismatch {
                         previous: prev.attempt,
                         seen: fields.attempt,
                         at: end,
@@ -557,7 +605,7 @@ impl Monitor {
                 if self.cfg.blatant_check
                     && total + self.cfg.blatant_tolerance < difs + f64::from(dictated.slots)
                 {
-                    self.violations.push(Violation::BlatantCountdown {
+                    self.flag(Violation::BlatantCountdown {
                         dictated: dictated.slots,
                         observed_slots: total,
                         at: end,
@@ -584,6 +632,12 @@ impl Monitor {
                 if y > f64::from(timing.cw_max) * self.cfg.discard_factor {
                     self.discarded += 1;
                 } else {
+                    self.tracer.emit(
+                        end.as_nanos(),
+                        Some(self.cfg.tagged),
+                        EventKind::MonitorSample { dictated: x, estimated: y },
+                    );
+                    self.metrics.bump(self.cfg.tagged, Counter::MonitorSamples);
                     self.pending.push((x, y));
                     self.all_samples.push((x, y));
                     if self.cfg.auto_test && self.pending.len() >= self.cfg.sample_size {
@@ -620,7 +674,7 @@ impl Monitor {
             && self.data_unverified * 2 > self.data_seen
         {
             self.unverified_flagged = true;
-            self.violations.push(Violation::UnverifiedData {
+            self.flag(Violation::UnverifiedData {
                 unverified: self.data_unverified,
                 total: self.data_seen,
                 at: end,
@@ -648,9 +702,20 @@ impl Monitor {
                 }
             }
         };
-        if result.p_value < self.cfg.alpha {
+        let reject = result.p_value < self.cfg.alpha;
+        if reject {
             self.rejections += 1;
         }
+        // Timestamped at the last tagged-node sighting: run_test is always
+        // driven by tagged-node activity, and virtual time keeps the journal
+        // deterministic.
+        let t = self.last_tagged_seen.unwrap_or(SimTime::ZERO);
+        self.tracer.emit(
+            t.as_nanos(),
+            Some(self.cfg.tagged),
+            EventKind::MonitorTest { p: result.p_value, reject },
+        );
+        self.metrics.bump(self.cfg.tagged, Counter::MonitorTests);
         self.tests.push(result);
     }
 

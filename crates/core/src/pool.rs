@@ -14,6 +14,7 @@ use mg_net::NetObserver;
 use mg_phy::Medium;
 use mg_sim::SimTime;
 use mg_stats::wilcoxon::{rank_sum_test, Alternative, RankSumResult};
+use mg_trace::{Counter, EventKind, Metrics, Tracer};
 use std::collections::HashMap;
 
 /// A set of monitors for one tagged node, one per candidate vantage, with
@@ -30,6 +31,10 @@ pub struct MonitorPool {
     rejections: usize,
     /// Samples contributed per vantage (diagnostic).
     contributed: HashMap<NodeId, usize>,
+    /// Last tagged-RTS end seen (virtual timestamp for shared-test records).
+    last_seen: SimTime,
+    tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl MonitorPool {
@@ -70,7 +75,31 @@ impl MonitorPool {
             tests: Vec::new(),
             rejections: 0,
             contributed: HashMap::new(),
+            last_seen: SimTime::ZERO,
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Journals every member's samples/violations and the pool's shared
+    /// tests through `tracer`, counting into `metrics`. Both disabled by
+    /// default.
+    pub fn set_instrumentation(&mut self, tracer: Tracer, metrics: Metrics) {
+        for m in self.monitors.values_mut() {
+            m.set_instrumentation(tracer.clone(), metrics.clone());
+        }
+        self.tracer = tracer;
+        self.metrics = metrics;
+    }
+
+    /// The node this pool watches.
+    pub fn tagged(&self) -> NodeId {
+        self.tagged
+    }
+
+    /// The candidate vantages (arbitrary order).
+    pub fn vantages(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.monitors.keys().copied()
     }
 
     /// The currently active vantage, if any is in range.
@@ -168,9 +197,16 @@ impl MonitorPool {
             let xs: Vec<f64> = batch.iter().map(|&(x, _)| x).collect();
             let ys: Vec<f64> = batch.iter().map(|&(_, y)| y).collect();
             let r = rank_sum_test(&ys, &xs, Alternative::Less);
-            if r.p_value < self.alpha {
+            let reject = r.p_value < self.alpha;
+            if reject {
                 self.rejections += 1;
             }
+            self.tracer.emit(
+                self.last_seen.as_nanos(),
+                Some(self.tagged),
+                EventKind::MonitorTest { p: r.p_value, reject },
+            );
+            self.metrics.bump(self.tagged, Counter::MonitorTests);
             self.tests.push(r);
         }
     }
@@ -208,6 +244,7 @@ impl NetObserver for MonitorPool {
             m.on_frame_decoded(medium, at, frame, start, end);
         }
         if frame.src == self.tagged && frame.is_rts() {
+            self.last_seen = end;
             self.reelect(medium);
             self.harvest();
         }

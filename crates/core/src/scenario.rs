@@ -1,0 +1,453 @@
+//! Declarative scenario assembly: [`ScenarioBuilder`] and typed handles.
+//!
+//! The positional `Scenario::build(&[attacker, vantage], monitor)` call made
+//! every caller hand-maintain the exclusion list and thread a single observer
+//! through the world's type parameter. The builder replaces that: declare
+//! attackers, monitors and extra sources by role, and [`ScenarioBuilder::build`]
+//! wires the exclusion set, the observer fan-out ([`Monitors`]) and the
+//! optional trace/metrics instrumentation in one place.
+//!
+//! ```
+//! use mg_detect::{MonitorConfig, ScenarioBuilder, WorldMonitors};
+//! use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+//! use mg_dcf::BackoffPolicy;
+//! use mg_sim::SimTime;
+//!
+//! let scenario = Scenario::new(ScenarioConfig {
+//!     sim_secs: 10, rate_pps: 2.0, ..ScenarioConfig::grid_paper(1)
+//! });
+//! let (s, r) = scenario.tagged_pair();
+//! let mut b = ScenarioBuilder::new(scenario);
+//! let attacker = b.attacker(s);
+//! let watch = b.monitor(MonitorConfig::grid_paper(s, r, 240.0));
+//! b.source(SourceCfg::saturated(s, r));
+//! let mut world = b.build();
+//! world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: 80 });
+//! world.run_until(SimTime::from_secs(10));
+//! let d = world.monitors().diagnosis(watch);
+//! assert!(d.is_flagged());
+//! ```
+
+use crate::monitor::{Diagnosis, MonitorConfig, Violation};
+use crate::pool::MonitorPool;
+use crate::NodeId;
+use mg_dcf::Frame;
+use mg_net::{NetObserver, Scenario, SourceCfg, World};
+use mg_phy::Medium;
+use mg_sim::SimTime;
+use mg_trace::{Metrics, TraceConfig, Tracer};
+
+/// Handle to a node registered as an attacker via
+/// [`ScenarioBuilder::attacker`].
+///
+/// Registration keeps background sources off the node; the cheating policy
+/// itself is applied to the built world (`world.set_policy(h.id(), …)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttackerHandle {
+    node: NodeId,
+}
+
+impl AttackerHandle {
+    /// The attacker's node id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+}
+
+/// Handle to a monitor (or monitor pool) registered via
+/// [`ScenarioBuilder::monitor`] / [`ScenarioBuilder::monitor_pool`].
+///
+/// Resolve it against the built world with [`Monitors::diagnosis`],
+/// [`Monitors::pool`] or [`Monitors::pool_mut`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MonitorHandle {
+    index: usize,
+    tagged: NodeId,
+}
+
+impl MonitorHandle {
+    /// Position of this monitor in the [`Monitors`] collection.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The node this monitor watches.
+    pub fn tagged(&self) -> NodeId {
+        self.tagged
+    }
+}
+
+/// The observer a [`ScenarioBuilder`] installs: every registered monitor
+/// pool, fanned out behind one [`NetObserver`].
+///
+/// Access it on the built world through [`WorldMonitors::monitors`].
+#[derive(Debug, Default)]
+pub struct Monitors {
+    pools: Vec<MonitorPool>,
+}
+
+impl Monitors {
+    /// Number of registered monitor pools.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// `true` when no monitor was registered.
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+
+    /// Iterates over the pools in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &MonitorPool> {
+        self.pools.iter()
+    }
+
+    /// The pool at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&MonitorPool> {
+        self.pools.get(index)
+    }
+
+    /// Mutable access to the pool at `index`, if any.
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut MonitorPool> {
+        self.pools.get_mut(index)
+    }
+
+    /// The first registered pool — the common single-monitor case.
+    pub fn primary(&self) -> Option<&MonitorPool> {
+        self.pools.first()
+    }
+
+    /// The pool behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` came from a different builder.
+    pub fn pool(&self, handle: MonitorHandle) -> &MonitorPool {
+        &self.pools[handle.index]
+    }
+
+    /// Mutable access to the pool behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` came from a different builder.
+    pub fn pool_mut(&mut self, handle: MonitorHandle) -> &mut MonitorPool {
+        &mut self.pools[handle.index]
+    }
+
+    /// Aggregated diagnosis of the pool behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` came from a different builder.
+    pub fn diagnosis(&self, handle: MonitorHandle) -> Diagnosis {
+        self.pool(handle).diagnosis()
+    }
+
+    /// Deterministic violations seen by the pool behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` came from a different builder.
+    pub fn violations(&self, handle: MonitorHandle) -> Vec<Violation> {
+        self.pool(handle).violations()
+    }
+}
+
+impl NetObserver for Monitors {
+    fn on_channel_edge(&mut self, medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
+        for p in &mut self.pools {
+            p.on_channel_edge(medium, node, busy, now);
+        }
+    }
+
+    fn on_tx_start(
+        &mut self,
+        medium: &Medium,
+        src: NodeId,
+        frame: &Frame,
+        now: SimTime,
+        end: SimTime,
+    ) {
+        for p in &mut self.pools {
+            p.on_tx_start(medium, src, frame, now, end);
+        }
+    }
+
+    fn on_frame_decoded(
+        &mut self,
+        medium: &Medium,
+        at: NodeId,
+        frame: &Frame,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        for p in &mut self.pools {
+            p.on_frame_decoded(medium, at, frame, start, end);
+        }
+    }
+
+    fn on_frame_garbled(&mut self, medium: &Medium, at: NodeId, now: SimTime) {
+        for p in &mut self.pools {
+            p.on_frame_garbled(medium, at, now);
+        }
+    }
+}
+
+/// Read the monitors back out of a world built by [`ScenarioBuilder`].
+///
+/// `world.monitors()` generalizes the old `world.observer()` idiom: the
+/// observer of a builder-made world is always a [`Monitors`] collection, and
+/// this trait names that without spelling the type parameter at every call
+/// site.
+pub trait WorldMonitors {
+    /// The registered monitors.
+    fn monitors(&self) -> &Monitors;
+    /// Mutable access to the registered monitors.
+    fn monitors_mut(&mut self) -> &mut Monitors;
+}
+
+impl WorldMonitors for World<Monitors> {
+    fn monitors(&self) -> &Monitors {
+        self.observer()
+    }
+
+    fn monitors_mut(&mut self) -> &mut Monitors {
+        self.observer_mut()
+    }
+}
+
+/// Assembles a detection scenario: attackers, monitors, extra traffic and
+/// instrumentation on top of a laid-out [`Scenario`].
+///
+/// Registration order is free; [`build`](ScenarioBuilder::build) derives the
+/// background-source exclusion set from the declared roles (attackers,
+/// tagged nodes, template vantages), exactly as the old positional
+/// `Scenario::build(&[attacker, vantage], monitor)` call did by hand.
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+    exclude: Vec<NodeId>,
+    pools: Vec<MonitorPool>,
+    sources: Vec<SourceCfg>,
+    trace: Option<TraceConfig>,
+    metrics: bool,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder over `scenario`.
+    pub fn new(scenario: Scenario) -> Self {
+        ScenarioBuilder {
+            scenario,
+            exclude: Vec::new(),
+            pools: Vec::new(),
+            sources: Vec::new(),
+            trace: None,
+            metrics: false,
+        }
+    }
+
+    /// The underlying scenario (topology and config).
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Registers `node` as an attacker: background sources stay off it so
+    /// its traffic can be configured explicitly.
+    ///
+    /// The cheating policy is applied to the built world:
+    /// `world.set_policy(handle.id(), policy)`.
+    pub fn attacker(&mut self, node: NodeId) -> AttackerHandle {
+        self.exclude_node(node);
+        AttackerHandle { node }
+    }
+
+    /// Registers a single monitor watching `cfg.tagged` from `cfg.vantage`.
+    ///
+    /// Both nodes are excluded from background sources, matching the old
+    /// `Scenario::build(&[tagged, vantage], monitor)` convention.
+    pub fn monitor(&mut self, cfg: MonitorConfig) -> MonitorHandle {
+        let vantage = cfg.vantage;
+        self.push_pool(MonitorPool::new(cfg.tagged, &[vantage], cfg))
+    }
+
+    /// Registers a monitor pool watching `template.tagged` from every node
+    /// in `vantages`, with range-based handoff (the paper's mobile case).
+    ///
+    /// Only `template.tagged` and `template.vantage` are excluded from
+    /// background sources — extra vantages keep their traffic, so adding
+    /// vantages does not perturb the source-placement RNG draw.
+    pub fn monitor_pool(&mut self, template: MonitorConfig, vantages: &[NodeId]) -> MonitorHandle {
+        let tagged = template.tagged;
+        let vantage = template.vantage;
+        let pool = MonitorPool::new(tagged, vantages, template);
+        let h = self.push_pool_raw(pool, tagged);
+        self.exclude_node(tagged);
+        self.exclude_node(vantage);
+        h
+    }
+
+    /// Adds a traffic source to the built world, on top of the scenario's
+    /// background sources.
+    pub fn source(&mut self, cfg: SourceCfg) {
+        self.sources.push(cfg);
+    }
+
+    /// Journals the whole stack (scheduler → PHY → MAC → net → monitors)
+    /// into a ring-buffer trace with the given capacity and level filters.
+    pub fn trace(&mut self, cfg: TraceConfig) {
+        self.trace = Some(cfg);
+    }
+
+    /// Enables per-node counters and latency/back-off histograms.
+    pub fn metrics(&mut self) {
+        self.metrics = true;
+    }
+
+    /// Builds the world: lays out sources with the role-derived exclusion
+    /// set, installs the monitors as the observer, and threads the trace and
+    /// metrics handles through every layer.
+    pub fn build(self) -> World<Monitors> {
+        let nodes = self.scenario.positions().len();
+        let tracer = match self.trace {
+            Some(cfg) => Tracer::new(cfg),
+            None => Tracer::disabled(),
+        };
+        let metrics = if self.metrics {
+            Metrics::new(nodes)
+        } else {
+            Metrics::disabled()
+        };
+        let mut monitors = Monitors { pools: self.pools };
+        for p in &mut monitors.pools {
+            p.set_instrumentation(tracer.clone(), metrics.clone());
+        }
+        let mut world = self.scenario.build_with_observer(&self.exclude, monitors);
+        world.set_tracer(tracer);
+        world.set_metrics(metrics);
+        // Extra sources go in after the scenario's background sources so the
+        // background traffic streams keep their indices (and thus their RNG
+        // draws) no matter how many roles were declared.
+        for cfg in self.sources {
+            world.add_source(cfg);
+        }
+        world
+    }
+
+    fn exclude_node(&mut self, node: NodeId) {
+        if !self.exclude.contains(&node) {
+            self.exclude.push(node);
+        }
+    }
+
+    fn push_pool(&mut self, pool: MonitorPool) -> MonitorHandle {
+        let tagged = pool.tagged();
+        let vantages: Vec<NodeId> = pool.vantages().collect();
+        let h = self.push_pool_raw(pool, tagged);
+        self.exclude_node(tagged);
+        for v in vantages {
+            self.exclude_node(v);
+        }
+        h
+    }
+
+    fn push_pool_raw(&mut self, pool: MonitorPool, tagged: NodeId) -> MonitorHandle {
+        let index = self.pools.len();
+        self.pools.push(pool);
+        MonitorHandle { index, tagged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_dcf::BackoffPolicy;
+    use mg_net::{ScenarioConfig, SourceCfg};
+
+    fn paper_scenario(seed: u64, secs: u64) -> Scenario {
+        Scenario::new(ScenarioConfig {
+            sim_secs: secs,
+            rate_pps: 2.0,
+            ..ScenarioConfig::grid_paper(seed)
+        })
+    }
+
+    #[test]
+    fn handles_report_their_nodes() {
+        let scenario = paper_scenario(1, 5);
+        let (s, r) = scenario.tagged_pair();
+        let mut b = ScenarioBuilder::new(scenario);
+        let a = b.attacker(s);
+        let m = b.monitor(MonitorConfig::grid_paper(s, r, 240.0));
+        assert_eq!(a.id(), s);
+        assert_eq!(m.tagged(), s);
+        assert_eq!(m.index(), 0);
+        let world = b.build();
+        assert_eq!(world.monitors().len(), 1);
+        assert!(world.monitors().primary().is_some());
+    }
+
+    #[test]
+    fn builder_flags_a_hard_cheater() {
+        let scenario = paper_scenario(4, 20);
+        let (s, r) = scenario.tagged_pair();
+        let mut b = ScenarioBuilder::new(scenario);
+        let a = b.attacker(s);
+        let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
+        mc.sample_size = 25;
+        let watch = b.monitor(mc);
+        b.source(SourceCfg::saturated(s, r));
+        let mut world = b.build();
+        world.set_policy(a.id(), BackoffPolicy::Scaled { pm: 80 });
+        world.run_until(SimTime::from_secs(20));
+        let d = world.monitors().diagnosis(watch);
+        assert!(d.is_flagged(), "{d:?}");
+    }
+
+    #[test]
+    fn instrumented_builds_are_deterministic() {
+        let run = || {
+            let scenario = paper_scenario(7, 2);
+            let (s, r) = scenario.tagged_pair();
+            let mut b = ScenarioBuilder::new(scenario);
+            b.attacker(s);
+            b.monitor(MonitorConfig::grid_paper(s, r, 240.0));
+            b.source(SourceCfg::saturated(s, r));
+            b.trace(TraceConfig::verbose());
+            b.metrics();
+            let mut world = b.build();
+            world.run_until(SimTime::from_secs(2));
+            let jsonl = world.tracer().to_jsonl();
+            let snap = world.metrics().snapshot();
+            (jsonl, snap.total(mg_trace::Counter::TxFrames))
+        };
+        let (ja, ta) = run();
+        let (jb, tb) = run();
+        assert!(!ja.is_empty());
+        assert!(ta > 0);
+        assert_eq!(ja, jb);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn monitor_exclusion_matches_old_positional_build() {
+        // Same seed, monitor-region roles declared through the builder vs
+        // the old positional exclusion list: background sources must land on
+        // the same nodes, i.e. deliver the same totals.
+        let scenario_a = paper_scenario(9, 3);
+        let (s, r) = scenario_a.tagged_pair();
+        let mut b = ScenarioBuilder::new(scenario_a);
+        b.attacker(s);
+        b.monitor(MonitorConfig::grid_paper(s, r, 240.0));
+        b.source(SourceCfg::saturated(s, r));
+        let mut wa = b.build();
+        wa.run_until(SimTime::from_secs(3));
+
+        let scenario_b = paper_scenario(9, 3);
+        let mut wb = scenario_b.build_with_observer(&[s, r], ());
+        wb.add_source(SourceCfg::saturated(s, r));
+        wb.run_until(SimTime::from_secs(3));
+
+        assert_eq!(wa.mac_delivered, wb.mac_delivered);
+        assert_eq!(wa.events_fired(), wb.events_fired());
+    }
+}

@@ -17,7 +17,17 @@ use crate::NodeId;
 use mg_crypto::{BackoffDraw, VerifiableSequence};
 use mg_sim::rng::Xoshiro256;
 use mg_sim::{SimDuration, SimTime};
+use mg_trace::{Counter, EventKind, FrameLabel, Metrics, Tracer};
 use std::collections::VecDeque;
+
+fn frame_label(kind: &FrameKind) -> FrameLabel {
+    match kind {
+        FrameKind::Rts(_) => FrameLabel::Rts,
+        FrameKind::Cts => FrameLabel::Cts,
+        FrameKind::Data { .. } => FrameLabel::Data,
+        FrameKind::Ack => FrameLabel::Ack,
+    }
+}
 
 /// Default interface-queue capacity (Table 1: 50 packets).
 pub const DEFAULT_QUEUE_CAP: usize = 50;
@@ -194,6 +204,8 @@ pub struct DcfMac {
     rx_reserved: SimDuration,
 
     stats: MacStats,
+    tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl DcfMac {
@@ -224,7 +236,21 @@ impl DcfMac {
             rx_peer: 0,
             rx_reserved: SimDuration::ZERO,
             stats: MacStats::default(),
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Journals this MAC's frame and back-off events through `tracer`.
+    /// Disabled by default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Records this MAC's per-node counters and back-off draws into
+    /// `metrics`. Disabled by default.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// This node's id.
@@ -294,9 +320,11 @@ impl DcfMac {
         let mut actions = Vec::new();
         if self.queue.len() >= self.queue_cap {
             self.stats.queue_drops += 1;
+            self.metrics.bump(self.node, Counter::Dropped);
             return actions;
         }
         self.stats.enqueued += 1;
+        self.metrics.bump(self.node, Counter::Enqueued);
         self.queue.push_back(sdu);
         if self.state == MacState::Idle && self.tx_ctx.is_none() {
             self.next_packet(now, &mut actions);
@@ -381,6 +409,12 @@ impl DcfMac {
     /// A frame was decoded at this node (it ended at `now`).
     pub fn on_frame_decoded(&mut self, frame: &Frame, now: SimTime) -> Vec<MacAction> {
         let mut actions = Vec::new();
+        self.tracer.emit(
+            now.as_nanos(),
+            Some(self.node),
+            EventKind::RxDecoded { src: frame.src, frame: frame_label(&frame.kind) },
+        );
+        self.metrics.bump(self.node, Counter::RxDecoded);
         self.use_eifs = false; // correct reception clears the EIFS penalty
         if !frame.dst.is_for(self.node) {
             // Third-party frame: honor its NAV. For an RTS, also schedule the
@@ -495,8 +529,10 @@ impl DcfMac {
 
     /// Energy that looked like a frame arrived but could not be decoded
     /// (collision in our airspace) — next deference uses EIFS.
-    pub fn on_frame_garbled(&mut self, _now: SimTime) -> Vec<MacAction> {
+    pub fn on_frame_garbled(&mut self, now: SimTime) -> Vec<MacAction> {
         self.stats.garbled_heard += 1;
+        self.tracer.emit(now.as_nanos(), Some(self.node), EventKind::Collision);
+        self.metrics.bump(self.node, Counter::RxGarbled);
         self.use_eifs = true;
         Vec::new()
     }
@@ -526,6 +562,11 @@ impl DcfMac {
         self.use_eifs = false;
         let start = now + ifs;
         self.run_start = Some(start);
+        self.tracer.emit(
+            now.as_nanos(),
+            Some(self.node),
+            EventKind::BackoffResume { slots: ctx.counter },
+        );
         actions.push(MacAction::Arm {
             timer: Timer::Countdown,
             at: start + self.timing.slot * u64::from(ctx.counter),
@@ -540,6 +581,13 @@ impl DcfMac {
             if let Some(ctx) = self.tx_ctx.as_mut() {
                 ctx.counter = ctx.counter.saturating_sub(decrements.min(u64::from(u16::MAX)) as u16);
             }
+            let remaining = self.tx_ctx.as_ref().map_or(0, |c| c.counter);
+            self.tracer.emit(
+                now.as_nanos(),
+                Some(self.node),
+                EventKind::BackoffFreeze { remaining_slots: remaining },
+            );
+            self.metrics.bump(self.node, Counter::BackoffFreezes);
             actions.push(MacAction::Disarm {
                 timer: Timer::Countdown,
             });
@@ -618,10 +666,11 @@ impl DcfMac {
                 }),
             }
         };
+        self.emit_tx_start(&frame, now);
         actions.push(MacAction::StartTx { frame });
     }
 
-    fn on_sifs(&mut self, _now: SimTime, actions: &mut Vec<MacAction>) {
+    fn on_sifs(&mut self, now: SimTime, actions: &mut Vec<MacAction>) {
         let frame = match self.state {
             MacState::SifsCts => {
                 self.state = MacState::TxCts;
@@ -657,7 +706,21 @@ impl DcfMac {
                 return;
             }
         };
+        self.emit_tx_start(&frame, now);
         actions.push(MacAction::StartTx { frame });
+    }
+
+    fn emit_tx_start(&self, frame: &Frame, now: SimTime) {
+        let dst = match frame.dst {
+            Dest::Unicast(n) => Some(n),
+            Dest::Broadcast => None,
+        };
+        self.tracer.emit(
+            now.as_nanos(),
+            Some(self.node),
+            EventKind::TxStart { frame: frame_label(&frame.kind), dst },
+        );
+        self.metrics.bump(self.node, Counter::TxFrames);
     }
 
     /// IEEE 802.11 NAV-reset: an RTS-established NAV is torn down when no
@@ -717,6 +780,7 @@ impl DcfMac {
             self.timing.cw_min,
             self.timing.cw_max,
         );
+        self.metrics.record_backoff_slots(u64::from(ctx.dictated.slots));
         ctx.counter = self.policy.actual_slots(ctx.dictated, &mut self.rng);
         self.state = MacState::Contending;
         self.try_resume(now, actions);
@@ -752,6 +816,7 @@ impl DcfMac {
                 let dictated =
                     self.prs
                         .backoff(seq_off, 1, self.timing.cw_min, self.timing.cw_max);
+                self.metrics.record_backoff_slots(u64::from(dictated.slots));
                 let counter = self.policy.actual_slots(dictated, &mut self.rng);
                 self.tx_ctx = Some(TxContext {
                     sdu,

@@ -11,6 +11,7 @@ use mg_geom::{placement, Vec2};
 use mg_phy::{Medium, PropagationModel, RadioParams, RxOutcome, TxId};
 use mg_sim::rng::{Rng, RngDirectory, Xoshiro256};
 use mg_sim::{EventHandle, Scheduler, SimDuration, SimTime};
+use mg_trace::{Counter, EventKind, Metrics, Tracer};
 use std::collections::{HashMap, VecDeque};
 
 /// Payload length used for routing-control SDUs (RREQ/RREP).
@@ -79,6 +80,11 @@ pub struct World<O: NetObserver> {
     phy_rng: Xoshiro256,
     rngs: RngDirectory,
     observer: O,
+    tracer: Tracer,
+    metrics: Metrics,
+    /// Enqueue instants of packets still in flight (latency accounting;
+    /// only populated while metrics are enabled).
+    lat_pending: HashMap<u64, SimTime>,
     /// Packets handed up by MACs (unicast data receptions).
     pub mac_delivered: u64,
     /// Routed application packets that reached their final destination.
@@ -127,9 +133,46 @@ impl<O: NetObserver> World<O> {
             phy_rng: rngs.stream("phy", 0),
             rngs,
             observer,
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
+            lat_pending: HashMap::new(),
             mac_delivered: 0,
             app_delivered: 0,
         }
+    }
+
+    /// Journals the whole stack's events through `tracer`: the handle is
+    /// propagated to the scheduler, the medium, and every MAC. Disabled by
+    /// default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.sched.set_tracer(tracer.clone());
+        self.medium.set_tracer(tracer.clone());
+        for mac in &mut self.macs {
+            mac.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+    }
+
+    /// Records per-node counters, latency, and back-off draws into
+    /// `metrics`: the handle is propagated to every MAC. Disabled by
+    /// default.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        for mac in &mut self.macs {
+            mac.set_metrics(metrics.clone());
+        }
+        self.metrics = metrics;
+    }
+
+    /// The tracer threaded through the stack (disabled unless
+    /// [`World::set_tracer`] was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics collector (disabled unless [`World::set_metrics`] was
+    /// called).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Number of nodes.
@@ -289,7 +332,7 @@ impl<O: NetObserver> World<O> {
             .in_flight
             .remove(&tx)
             .expect("TxEnd for unknown transmission");
-        let ended = self.medium.end_tx(tx);
+        let ended = self.medium.end_tx(tx, now);
         debug_assert_eq!(ended.src, node);
 
         // 1. The transmitter moves on.
@@ -345,9 +388,20 @@ impl<O: NetObserver> World<O> {
             dst: Dest::Unicast(dst),
             payload_len,
         };
-        self.observer.on_enqueue(node, &sdu, now);
+        self.note_enqueue(node, &sdu, now);
         let actions = self.macs[node].enqueue(sdu, now);
         self.apply(node, actions);
+    }
+
+    /// Enqueue bookkeeping shared by every packet-injection path: journal
+    /// the event, start the latency clock, notify the observer.
+    fn note_enqueue(&mut self, node: NodeId, sdu: &MacSdu, now: SimTime) {
+        self.tracer
+            .emit(now.as_nanos(), Some(node), EventKind::Enqueue { sdu: sdu.id });
+        if self.metrics.is_enabled() {
+            self.lat_pending.insert(sdu.id, now);
+        }
+        self.observer.on_enqueue(node, sdu, now);
     }
 
     fn pick_dst(&mut self, src: usize, node: NodeId, policy: DstPolicy) -> Option<NodeId> {
@@ -453,6 +507,17 @@ impl<O: NetObserver> World<O> {
                 }
                 MacAction::PacketDone { sdu, delivered } => {
                     let now = self.sched.now();
+                    self.tracer.emit(
+                        now.as_nanos(),
+                        Some(n),
+                        EventKind::PacketDone { sdu: sdu.id, delivered },
+                    );
+                    self.metrics
+                        .bump(n, if delivered { Counter::Delivered } else { Counter::Dropped });
+                    if let Some(t0) = self.lat_pending.remove(&sdu.id) {
+                        self.metrics
+                            .record_latency_ns(now.saturating_since(t0).as_nanos());
+                    }
                     self.observer.on_packet_done(n, &sdu, delivered, now);
                     if let Some(&si) = self.saturated_by_node.get(&n) {
                         let policy = self.sources[si].cfg.dst;
@@ -463,7 +528,7 @@ impl<O: NetObserver> World<O> {
                                 dst: Dest::Unicast(d),
                                 payload_len,
                             };
-                            self.observer.on_enqueue(n, &refill, now);
+                            self.note_enqueue(n, &refill, now);
                             for a in self.macs[n].enqueue(refill, now) {
                                 work.push_back((n, a));
                             }
@@ -494,7 +559,7 @@ impl<O: NetObserver> World<O> {
                         payload_len: CTRL_PAYLOAD,
                     };
                     self.net_msgs.insert(sdu.id, msg);
-                    self.observer.on_enqueue(node, &sdu, now);
+                    self.note_enqueue(node, &sdu, now);
                     for a in self.macs[node].enqueue(sdu, now) {
                         work.push_back((node, a));
                     }
@@ -510,7 +575,7 @@ impl<O: NetObserver> World<O> {
                         payload_len,
                     };
                     self.net_msgs.insert(sdu.id, msg);
-                    self.observer.on_enqueue(node, &sdu, now);
+                    self.note_enqueue(node, &sdu, now);
                     for a in self.macs[node].enqueue(sdu, now) {
                         work.push_back((node, a));
                     }
@@ -589,9 +654,19 @@ impl Scenario {
 
     /// Builds the world: MACs, background sources, mobility.
     ///
+    /// Prefer `mg-detect`'s `ScenarioBuilder` for detection scenarios — it
+    /// wires monitors, attackers, and instrumentation through this method
+    /// and returns typed handles.
+    #[deprecated(since = "0.1.0", note = "use build_with_observer, or mg-detect's ScenarioBuilder")]
+    pub fn build<O: NetObserver>(&self, exclude: &[NodeId], observer: O) -> World<O> {
+        self.build_with_observer(exclude, observer)
+    }
+
+    /// Builds the world: MACs, background sources, mobility.
+    ///
     /// Background sources are placed on `source_count` distinct random nodes
     /// (excluding `exclude`, so the tagged pair can be configured manually).
-    pub fn build<O: NetObserver>(&self, exclude: &[NodeId], observer: O) -> World<O> {
+    pub fn build_with_observer<O: NetObserver>(&self, exclude: &[NodeId], observer: O) -> World<O> {
         let cfg = &self.cfg;
         let mut world = World::new(
             self.positions.clone(),
@@ -749,7 +824,7 @@ mod tests {
             ..ScenarioConfig::grid_paper(3)
         };
         let scenario = Scenario::new(cfg);
-        let mut w = scenario.build(&[], ());
+        let mut w = scenario.build_with_observer(&[], ());
         w.run_until(SimTime::from_secs(2));
         let delivered: u64 = (0..w.node_count()).map(|i| w.mac(i).stats().delivered).sum();
         assert!(delivered > 100, "grid delivered only {delivered}");
@@ -796,6 +871,8 @@ mod tests {
         };
         let scenario = Scenario::new(cfg);
         let before = scenario.positions().to_vec();
+        // Deliberately exercises the deprecated wrapper so it stays covered.
+        #[allow(deprecated)]
         let mut w = scenario.build(&[], ());
         w.run_until(SimTime::from_secs(5));
         let moved = (0..w.node_count())

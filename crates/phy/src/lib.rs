@@ -32,7 +32,7 @@
 //!
 //! let (tx, edges) = medium.begin_tx(0, SimTime::ZERO, &mut rng);
 //! assert!(edges.iter().any(|e| e.node == 1 && e.busy)); // neighbor senses it
-//! let ended = medium.end_tx(tx);
+//! let ended = medium.end_tx(tx, SimTime::from_micros(272));
 //! assert!(ended.outcomes[1].is_decoded()); // and decodes it (240 m < 250 m)
 //! ```
 

@@ -25,6 +25,7 @@ use crate::NodeId;
 use mg_geom::Vec2;
 use mg_sim::rng::Rng;
 use mg_sim::SimTime;
+use mg_trace::{EventKind, Tracer};
 
 /// Identifies one in-flight transmission.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -106,6 +107,7 @@ pub struct Medium {
     agg_mw: Vec<f64>,
     active: Vec<ActiveTx>,
     next_id: u64,
+    tracer: Tracer,
 }
 
 impl Medium {
@@ -125,7 +127,14 @@ impl Medium {
             agg_mw: vec![0.0; n],
             active: Vec::new(),
             next_id: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Journals every carrier-sense edge (at `Debug` level for the `phy`
+    /// subsystem) through `tracer`. Disabled by default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Number of nodes.
@@ -233,17 +242,21 @@ impl Medium {
             max_interf_mw,
             overlapped_own_tx,
         });
+        for e in &edges {
+            self.tracer
+                .emit(now.as_nanos(), Some(e.node), EventKind::ChannelEdge { busy: e.busy });
+        }
         (id, edges)
     }
 
-    /// Ends a transmission, returning per-node outcomes and the idle edges
-    /// the vanishing energy causes.
+    /// Ends a transmission at time `now`, returning per-node outcomes and
+    /// the idle edges the vanishing energy causes.
     ///
     /// # Panics
     ///
     /// Panics if `id` does not refer to an in-flight transmission (ending a
     /// transmission twice is a caller bug).
-    pub fn end_tx(&mut self, id: TxId) -> EndedTx {
+    pub fn end_tx(&mut self, id: TxId, now: SimTime) -> EndedTx {
         let idx = self
             .active
             .iter()
@@ -289,6 +302,11 @@ impl Medium {
                 }
             })
             .collect();
+
+        for e in &edges {
+            self.tracer
+                .emit(now.as_nanos(), Some(e.node), EventKind::ChannelEdge { busy: e.busy });
+        }
 
         EndedTx {
             src: tx.src,
@@ -342,7 +360,7 @@ mod tests {
         assert!(m.carrier_busy(2));
         assert!(!m.carrier_busy(0), "own tx must not trip own CS");
         assert_eq!(edges.len(), 2);
-        let ended = m.end_tx(tx);
+        let ended = m.end_tx(tx, SimTime::from_micros(999));
         assert_eq!(ended.outcomes[0], RxOutcome::SelfTx);
         assert_eq!(ended.outcomes[1], RxOutcome::Decoded);
         assert_eq!(ended.outcomes[2], RxOutcome::Sensed);
@@ -357,7 +375,7 @@ mod tests {
         let (tx, edges) = m.begin_tx(0, SimTime::ZERO, &mut r);
         assert!(edges.is_empty());
         assert!(!m.carrier_busy(1));
-        let ended = m.end_tx(tx);
+        let ended = m.end_tx(tx, SimTime::from_micros(999));
         assert_eq!(ended.outcomes[1], RxOutcome::OutOfRange);
     }
 
@@ -382,13 +400,13 @@ mod tests {
         // C cannot sense A's transmission:
         assert!(!m.carrier_busy(2));
         let (tx_c, _) = m.begin_tx(2, SimTime::from_micros(10), &mut r);
-        let ended_a = m.end_tx(tx_a);
+        let ended_a = m.end_tx(tx_a, SimTime::from_micros(999));
         // B: A's signal at 200 m vs C's interference at 360 m.
         // Free space: power ratio = (360/200)^2 = 3.24 → 5.1 dB < 10 dB capture.
         assert_eq!(ended_a.outcomes[1], RxOutcome::Collided);
         // C's own frame arrives at B below the decode threshold (360 m >
         // 250 m): pure energy, no frame.
-        let ended_c = m.end_tx(tx_c);
+        let ended_c = m.end_tx(tx_c, SimTime::from_micros(999));
         assert_eq!(ended_c.outcomes[1], RxOutcome::Sensed);
     }
 
@@ -404,10 +422,10 @@ mod tests {
         let mut r = rng();
         let (tx_a, _) = m.begin_tx(0, SimTime::ZERO, &mut r);
         let (tx_d, _) = m.begin_tx(2, SimTime::from_micros(5), &mut r);
-        let ended_a = m.end_tx(tx_a);
+        let ended_a = m.end_tx(tx_a, SimTime::from_micros(999));
         assert_eq!(ended_a.outcomes[1], RxOutcome::Decoded);
         // D's frame at B is below the decode threshold (500 m): energy only.
-        let ended_d = m.end_tx(tx_d);
+        let ended_d = m.end_tx(tx_d, SimTime::from_micros(999));
         assert_eq!(ended_d.outcomes[1], RxOutcome::Sensed);
     }
 
@@ -418,9 +436,9 @@ mod tests {
         let (tx0, _) = m.begin_tx(0, SimTime::ZERO, &mut r);
         let (tx1, _) = m.begin_tx(1, SimTime::from_micros(2), &mut r);
         // Node 1 was transmitting while 0's frame was in flight → Sensed.
-        let e0 = m.end_tx(tx0);
+        let e0 = m.end_tx(tx0, SimTime::from_micros(999));
         assert_eq!(e0.outcomes[1], RxOutcome::Sensed);
-        let e1 = m.end_tx(tx1);
+        let e1 = m.end_tx(tx1, SimTime::from_micros(999));
         assert_eq!(e1.outcomes[0], RxOutcome::Sensed);
     }
 
@@ -437,11 +455,11 @@ mod tests {
         let (c, e2) = m.begin_tx(2, SimTime::ZERO, &mut r);
         // Node 1 already busy: no second busy edge.
         assert!(!e2.iter().any(|e| e.node == 1));
-        let ea = m.end_tx(a);
+        let ea = m.end_tx(a, SimTime::from_micros(999));
         // Still busy from c: no idle edge for node 1 yet.
         assert!(!ea.edges.iter().any(|e| e.node == 1));
         assert!(m.carrier_busy(1));
-        let ec = m.end_tx(c);
+        let ec = m.end_tx(c, SimTime::from_micros(999));
         assert!(ec.edges.iter().any(|e| e.node == 1 && !e.busy));
         assert!(!m.carrier_busy(1));
     }
@@ -451,10 +469,27 @@ mod tests {
         let mut m = medium_with(vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0)]);
         let mut r = rng();
         let (tx, _) = m.begin_tx(0, SimTime::ZERO, &mut r);
-        assert!(m.end_tx(tx).outcomes[1].is_decoded());
+        assert!(m.end_tx(tx, SimTime::from_micros(999)).outcomes[1].is_decoded());
         m.set_position(1, Vec2::new(1000.0, 0.0));
         let (tx, _) = m.begin_tx(0, SimTime::from_micros(100), &mut r);
-        assert_eq!(m.end_tx(tx).outcomes[1], RxOutcome::OutOfRange);
+        assert_eq!(m.end_tx(tx, SimTime::from_micros(999)).outcomes[1], RxOutcome::OutOfRange);
+    }
+
+    #[test]
+    fn channel_edges_are_journaled_when_traced() {
+        use mg_trace::{EventKind, TraceConfig, Tracer};
+        let tracer = Tracer::new(TraceConfig::verbose());
+        let mut m = medium_with(vec![Vec2::new(0.0, 0.0), Vec2::new(240.0, 0.0)]);
+        m.set_tracer(tracer.clone());
+        let mut r = rng();
+        let (tx, _) = m.begin_tx(0, SimTime::ZERO, &mut r);
+        m.end_tx(tx, SimTime::from_micros(100));
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::ChannelEdge { busy: true });
+        assert_eq!(events[0].node, Some(1));
+        assert_eq!(events[1].kind, EventKind::ChannelEdge { busy: false });
+        assert_eq!(events[1].t_ns, 100_000);
     }
 
     #[test]
@@ -463,7 +498,7 @@ mod tests {
         let mut m = medium_with(vec![Vec2::new(0.0, 0.0), Vec2::new(100.0, 0.0)]);
         let mut r = rng();
         let (tx, _) = m.begin_tx(0, SimTime::ZERO, &mut r);
-        m.end_tx(tx);
-        m.end_tx(tx);
+        m.end_tx(tx, SimTime::from_micros(999));
+        m.end_tx(tx, SimTime::from_micros(999));
     }
 }

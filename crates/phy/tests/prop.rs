@@ -83,14 +83,14 @@ fn medium_returns_to_quiescence() {
             if medium.is_transmitting(src) {
                 let idx = in_flight.iter().position(|&(_, s)| s == src).unwrap();
                 let (tx, _) = in_flight.remove(idx);
-                let ended = medium.end_tx(tx);
+                let ended = medium.end_tx(tx, SimTime::from_micros(t));
                 tk_assert_eq!(ended.outcomes.len(), n);
             }
             let (tx, _) = medium.begin_tx(src, SimTime::from_micros(t), &mut rng);
             in_flight.push((tx, src));
         }
         for (tx, src) in in_flight {
-            let ended = medium.end_tx(tx);
+            let ended = medium.end_tx(tx, SimTime::from_micros(t));
             tk_assert_eq!(ended.src, src);
             tk_assert_eq!(ended.outcomes.len(), n);
             tk_assert_eq!(ended.outcomes[src], RxOutcome::SelfTx);
@@ -119,7 +119,7 @@ fn clean_reception_by_distance() {
         );
         let mut rng = Xoshiro256::new(seed);
         let (tx, _) = medium.begin_tx(0, SimTime::ZERO, &mut rng);
-        let out = medium.end_tx(tx).outcomes[1];
+        let out = medium.end_tx(tx, SimTime::ZERO).outcomes[1];
         if d < 249.0 {
             tk_assert_eq!(out, RxOutcome::Decoded);
         } else if d > 251.0 && d < 549.0 {

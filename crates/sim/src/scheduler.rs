@@ -13,6 +13,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
+use mg_trace::{EventKind, Tracer};
+
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
@@ -70,6 +72,7 @@ pub struct Scheduler<E> {
     cancelled: HashSet<u64>,
     next_seq: u64,
     popped: u64,
+    tracer: Tracer,
 }
 
 impl<E> Scheduler<E> {
@@ -81,7 +84,14 @@ impl<E> Scheduler<E> {
             cancelled: HashSet::new(),
             next_seq: 0,
             popped: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Journals every dispatch (at `Debug` level for the `sched` subsystem)
+    /// through `tracer`. Disabled by default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The current virtual time: the timestamp of the most recently popped
@@ -155,6 +165,8 @@ impl<E> Scheduler<E> {
             debug_assert!(entry.time >= self.now, "event queue went backwards");
             self.now = entry.time;
             self.popped += 1;
+            self.tracer
+                .emit(entry.time.as_nanos(), None, EventKind::SchedDispatch { seq: entry.seq });
             return Some((entry.time, entry.payload));
         }
         None
@@ -258,6 +270,22 @@ mod tests {
         assert_eq!(s.pop().unwrap().0, SimTime::from_micros(11));
         assert_eq!(s.pop().unwrap().0, SimTime::from_micros(15));
         assert_eq!(s.events_fired(), 3);
+    }
+
+    #[test]
+    fn dispatches_are_journaled_when_traced() {
+        use mg_trace::{EventKind, TraceConfig, Tracer};
+        let tracer = Tracer::new(TraceConfig::verbose());
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.set_tracer(tracer.clone());
+        let h = s.schedule_at(SimTime::from_micros(5), 1);
+        s.schedule_at(SimTime::from_micros(9), 2);
+        s.cancel(h); // cancelled entries must not be journaled
+        while s.pop().is_some() {}
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t_ns, 9_000);
+        assert_eq!(events[0].kind, EventKind::SchedDispatch { seq: 1 });
     }
 
     #[test]

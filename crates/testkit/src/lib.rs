@@ -8,7 +8,7 @@
 //!   on top of `mg-sim`'s reproducible RNG, a configurable case count,
 //!   failure shrinking by halving the recorded raw draws, and the failing
 //!   seed printed on every failure so a case can be replayed exactly;
-//! * [`bench`] — a wall-clock micro-benchmark runner with automatic
+//! * [`mod@bench`] — a wall-clock micro-benchmark runner with automatic
 //!   iteration calibration, for `harness = false` bench binaries.
 //!
 //! ## Writing a property

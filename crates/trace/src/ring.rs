@@ -1,0 +1,133 @@
+//! The fixed-capacity ring buffer under the event journal.
+//!
+//! A [`Ring`] keeps the **most recent** `capacity` items: pushing into a
+//! full ring overwrites the oldest entry and counts it as dropped. Iteration
+//! is always oldest-to-newest, so an export after any number of wrap-arounds
+//! is a contiguous suffix of the emission order — which, together with the
+//! deterministic simulator, makes exports byte-identical across equal-seed
+//! runs.
+
+/// A fixed-capacity overwrite-oldest ring buffer.
+#[derive(Clone, Debug)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest element once the ring has wrapped.
+    start: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates an empty ring holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring {
+            buf: Vec::new(),
+            cap: capacity,
+            start: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Items currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Items overwritten so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an item, overwriting the oldest one when full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(item);
+        } else {
+            self.buf[self.start] = item;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Iterates oldest-to-newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.start..].iter().chain(self.buf[..self.start].iter())
+    }
+
+    /// Drops all items (the dropped count is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = Ring::new(8);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraps_keeping_the_most_recent() {
+        let mut r = Ring::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn exact_fill_does_not_drop() {
+        let mut r = Ring::new(4);
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Ring::<u8>::new(0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_drop_count() {
+        let mut r = Ring::new(2);
+        for i in 0..5 {
+            r.push(i);
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 3);
+        r.push(42);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![42]);
+    }
+}

@@ -1,0 +1,60 @@
+//! RAII wall-clock timing of coarse phases (build, run, analyze).
+//!
+//! Spans measure *host* time, so they are deliberately kept out of the
+//! event journal — they land in [`Metrics`] and are only ever reported
+//! through the metrics path, preserving byte-identical trace exports.
+
+use std::time::Instant;
+
+use crate::metrics::Metrics;
+
+/// A scope timer that records its wall-clock duration into [`Metrics`] on drop.
+#[derive(Debug)]
+pub struct Span {
+    metrics: Metrics,
+    name: String,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing `name`; the duration is recorded when the span drops.
+    pub fn enter(metrics: &Metrics, name: impl Into<String>) -> Span {
+        Span {
+            metrics: metrics.clone(),
+            name: name.into(),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let wall_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.metrics.record_span(&self.name, wall_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let m = Metrics::new(1);
+        {
+            let _s = Span::enter(&m, "phase");
+        }
+        let spans = m.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].0, "phase");
+    }
+
+    #[test]
+    fn span_on_disabled_metrics_is_silent() {
+        let m = Metrics::disabled();
+        {
+            let _s = Span::enter(&m, "phase");
+        }
+        assert!(m.spans().is_empty());
+    }
+}

@@ -33,21 +33,23 @@ fn main() {
     // vantage's collision environment diverges from the attacker's).
     template.counts = NodeCounts::SimCalibrated;
     template.eifs_weight = 0.0;
-    let pool = MonitorPool::new(attacker, &vantages, template);
 
-    let mut world = scenario.build(&[attacker, nearest], pool);
-    world.set_policy(attacker, BackoffPolicy::Scaled { pm: 60 });
+    let mut builder = ScenarioBuilder::new(scenario);
+    let cheat = builder.attacker(attacker);
+    let watch = builder.monitor_pool(template, &vantages);
     // The attacker pushes packets at whichever neighbor is currently around.
-    world.add_source(SourceCfg {
+    builder.source(SourceCfg {
         node: attacker,
         model: TrafficModel::Saturated,
         dst: DstPolicy::StickyRandomNeighbor,
         payload_len: 512,
     });
 
+    let mut world = builder.build();
+    world.set_policy(cheat.id(), BackoffPolicy::Scaled { pm: 60 });
     world.run_until(SimTime::from_secs(60));
 
-    let pool = world.observer();
+    let pool = world.monitors().pool(watch);
     let d = pool.diagnosis();
     println!("\nafter 60 s of patrol:");
     println!("  hypothesis tests         : {}", d.tests_run);

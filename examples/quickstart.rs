@@ -25,15 +25,16 @@ fn main() {
 
     // The monitor knows the attacker's MAC address, hence its entire
     // dictated back-off sequence.
-    let monitor = Monitor::new(MonitorConfig::grid_paper(attacker, vantage, 240.0));
+    let mut builder = ScenarioBuilder::new(scenario);
+    let cheat = builder.attacker(attacker);
+    let watch = builder.monitor(MonitorConfig::grid_paper(attacker, vantage, 240.0));
+    builder.source(SourceCfg::saturated(attacker, vantage));
 
-    let mut world = scenario.build(&[attacker, vantage], monitor);
-    world.set_policy(attacker, BackoffPolicy::Scaled { pm: 75 });
-    world.add_source(SourceCfg::saturated(attacker, vantage));
-
+    let mut world = builder.build();
+    world.set_policy(cheat.id(), BackoffPolicy::Scaled { pm: 75 });
     world.run_until(SimTime::from_secs(30));
 
-    let diagnosis = world.observer().diagnosis();
+    let diagnosis = world.monitors().diagnosis(watch);
     println!("\nafter {} of channel time:", SimDuration::from_secs(30));
     println!("  back-off samples collected : {}", diagnosis.samples_collected);
     println!("  hypothesis tests run       : {}", diagnosis.tests_run);

@@ -1,21 +1,21 @@
 //! Frame-level timeline: watch the verifiable four-way handshake on air.
 //!
-//! Prints the first few exchanges of a saturated pair — RTS → CTS → DATA →
-//! ACK with airtimes — and the monitor's view of the same window (dictated
-//! vs estimated back-off).
+//! Runs a saturated pair with the `mg-trace` journal at full verbosity and
+//! prints the first exchanges — RTS → CTS → DATA → ACK, with the channel
+//! busy/idle edges and back-off freezes in between — then the monitor's view
+//! of the same window (dictated vs estimated back-off) and the stack-wide
+//! metrics counters.
 //!
 //! ```text
 //! cargo run --release --example trace_timeline
 //! ```
 
-use manet_guard::net::{Fanout, TraceObserver};
 use manet_guard::prelude::*;
 
 fn main() {
     let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(240.0, 0.0)];
     let mut mc = MonitorConfig::grid_paper(0, 1, 240.0);
     mc.sample_size = 8;
-    let obs = Fanout(TraceObserver::new(24), Monitor::new(mc));
     let mut world = World::new(
         positions,
         PropagationModel::free_space(),
@@ -23,16 +23,39 @@ fn main() {
         550.0,
         MacTiming::paper_default(),
         2,
-        obs,
+        Monitor::new(mc),
     );
+    world.set_tracer(Tracer::new(TraceConfig::verbose()));
+    world.set_metrics(Metrics::new(2));
     world.add_source(SourceCfg::saturated(0, 1));
     world.run_until(SimTime::from_millis(120));
 
-    let Fanout(trace, monitor) = world.observer();
-    println!("on-air timeline (node 0 saturated toward node 1):\n");
-    print!("{}", trace.render());
+    println!("on-air journal (node 0 saturated toward node 1):\n");
+    let events = world.tracer().events();
+    for ev in events
+        .iter()
+        .filter(|e| !matches!(e.kind.subsystem(), Subsystem::Sched))
+        .take(48)
+    {
+        let node = ev
+            .node
+            .map(|n| format!("node {n}"))
+            .unwrap_or_else(|| "      ".into());
+        println!(
+            "  {:>9.3} ms  {node}  {:<15} {:?}",
+            ev.t_ns as f64 / 1_000_000.0,
+            ev.kind.tag(),
+            ev.kind
+        );
+    }
+    println!(
+        "\n({} events journaled, {} overwritten by the ring)",
+        world.tracer().len(),
+        world.tracer().dropped()
+    );
 
     println!("\nmonitor's back-off ledger (dictated x vs estimated y, slots):");
+    let monitor = world.observer();
     for (i, (x, y)) in monitor.samples().iter().enumerate() {
         println!("  window {i:>2}: dictated {x:>5.1}  estimated {y:>7.2}");
     }
@@ -44,5 +67,9 @@ fn main() {
         d.rejections,
         if d.is_flagged() { "flagged" } else { "clean" }
     );
+
+    let snap = world.metrics().snapshot();
+    println!("\nstack metrics: {}", snap.to_json().render());
     assert!(!d.is_flagged());
+    assert!(snap.total(Counter::TxFrames) > 0);
 }

@@ -32,11 +32,14 @@ fn main() {
             let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
             mc.sample_size = sample_size;
             mc.blatant_check = false; // statistical path only
-            let mut world = scenario.build(&[s, r], Monitor::new(mc));
-            world.set_policy(s, BackoffPolicy::Scaled { pm });
-            world.add_source(SourceCfg::saturated(s, r));
+            let mut builder = ScenarioBuilder::new(scenario);
+            let cheat = builder.attacker(s);
+            let watch = builder.monitor(mc);
+            builder.source(SourceCfg::saturated(s, r));
+            let mut world = builder.build();
+            world.set_policy(cheat.id(), BackoffPolicy::Scaled { pm });
             world.run_until(SimTime::from_secs(secs));
-            let d = world.observer().diagnosis();
+            let d = world.monitors().diagnosis(watch);
             tests += d.tests_run;
             rejections += d.rejections;
             if d.tests_run > 0 {

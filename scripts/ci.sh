@@ -46,4 +46,14 @@ cargo build --release --offline
 echo "== tests (offline) =="
 cargo test -q --workspace --offline
 
+echo "== trace determinism: equal seeds, byte-identical journals =="
+cargo test -q --offline --test trace_determinism
+
+echo "== microbench: tracing overhead gate (<5% with tracing disabled) =="
+# The bench binary asserts the gate itself; a failed gate panics the run.
+MG_BENCH_MS="${MG_BENCH_MS:-40}" cargo bench --offline -p mg-bench
+
+echo "== rustdoc: no warnings =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
+
 echo "CI green."

@@ -25,6 +25,7 @@
 //! | [`phy`] | `mg-phy` | propagation models, radio thresholds, shared medium |
 //! | [`mac`] | `mg-dcf` | the 802.11 DCF MAC + misbehavior policies |
 //! | [`net`] | `mg-net` | the simulation world, traffic, mobility, AODV-lite |
+//! | [`trace`] | `mg-trace` | structured event journal, per-node metrics, spans |
 //! | [`detect`] | `mg-detect` | **the detection framework** (the paper's contribution) |
 //!
 //! ## Quickstart
@@ -40,18 +41,48 @@
 //!     rate_pps: 2.0,
 //!     ..ScenarioConfig::grid_paper(7)
 //! });
-//! let (attacker, monitor_node) = scenario.tagged_pair();
+//! let (s, r) = scenario.tagged_pair();
 //!
-//! // Attach the paper's monitor at the attacker's neighbor.
-//! let monitor = Monitor::new(MonitorConfig::grid_paper(attacker, monitor_node, 240.0));
-//! let mut world = scenario.build(&[attacker, monitor_node], monitor);
-//! world.set_policy(attacker, BackoffPolicy::Scaled { pm: 75 });
-//! world.add_source(SourceCfg::saturated(attacker, monitor_node));
+//! // Declare the roles: an attacker and the paper's monitor at its neighbor.
+//! let mut builder = ScenarioBuilder::new(scenario);
+//! let attacker = builder.attacker(s);
+//! let watch = builder.monitor(MonitorConfig::grid_paper(s, r, 240.0));
+//! builder.source(SourceCfg::saturated(s, r));
 //!
+//! let mut world = builder.build();
+//! world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: 75 });
 //! world.run_until(SimTime::from_secs(20));
 //!
-//! let diagnosis = world.observer().diagnosis();
+//! let diagnosis = world.monitors().diagnosis(watch);
 //! assert!(diagnosis.is_flagged(), "{diagnosis:?}");
+//! ```
+//!
+//! ## Observability
+//!
+//! Every layer emits structured events into an optional ring-buffer journal
+//! and counts into per-node metrics — both zero-cost when disabled. Ask the
+//! builder for them:
+//!
+//! ```
+//! use manet_guard::prelude::*;
+//!
+//! let scenario = Scenario::new(ScenarioConfig {
+//!     sim_secs: 2, rate_pps: 2.0, ..ScenarioConfig::grid_paper(7)
+//! });
+//! let (s, r) = scenario.tagged_pair();
+//! let mut builder = ScenarioBuilder::new(scenario);
+//! builder.monitor(MonitorConfig::grid_paper(s, r, 240.0));
+//! builder.source(SourceCfg::saturated(s, r));
+//! builder.trace(TraceConfig::default()); // journal MAC/net/monitor events
+//! builder.metrics();                     // per-node counters + histograms
+//!
+//! let mut world = builder.build();
+//! world.run_until(SimTime::from_secs(2));
+//!
+//! let jsonl = world.tracer().to_jsonl();          // one JSON object per line
+//! let snapshot = world.metrics().snapshot();      // counters + histograms
+//! assert!(!jsonl.is_empty());
+//! assert!(snapshot.total(Counter::TxFrames) > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -64,12 +95,14 @@ pub use mg_net as net;
 pub use mg_phy as phy;
 pub use mg_sim as sim;
 pub use mg_stats as stats;
+pub use mg_trace as trace;
 
 /// The types almost every user needs, in one import.
 pub mod prelude {
     pub use mg_dcf::{BackoffPolicy, Dest, Frame, FrameKind, MacSdu, MacTiming};
     pub use mg_detect::{
-        AnalyticModel, Diagnosis, Judge, Monitor, MonitorConfig, MonitorPool, NodeCounts, Violation,
+        AnalyticModel, AttackerHandle, Diagnosis, Judge, Monitor, MonitorConfig, MonitorHandle,
+        MonitorPool, Monitors, NodeCounts, ScenarioBuilder, Violation, WorldMonitors,
     };
     pub use mg_geom::{PreclusionRule, RegionModel, Vec2};
     pub use mg_net::{
@@ -79,4 +112,7 @@ pub mod prelude {
     pub use mg_phy::{Medium, PropagationModel, RadioParams};
     pub use mg_sim::{SimDuration, SimTime};
     pub use mg_stats::wilcoxon::{rank_sum_test, Alternative};
+    pub use mg_trace::{
+        Counter, Level, Metrics, MetricsSnapshot, Span, Subsystem, TraceConfig, Tracer,
+    };
 }

@@ -14,20 +14,35 @@
 //!   --random          random 112-node topology instead of the grid
 //!   --mobile          add random-waypoint mobility (implies --random)
 //!   --no-blatant      disable the deterministic timing check
+//!   --trace <file>    write the event journal as JSONL to <file>
+//!   --metrics         print stack-wide counters and histograms
 //! ```
+//!
+//! Unrecognized arguments are an error (exit code 2), never silently
+//! ignored — a typo'd `--sedd 7` must not run the default seed.
 
 use manet_guard::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("demo") => detect(&["--pm".into(), "75".into()]),
-        Some("detect") => detect(&args[1..]),
-        Some("params") => params(),
-        _ => {
-            eprint!("{}", USAGE);
-            std::process::exit(2);
+    let result = match args.first().map(String::as_str) {
+        Some("demo") => parse_detect(&["--pm".into(), "75".into()]).map(detect),
+        Some("detect") => parse_detect(&args[1..]).map(detect),
+        Some("params") => {
+            if let Some(extra) = args.get(1) {
+                Err(format!("unrecognized argument: {extra}"))
+            } else {
+                params();
+                Ok(())
+            }
         }
+        Some(other) => Err(format!("unrecognized command: {other}")),
+        None => Err("missing command".into()),
+    };
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        eprint!("{}", USAGE);
+        std::process::exit(2);
     }
 }
 
@@ -38,19 +53,74 @@ usage:
   manet-guard demo
   manet-guard detect [--pm N] [--rate PPS] [--secs S] [--seed N]
                      [--samples N] [--random] [--mobile] [--no-blatant]
+                     [--trace FILE] [--metrics]
   manet-guard params
 ";
 
-fn flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
+struct DetectOpts {
+    pm: u8,
+    rate: f64,
+    secs: u64,
+    seed: u64,
+    samples: usize,
+    random: bool,
+    mobile: bool,
+    no_blatant: bool,
+    trace: Option<String>,
+    metrics: bool,
 }
 
-fn opt<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+/// Strict parser for `detect` arguments: every flag must be recognized and
+/// every value must parse, otherwise the whole invocation is rejected.
+fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
+    let mut o = DetectOpts {
+        pm: 50,
+        rate: 2.0,
+        secs: 60,
+        seed: 1,
+        samples: 50,
+        random: false,
+        mobile: false,
+        no_blatant: false,
+        trace: None,
+        metrics: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pm" => o.pm = value(&mut it, a)?,
+            "--rate" => o.rate = value(&mut it, a)?,
+            "--secs" => o.secs = value(&mut it, a)?,
+            "--seed" => o.seed = value(&mut it, a)?,
+            "--samples" => o.samples = value(&mut it, a)?,
+            "--random" => o.random = true,
+            "--mobile" => o.mobile = true,
+            "--no-blatant" => o.no_blatant = true,
+            "--trace" => o.trace = Some(raw_value(&mut it, a)?),
+            "--metrics" => o.metrics = true,
+            other => return Err(format!("unrecognized argument: {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn raw_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<String, String> {
+    match it.next() {
+        Some(v) if !v.starts_with("--") => Ok(v.clone()),
+        _ => Err(format!("{flag} requires a value")),
+    }
+}
+
+fn value<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let v = raw_value(it, flag)?;
+    v.parse()
+        .map_err(|_| format!("invalid value for {flag}: {v}"))
 }
 
 fn params() {
@@ -66,59 +136,82 @@ fn params() {
     }
 }
 
-fn detect(args: &[String]) {
-    let pm: u8 = opt(args, "--pm", 50);
-    let rate: f64 = opt(args, "--rate", 2.0);
-    let secs: u64 = opt(args, "--secs", 60);
-    let seed: u64 = opt(args, "--seed", 1);
-    let samples: usize = opt(args, "--samples", 50);
-    let mobile = flag(args, "--mobile");
-    let random = flag(args, "--random") || mobile;
-
-    let mut cfg = if mobile {
-        ScenarioConfig::mobile_paper(seed, SimDuration::ZERO)
+fn detect(o: DetectOpts) {
+    let random = o.random || o.mobile;
+    let mut cfg = if o.mobile {
+        ScenarioConfig::mobile_paper(o.seed, SimDuration::ZERO)
     } else if random {
-        ScenarioConfig::random_paper(seed)
+        ScenarioConfig::random_paper(o.seed)
     } else {
-        ScenarioConfig::grid_paper(seed)
+        ScenarioConfig::grid_paper(o.seed)
     };
-    cfg.sim_secs = secs;
-    cfg.rate_pps = rate;
+    cfg.sim_secs = o.secs;
+    cfg.rate_pps = o.rate;
 
     let scenario = Scenario::new(cfg);
-    let (attacker, vantage) = scenario.tagged_pair();
+    let (attacker_node, vantage) = scenario.tagged_pair();
     println!(
-        "scenario : {} nodes, {}, background {rate} pkt/s x {} sources",
+        "scenario : {} nodes, {}, background {} pkt/s x {} sources",
         scenario.positions().len(),
-        if mobile { "mobile (RWP 0-20 m/s)" } else { "static" },
+        if o.mobile { "mobile (RWP 0-20 m/s)" } else { "static" },
+        o.rate,
         cfg.source_count,
     );
-    println!("attacker : node {attacker} (PM = {pm}%), monitor: node {vantage}");
+    println!(
+        "attacker : node {attacker_node} (PM = {}%), monitor: node {vantage}",
+        o.pm
+    );
 
-    let d = scenario.positions()[attacker].distance(scenario.positions()[vantage]);
+    let d = scenario.positions()[attacker_node].distance(scenario.positions()[vantage]);
     let mut mc = if random {
-        MonitorConfig::random_paper(attacker, vantage, d)
+        MonitorConfig::random_paper(attacker_node, vantage, d)
     } else {
-        MonitorConfig::grid_paper(attacker, vantage, d)
+        MonitorConfig::grid_paper(attacker_node, vantage, d)
     };
-    mc.sample_size = samples;
-    if flag(args, "--no-blatant") {
+    mc.sample_size = o.samples;
+    if o.no_blatant {
         mc.blatant_check = false;
     }
 
-    let mut world = scenario.build(&[attacker, vantage], Monitor::new(mc));
-    if pm > 0 {
-        world.set_policy(attacker, BackoffPolicy::Scaled { pm });
+    let mut builder = ScenarioBuilder::new(scenario);
+    let attacker = builder.attacker(attacker_node);
+    let watch = if o.mobile {
+        // Under mobility, monitor from every candidate neighbor with
+        // range-based handoff (the paper's Section 5 scheme).
+        mc.eifs_weight = 0.0;
+        mc.counts = NodeCounts::SimCalibrated;
+        let vantages: Vec<usize> = (0..builder.scenario().positions().len())
+            .filter(|&v| v != attacker_node)
+            .collect();
+        builder.monitor_pool(mc, &vantages)
+    } else {
+        builder.monitor(mc)
+    };
+    builder.source(SourceCfg::saturated(attacker_node, vantage));
+    if o.trace.is_some() {
+        builder.trace(TraceConfig::verbose());
     }
-    world.add_source(SourceCfg::saturated(attacker, vantage));
+    if o.metrics {
+        builder.metrics();
+    }
+
+    let mut world = builder.build();
+    if o.pm > 0 {
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: o.pm });
+    }
 
     let t0 = std::time::Instant::now();
-    world.run_until(SimTime::from_secs(secs));
+    {
+        let handle = world.metrics().clone();
+        let _span = Span::enter(&handle, "detect.run");
+        world.run_until(SimTime::from_secs(o.secs));
+    }
     let wall = t0.elapsed();
 
-    let diag = world.observer().diagnosis();
+    let diag = world.monitors().diagnosis(watch);
     println!(
-        "run      : {secs}s virtual in {wall:.2?} ({} events)",
+        "run      : {}s virtual in {wall:.2?} ({} events)",
+        o.secs,
         world.events_fired()
     );
     println!("load     : measured rho = {:.2}", diag.measured_rho);
@@ -136,11 +229,32 @@ fn detect(args: &[String]) {
     );
     println!("checks   : {} deterministic violations", diag.violations);
     println!(
-        "verdict  : node {attacker} is {}",
+        "verdict  : node {attacker_node} is {}",
         if diag.is_flagged() {
             "MISBEHAVING"
         } else {
             "apparently well-behaved"
         }
     );
+
+    if let Some(path) = &o.trace {
+        let tracer = world.tracer();
+        match std::fs::write(path, tracer.to_jsonl()) {
+            Ok(()) => println!(
+                "trace    : {} events written to {path} ({} dropped by ring)",
+                tracer.len(),
+                tracer.dropped()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if o.metrics {
+        println!("metrics  : {}", world.metrics().snapshot().to_json().render());
+        for (name, ns) in world.metrics().spans() {
+            println!("span     : {name} = {:.2?}", std::time::Duration::from_nanos(ns));
+        }
+    }
 }

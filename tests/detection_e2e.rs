@@ -21,7 +21,7 @@ fn run_grid(
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.sample_size = 25;
     tune(&mut mc);
-    let mut world = scenario.build(&[s, r], Monitor::new(mc));
+    let mut world = scenario.build_with_observer(&[s, r], Monitor::new(mc));
     if let Some(p) = policy {
         world.set_policy(s, p);
     }
@@ -122,7 +122,7 @@ fn two_simultaneous_attackers_are_both_caught() {
     let mc1 = MonitorConfig::grid_paper(s1, r1, 240.0);
     let mc2 = MonitorConfig::grid_paper(s2, r2, 240.0);
     let observers = manet_guard::net::Fanout(Monitor::new(mc1), Monitor::new(mc2));
-    let mut world = scenario.build(&[s1, r1, s2, r2], observers);
+    let mut world = scenario.build_with_observer(&[s1, r1, s2, r2], observers);
     world.set_policy(s1, BackoffPolicy::Scaled { pm: 70 });
     world.set_policy(s2, BackoffPolicy::Scaled { pm: 70 });
     world.add_source(SourceCfg::saturated(s1, r1));
@@ -148,7 +148,7 @@ fn basic_access_evasion_is_flagged() {
     let (s, r) = scenario.tagged_pair();
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.sample_size = 25;
-    let mut world = scenario.build(&[s, r], Monitor::new(mc));
+    let mut world = scenario.build_with_observer(&[s, r], Monitor::new(mc));
     world.set_rts_threshold(s, u32::MAX); // never send RTS
     world.set_policy(s, BackoffPolicy::Scaled { pm: 80 });
     world.add_source(SourceCfg::saturated(s, r));

@@ -37,7 +37,7 @@ fn measure(cfg: ScenarioConfig, secs: u64) -> (f64, f64, f64) {
         r,
         joint: JointTracker::new(),
     };
-    let mut world = scenario.build(&[], probe);
+    let mut world = scenario.build_with_observer(&[], probe);
     world.run_until(SimTime::from_secs(secs));
     let now = world.now();
     let p = world.observer_mut();
@@ -183,7 +183,7 @@ fn detection_survives_shadowing() {
     let (s, r) = scenario.tagged_pair();
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.sample_size = 25;
-    let mut world = scenario.build(&[s, r], Monitor::new(mc));
+    let mut world = scenario.build_with_observer(&[s, r], Monitor::new(mc));
     world.set_policy(s, BackoffPolicy::Scaled { pm: 85 });
     world.add_source(SourceCfg::saturated(s, r));
     world.run_until(SimTime::from_secs(40));
@@ -207,7 +207,7 @@ fn signed_rank_judge_works_end_to_end() {
         mc.sample_size = 25;
         mc.judge = judge;
         mc.blatant_check = false;
-        let mut world = scenario.build(&[s, r], Monitor::new(mc));
+        let mut world = scenario.build_with_observer(&[s, r], Monitor::new(mc));
         if pm > 0 {
             world.set_policy(s, BackoffPolicy::Scaled { pm });
         }
