@@ -37,7 +37,9 @@ fn grid56_world() -> mg_net::World<()> {
     };
     let scenario = Scenario::new(cfg);
     let (s, r) = scenario.tagged_pair();
-    let mut w = scenario.build_with_observer(&[s, r], ());
+    // The low-level `realize` keeps the observer a literal `()` so the
+    // benchmark measures the bare stack, not monitor dispatch.
+    let mut w = scenario.realize(&[s, r], ());
     w.add_source(SourceCfg::saturated(s, r));
     w
 }

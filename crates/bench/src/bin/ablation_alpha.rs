@@ -8,15 +8,16 @@
 //! cargo run --release -p mg-bench --bin ablation_alpha
 //! ```
 
+use mg_bench::sweep::{outcome_codec, SCHEMA};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate, parallel_seeds, sim_secs, trials, Load, TrialOutcome};
+use mg_bench::{aggregate, BenchConfig, Load, TrialOutcome};
 use mg_dcf::BackoffPolicy;
-use mg_detect::{Monitor, MonitorConfig};
+use mg_detect::{MonitorConfig, ScenarioBuilder, WorldMonitors};
 use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+use mg_runner::CacheKey;
 use mg_sim::SimTime;
 
-fn trial(seed: u64, pm: u8, arma_alpha: f64) -> TrialOutcome {
-    let secs = sim_secs();
+fn trial(seed: u64, pm: u8, arma_alpha: f64, secs: u64) -> TrialOutcome {
     let cfg = ScenarioConfig {
         sim_secs: secs,
         rate_pps: Load::Medium.rate_pps(),
@@ -29,42 +30,87 @@ fn trial(seed: u64, pm: u8, arma_alpha: f64) -> TrialOutcome {
     mc.sample_size = 25;
     mc.arma_alpha = arma_alpha;
     mc.blatant_check = false;
-    let monitor = Monitor::new(mc);
-    let mut world = scenario.build_with_observer(&[s, r], monitor);
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    let watch = b.monitor(mc);
+    b.source(SourceCfg::saturated(s, r));
+    let mut world = b.build();
     if pm > 0 {
-        world.set_policy(s, BackoffPolicy::Scaled { pm });
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
     }
-    world.add_source(SourceCfg::saturated(s, r));
     world.run_until(SimTime::from_secs(secs));
-    let d = world.observer().diagnosis();
+    let pool = world.monitors().pool(watch);
+    let d = pool.diagnosis();
+    // The column of interest: the ARMA-smoothed *background* intensity, not
+    // the overall busy fraction — it is the α-dependent estimate.
+    let rho_bg = pool.monitor(r).map(|m| m.rho()).unwrap_or(0.0);
     TrialOutcome {
         tests: d.tests_run as u64,
         rejections: d.rejections as u64,
         violations: d.violations as u64,
         samples: d.samples_collected as u64,
-        rho: world.observer().rho(),
+        rho: rho_bg,
         ..TrialOutcome::default()
     }
 }
 
 fn main() {
-    let n = trials();
+    let bc = BenchConfig::from_env_or_exit();
+    let runner = bc.runner();
+    let alphas = [0.5, 0.9, 0.99, 0.995, 0.999];
+    let pms: [(u8, u64); 3] = [(0, 8000), (50, 8100), (90, 8200)];
+
+    let mut tasks = Vec::new();
+    for &alpha in &alphas {
+        for &(pm, base) in &pms {
+            for i in 0..bc.trials {
+                tasks.push((alpha, pm, base + i));
+            }
+        }
+    }
+    let results: Vec<TrialOutcome> = runner.sweep(
+        &tasks,
+        |&(alpha, pm, seed)| {
+            let cfg = ScenarioConfig {
+                sim_secs: bc.sim_secs,
+                rate_pps: Load::Medium.rate_pps(),
+                seed,
+                ..ScenarioConfig::grid_paper(seed)
+            };
+            CacheKey::new("ablation-alpha", SCHEMA)
+                .field("cfg", cfg)
+                .field("pm", pm)
+                .field("alpha", alpha)
+                .field("sample_size", 25usize)
+        },
+        outcome_codec(),
+        |&(alpha, pm, seed)| trial(seed, pm, alpha, bc.sim_secs),
+    );
+
     let mut t = Table::new(
         "Ablation: ARMA smoothing alpha (Eq. 6; paper uses 0.995)",
         &["alpha", "false alarms", "detect PM=50", "detect PM=90", "rho_bg"],
     );
-    for alpha in [0.5, 0.9, 0.99, 0.995, 0.999] {
-        let fa = aggregate(&parallel_seeds(n, 8000, |seed| trial(seed, 0, alpha)));
-        let d50 = aggregate(&parallel_seeds(n, 8100, |seed| trial(seed, 50, alpha)));
-        let d90 = aggregate(&parallel_seeds(n, 8200, |seed| trial(seed, 90, alpha)));
+    for &alpha in &alphas {
+        let agg_for = |pm: u8| {
+            let outcomes: Vec<TrialOutcome> = tasks
+                .iter()
+                .zip(&results)
+                .filter(|((a, p, _), _)| *a == alpha && *p == pm)
+                .map(|(_, o)| *o)
+                .collect();
+            aggregate(&outcomes)
+        };
+        let fa = agg_for(0);
         t.row(vec![
             format!("{alpha}"),
             p3(fa.rejection_rate()),
-            p3(d50.rejection_rate()),
-            p3(d90.rejection_rate()),
+            p3(agg_for(50).rejection_rate()),
+            p3(agg_for(90).rejection_rate()),
             p3(fa.rho),
         ]);
     }
-    t.emit("ablation_alpha");
+    t.emit_with("ablation_alpha", &bc);
     println!("(the paper's claim: performance is flat in alpha for alpha close to 1)");
+    eprintln!("{}", runner.summary());
 }

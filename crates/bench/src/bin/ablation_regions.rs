@@ -8,16 +8,19 @@
 //! cargo run --release -p mg-bench --bin ablation_regions
 //! ```
 
+use mg_bench::sweep::{outcome_codec, SCHEMA};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate, parallel_seeds, sim_secs, trials, Load, TrialOutcome};
+use mg_bench::{aggregate, BenchConfig, Load, TrialOutcome};
 use mg_dcf::BackoffPolicy;
-use mg_detect::{Monitor, MonitorConfig, NodeCounts};
+use mg_detect::{MonitorConfig, NodeCounts, ScenarioBuilder, WorldMonitors};
 use mg_geom::PreclusionRule;
 use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+use mg_runner::CacheKey;
 use mg_sim::SimTime;
 
-fn trial(seed: u64, pm: u8, rule: PreclusionRule, counts: NodeCounts, ss: usize) -> TrialOutcome {
-    let secs = sim_secs();
+const SS: usize = 25;
+
+fn trial(seed: u64, pm: u8, rule: PreclusionRule, counts: NodeCounts, secs: u64) -> TrialOutcome {
     let cfg = ScenarioConfig {
         sim_secs: secs,
         rate_pps: Load::Medium.rate_pps(),
@@ -27,31 +30,33 @@ fn trial(seed: u64, pm: u8, rule: PreclusionRule, counts: NodeCounts, ss: usize)
     let scenario = Scenario::new(cfg);
     let (s, r) = scenario.tagged_pair();
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
-    mc.sample_size = ss;
+    mc.sample_size = SS;
     mc.preclusion = rule;
     mc.counts = counts;
     mc.blatant_check = false;
-    let monitor = Monitor::new(mc);
-    let mut world = scenario.build_with_observer(&[s, r], monitor);
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    let watch = b.monitor(mc);
+    b.source(SourceCfg::saturated(s, r));
+    let mut world = b.build();
     if pm > 0 {
-        world.set_policy(s, BackoffPolicy::Scaled { pm });
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
     }
-    world.add_source(SourceCfg::saturated(s, r));
     world.run_until(SimTime::from_secs(secs));
-    let d = world.observer().diagnosis();
+    let d = world.monitors().diagnosis(watch);
     TrialOutcome {
         tests: d.tests_run as u64,
         rejections: d.rejections as u64,
         violations: d.violations as u64,
         samples: d.samples_collected as u64,
-        rho: world.observer().overall_rho(),
+        rho: d.measured_rho,
         ..TrialOutcome::default()
     }
 }
 
 fn main() {
-    let n = trials();
-    let ss = 25;
+    let bc = BenchConfig::from_env_or_exit();
+    let runner = bc.runner();
     let variants: [(&str, PreclusionRule, NodeCounts); 4] = [
         ("mirror (n=k=5)", PreclusionRule::Mirror, NodeCounts::FixedPaper),
         (
@@ -70,27 +75,62 @@ fn main() {
             NodeCounts::SimCalibrated,
         ),
     ];
+    let pms: [(u8, u64); 3] = [(0, 6000), (50, 6100), (90, 6200)];
+
+    let mut tasks = Vec::new();
+    for (vi, _) in variants.iter().enumerate() {
+        for &(pm, base) in &pms {
+            for i in 0..bc.trials {
+                tasks.push((vi, pm, base + i));
+            }
+        }
+    }
+    let results: Vec<TrialOutcome> = runner.sweep(
+        &tasks,
+        |&(vi, pm, seed)| {
+            let (_, rule, counts) = variants[vi];
+            let cfg = ScenarioConfig {
+                sim_secs: bc.sim_secs,
+                rate_pps: Load::Medium.rate_pps(),
+                seed,
+                ..ScenarioConfig::grid_paper(seed)
+            };
+            CacheKey::new("ablation-regions", SCHEMA)
+                .field("cfg", cfg)
+                .field("pm", pm)
+                .field("rule", rule)
+                .field("counts", counts)
+                .field("sample_size", SS)
+        },
+        outcome_codec(),
+        |&(vi, pm, seed)| {
+            let (_, rule, counts) = variants[vi];
+            trial(seed, pm, rule, counts, bc.sim_secs)
+        },
+    );
+
     let mut t = Table::new(
-        &format!("Ablation: region construction (sample size {ss}, load 0.6)"),
+        &format!("Ablation: region construction (sample size {SS}, load 0.6)"),
         &["rule", "false alarms", "detect PM=50", "detect PM=90"],
     );
-    for (name, rule, counts) in variants {
-        let fa = aggregate(&parallel_seeds(n, 6000, |seed| {
-            trial(seed, 0, rule, counts, ss)
-        }));
-        let d50 = aggregate(&parallel_seeds(n, 6100, |seed| {
-            trial(seed, 50, rule, counts, ss)
-        }));
-        let d90 = aggregate(&parallel_seeds(n, 6200, |seed| {
-            trial(seed, 90, rule, counts, ss)
-        }));
+    for (vi, (name, _, _)) in variants.iter().enumerate() {
+        let agg_for = |pm: u8| {
+            let outcomes: Vec<TrialOutcome> = tasks
+                .iter()
+                .zip(&results)
+                .filter(|((v, p, _), _)| *v == vi && *p == pm)
+                .map(|(_, o)| *o)
+                .collect();
+            aggregate(&outcomes)
+        };
         t.row(vec![
             name.to_string(),
-            p3(fa.rejection_rate()),
-            p3(d50.rejection_rate()),
-            p3(d90.rejection_rate()),
+            p3(agg_for(0).rejection_rate()),
+            p3(agg_for(50).rejection_rate()),
+            p3(agg_for(90).rejection_rate()),
         ]);
     }
-    t.emit("ablation_regions");
+    t.emit_with("ablation_regions", &bc);
     println!("(a model mismatched to the physics inflates false alarms; see EXPERIMENTS.md)");
+    eprintln!("{}", runner.summary());
 }

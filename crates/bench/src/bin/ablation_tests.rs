@@ -8,19 +8,21 @@
 //! cargo run --release -p mg-bench --bin ablation_tests
 //! ```
 
+use mg_bench::sweep::SCHEMA;
 use mg_bench::table::{p3, Table};
-use mg_bench::{parallel_seeds, sim_secs, trials, Load};
+use mg_bench::{BenchConfig, Load};
 use mg_dcf::BackoffPolicy;
-use mg_detect::{Monitor, MonitorConfig};
+use mg_detect::{MonitorConfig, ScenarioBuilder, WorldMonitors};
 use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+use mg_runner::{CacheKey, Codec};
 use mg_sim::SimTime;
 use mg_stats::signed_rank::signed_rank_test;
 use mg_stats::ttest::welch_t_test;
 use mg_stats::wilcoxon::{rank_sum_test, Alternative};
+use mg_trace::json::Json;
 
 /// Collects raw (dictated, estimated) samples from one run.
-fn collect(seed: u64, pm: u8) -> Vec<(f64, f64)> {
-    let secs = sim_secs();
+fn collect(seed: u64, pm: u8, secs: u64) -> Vec<(f64, f64)> {
     let cfg = ScenarioConfig {
         sim_secs: secs,
         rate_pps: Load::Medium.rate_pps(),
@@ -31,14 +33,22 @@ fn collect(seed: u64, pm: u8) -> Vec<(f64, f64)> {
     let (s, r) = scenario.tagged_pair();
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.auto_test = false;
-    let monitor = Monitor::new(mc);
-    let mut world = scenario.build_with_observer(&[s, r], monitor);
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    let watch = b.monitor(mc);
+    b.source(SourceCfg::saturated(s, r));
+    let mut world = b.build();
     if pm > 0 {
-        world.set_policy(s, BackoffPolicy::Scaled { pm });
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
     }
-    world.add_source(SourceCfg::saturated(s, r));
     world.run_until(SimTime::from_secs(secs));
-    world.observer().samples().to_vec()
+    world
+        .monitors()
+        .pool(watch)
+        .monitor(r)
+        .expect("static vantage is always a member")
+        .samples()
+        .to_vec()
 }
 
 /// Rejection rates of all three tests over tumbling batches of `ss` samples.
@@ -73,25 +83,80 @@ fn rates(samples: &[(f64, f64)], ss: usize, alpha: f64) -> (f64, f64, f64, usize
     }
 }
 
+/// (dictated, estimated) sample pairs as a JSON array of two-element arrays.
+fn samples_codec() -> Codec<Vec<(f64, f64)>> {
+    Codec {
+        encode: |s| {
+            Json::Arr(
+                s.iter()
+                    .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                    .collect(),
+            )
+        },
+        decode: |v| {
+            v.as_arr()?
+                .iter()
+                .map(|p| {
+                    let pair = p.as_arr()?;
+                    match pair {
+                        [x, y] => Some((x.as_f64()?, y.as_f64()?)),
+                        _ => None,
+                    }
+                })
+                .collect()
+        },
+    }
+}
+
 fn main() {
-    let n_trials = trials();
+    let bc = BenchConfig::from_env_or_exit();
+    let runner = bc.runner();
     let alpha = 0.01;
     let ss = 25;
+    let pms: [u8; 5] = [0, 25, 50, 75, 90];
+
+    let mut tasks = Vec::new();
+    for &pm in &pms {
+        for i in 0..bc.trials {
+            tasks.push((pm, 7000 + pm as u64 + i));
+        }
+    }
+    let all: Vec<Vec<(f64, f64)>> = runner.sweep(
+        &tasks,
+        |&(pm, seed)| {
+            let cfg = ScenarioConfig {
+                sim_secs: bc.sim_secs,
+                rate_pps: Load::Medium.rate_pps(),
+                seed,
+                ..ScenarioConfig::grid_paper(seed)
+            };
+            CacheKey::new("ablation-tests", SCHEMA)
+                .field("cfg", cfg)
+                .field("pm", pm)
+                .field("collector", "raw-samples")
+        },
+        samples_codec(),
+        |&(pm, seed)| collect(seed, pm, bc.sim_secs),
+    );
+
     let mut t = Table::new(
         &format!(
             "Ablation: rank-sum vs Welch t vs signed-rank (alpha {alpha}, sample size {ss}, load 0.6)"
         ),
         &["PM%", "rank-sum (paper)", "welch-t", "signed-rank (paired)", "tests"],
     );
-    for pm in [0u8, 25, 50, 75, 90] {
-        let all: Vec<Vec<(f64, f64)>> =
-            parallel_seeds(n_trials, 7000 + pm as u64, |seed| collect(seed, pm));
+    for &pm in &pms {
         let mut wil_sum = 0.0;
         let mut tt_sum = 0.0;
         let mut sr_sum = 0.0;
         let mut tests = 0usize;
         let mut weighted = 0.0;
-        for samples in &all {
+        for samples in tasks
+            .iter()
+            .zip(&all)
+            .filter(|((p, _), _)| *p == pm)
+            .map(|(_, s)| s)
+        {
             let (w, tt_rate, sr_rate, n) = rates(samples, ss, alpha);
             wil_sum += w * n as f64;
             tt_sum += tt_rate * n as f64;
@@ -112,8 +177,9 @@ fn main() {
             format!("{tests}"),
         ]);
     }
-    t.emit("ablation_tests");
+    t.emit_with("ablation_tests", &bc);
     println!(
         "(PM=0 row is the false-alarm rate; the paper prefers the rank-sum for its          distribution-freeness; the paired signed-rank is this repository's extension)"
     );
+    eprintln!("{}", runner.summary());
 }

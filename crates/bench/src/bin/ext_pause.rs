@@ -9,35 +9,74 @@
 //! cargo run --release -p mg-bench --bin ext_pause
 //! ```
 
+use mg_bench::sweep::{detection_key, outcome_codec};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate, mobile_detection_trial, parallel_seeds, sim_secs, trials, Load};
+use mg_bench::{aggregate, mobile_detection_trial, BenchConfig, Load, TrialOutcome};
+use mg_net::ScenarioConfig;
 use mg_sim::SimDuration;
 
 fn main() {
-    let n = trials();
-    let secs = sim_secs();
+    let bc = BenchConfig::from_env_or_exit();
+    let runner = bc.runner();
+    let pauses: [u64; 5] = [0, 50, 100, 200, 300];
+    let pms: [(u8, u64); 3] = [(0, 9500), (50, 9600), (90, 9700)];
+
+    let mut tasks = Vec::new();
+    for &pause_s in &pauses {
+        for &(pm, base) in &pms {
+            for i in 0..bc.trials {
+                tasks.push((pause_s, pm, base + pause_s + i));
+            }
+        }
+    }
+    let results: Vec<TrialOutcome> = runner.sweep(
+        &tasks,
+        |&(pause_s, pm, seed)| {
+            let cfg = ScenarioConfig {
+                sim_secs: bc.sim_secs,
+                rate_pps: Load::Medium.rate_pps(),
+                seed,
+                ..ScenarioConfig::mobile_paper(seed, SimDuration::from_secs(pause_s))
+            };
+            detection_key("detection-mobile", &cfg, pm, &[25], false)
+        },
+        outcome_codec(),
+        |&(pause_s, pm, seed)| {
+            mobile_detection_trial(
+                seed,
+                Load::Medium,
+                pm,
+                25,
+                bc.sim_secs,
+                SimDuration::from_secs(pause_s),
+            )
+        },
+    );
+
     let mut t = Table::new(
         "Extension: pause-time sweep — mobile detection, load 0.6, sample size 25",
         &["pause (s)", "false alarms", "detect PM=50", "detect PM=90", "tests(fa)"],
     );
-    for pause_s in [0u64, 50, 100, 200, 300] {
-        let pause = SimDuration::from_secs(pause_s);
-        let run = |pm: u8, base: u64| {
-            aggregate(&parallel_seeds(n, base + pause_s, |seed| {
-                mobile_detection_trial(seed, Load::Medium, pm, 25, secs, pause)
-            }))
+    for &pause_s in &pauses {
+        let agg_for = |pm: u8| {
+            let outcomes: Vec<TrialOutcome> = tasks
+                .iter()
+                .zip(&results)
+                .filter(|((ps, p, _), _)| *ps == pause_s && *p == pm)
+                .map(|(_, o)| *o)
+                .collect();
+            aggregate(&outcomes)
         };
-        let fa = run(0, 9500);
-        let d50 = run(50, 9600);
-        let d90 = run(90, 9700);
+        let fa = agg_for(0);
         t.row(vec![
             format!("{pause_s}"),
             p3(fa.rejection_rate()),
-            p3(d50.rejection_rate()),
-            p3(d90.rejection_rate()),
+            p3(agg_for(50).rejection_rate()),
+            p3(agg_for(90).rejection_rate()),
             format!("{}", fa.tests),
         ]);
     }
-    t.emit("ext_pause");
+    t.emit_with("ext_pause", &bc);
     println!("(the paper notes mobility roughly doubles the samples needed; long pauses should recover the static behaviour)");
+    eprintln!("{}", runner.summary());
 }

@@ -11,41 +11,67 @@
 //! cargo run --release -p mg-bench --bin ext_shadowing
 //! ```
 
+use mg_bench::sweep::{detection_key, outcome_codec};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate, detection_trial_with_cfg, parallel_seeds, sim_secs, trials, Load};
+use mg_bench::{aggregate, detection_trial_with_cfg, BenchConfig, Load, TrialOutcome};
 use mg_net::ScenarioConfig;
 use mg_phy::PropagationModel;
 
 fn main() {
-    let n = trials();
-    let secs = sim_secs();
+    let bc = BenchConfig::from_env_or_exit();
+    let runner = bc.runner();
+    let sigmas = [0.0, 2.0, 4.0, 8.0];
+    let pms: [(u8, u64); 3] = [(0, 9000), (50, 9100), (90, 9200)];
+
+    let base_for = |sigma: f64| ScenarioConfig {
+        sim_secs: bc.sim_secs,
+        rate_pps: Load::Medium.rate_pps(),
+        propagation: PropagationModel::shadowing(2.0, sigma),
+        ..ScenarioConfig::grid_paper(0)
+    };
+
+    let mut tasks = Vec::new();
+    for &sigma in &sigmas {
+        for &(pm, seed_base) in &pms {
+            for i in 0..bc.trials {
+                tasks.push((sigma, pm, seed_base + i));
+            }
+        }
+    }
+    let results: Vec<TrialOutcome> = runner.sweep(
+        &tasks,
+        |&(sigma, pm, seed)| {
+            let cfg = ScenarioConfig { seed, ..base_for(sigma) };
+            detection_key("ext-shadowing", &cfg, pm, &[25], true)
+        },
+        outcome_codec(),
+        |&(sigma, pm, seed)| detection_trial_with_cfg(seed, base_for(sigma), pm, 25, true),
+    );
+
     let mut t = Table::new(
         "Extension: detection under log-normal shadowing (load 0.6, sample size 25)",
         &["sigma_dB", "false alarms", "detect PM=50", "detect PM=90", "rho"],
     );
-    for sigma in [0.0, 2.0, 4.0, 8.0] {
-        let base = ScenarioConfig {
-            sim_secs: secs,
-            rate_pps: Load::Medium.rate_pps(),
-            propagation: PropagationModel::shadowing(2.0, sigma),
-            ..ScenarioConfig::grid_paper(0)
+    for &sigma in &sigmas {
+        let agg_for = |pm: u8| {
+            let outcomes: Vec<TrialOutcome> = tasks
+                .iter()
+                .zip(&results)
+                .filter(|((s, p, _), _)| *s == sigma && *p == pm)
+                .map(|(_, o)| *o)
+                .collect();
+            aggregate(&outcomes)
         };
-        let run = |pm: u8, seed_base: u64| {
-            aggregate(&parallel_seeds(n, seed_base, |seed| {
-                detection_trial_with_cfg(seed, ScenarioConfig { seed, ..base }, pm, 25, true)
-            }))
-        };
-        let fa = run(0, 9000);
-        let d50 = run(50, 9100);
-        let d90 = run(90, 9200);
+        let fa = agg_for(0);
         t.row(vec![
             format!("{sigma}"),
             p3(fa.rejection_rate()),
-            p3(d50.rejection_rate()),
-            p3(d90.rejection_rate()),
+            p3(agg_for(50).rejection_rate()),
+            p3(agg_for(90).rejection_rate()),
             p3(fa.rho),
         ]);
     }
-    t.emit("ext_shadowing");
+    t.emit_with("ext_shadowing", &bc);
     println!("(fading degrades both ranges per-packet; the detector should degrade gracefully)");
+    eprintln!("{}", runner.summary());
 }

@@ -8,16 +8,19 @@
 //! cargo run --release -p mg-bench --bin fig3
 //! ```
 
+use mg_bench::sweep::{cond_codec, cond_key};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate_points, conditional_probability_run, grid_base, parallel_seeds, sim_secs, trials};
+use mg_bench::{aggregate_points, conditional_probability_run, grid_base, BenchConfig, CondProbPoint};
 use mg_detect::AnalyticModel;
 use mg_geom::PreclusionRule;
+use mg_net::ScenarioConfig;
 
 fn main() {
+    let bc = BenchConfig::from_env_or_exit();
+    let runner = bc.runner();
     // Background rates sweeping the achievable intensity range.
     let rates = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 18.0, 25.0];
-    let secs = sim_secs().min(120);
-    let n = trials();
+    let secs = bc.sim_secs.min(120);
 
     let paper = AnalyticModel::grid_paper(240.0, 550.0, PreclusionRule::paper_calibrated());
 
@@ -30,10 +33,30 @@ fn main() {
         &["rho(meas)", "sim", "analysis(paper)", "analysis(calibrated)"],
     );
 
+    // The whole figure as one flat (rate × seed) grid.
+    let mut tasks = Vec::new();
     for &rate in &rates {
-        let points = parallel_seeds(n, 1000, |seed| {
-            conditional_probability_run(seed, rate, secs, grid_base())
-        });
+        for i in 0..bc.trials {
+            tasks.push((rate, 1000 + i));
+        }
+    }
+    let results: Vec<CondProbPoint> = runner.sweep(
+        &tasks,
+        |&(rate, seed)| {
+            let cfg = ScenarioConfig { sim_secs: secs, rate_pps: rate, seed, ..grid_base() };
+            cond_key("condprob-grid", &cfg)
+        },
+        cond_codec(),
+        |&(rate, seed)| conditional_probability_run(seed, rate, secs, grid_base()),
+    );
+
+    for &rate in &rates {
+        let points: Vec<CondProbPoint> = tasks
+            .iter()
+            .zip(&results)
+            .filter(|((r, _), _)| *r == rate)
+            .map(|(_, p)| *p)
+            .collect();
         let (rho, p_bi, p_ib, dist) = aggregate_points(&points);
         // The simulator-calibrated analysis, at the probed pair's distance.
         let calibrated = AnalyticModel {
@@ -56,9 +79,11 @@ fn main() {
             p3(calibrated.p_idle_given_busy(rho)),
         ]);
     }
-    t3a.emit("fig3a");
-    t3b.emit("fig3b");
+    t3a.emit_with("fig3a", &bc);
+    t3b.emit_with("fig3b", &bc);
     println!(
-        "(trials per point: {n}, {secs}s simulated each; expected shape: 3a rises with rho, 3b falls)"
+        "(trials per point: {}, {secs}s simulated each; expected shape: 3a rises with rho, 3b falls)",
+        bc.trials
     );
+    eprintln!("{}", runner.summary());
 }

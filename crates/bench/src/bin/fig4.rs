@@ -5,17 +5,18 @@
 //! cargo run --release -p mg-bench --bin fig4
 //! ```
 
+use mg_bench::sweep::{cond_codec, cond_key};
 use mg_bench::table::{p3, Table};
-use mg_bench::{
-    aggregate_points, conditional_probability_run, parallel_seeds, random_base, sim_secs, trials,
-};
+use mg_bench::{aggregate_points, conditional_probability_run, random_base, BenchConfig, CondProbPoint};
 use mg_detect::AnalyticModel;
 use mg_geom::PreclusionRule;
+use mg_net::ScenarioConfig;
 
 fn main() {
+    let bc = BenchConfig::from_env_or_exit();
+    let runner = bc.runner();
     let rates = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 18.0, 25.0];
-    let secs = sim_secs().min(120);
-    let n = trials();
+    let secs = bc.sim_secs.min(120);
 
     let paper = AnalyticModel::grid_paper(240.0, 550.0, PreclusionRule::paper_calibrated());
 
@@ -28,10 +29,29 @@ fn main() {
         &["rho(meas)", "sim", "analysis(paper)", "analysis(calibrated)"],
     );
 
+    let mut tasks = Vec::new();
     for &rate in &rates {
-        let points = parallel_seeds(n, 2000, |seed| {
-            conditional_probability_run(seed, rate, secs, random_base())
-        });
+        for i in 0..bc.trials {
+            tasks.push((rate, 2000 + i));
+        }
+    }
+    let results: Vec<CondProbPoint> = runner.sweep(
+        &tasks,
+        |&(rate, seed)| {
+            let cfg = ScenarioConfig { sim_secs: secs, rate_pps: rate, seed, ..random_base() };
+            cond_key("condprob-random", &cfg)
+        },
+        cond_codec(),
+        |&(rate, seed)| conditional_probability_run(seed, rate, secs, random_base()),
+    );
+
+    for &rate in &rates {
+        let points: Vec<CondProbPoint> = tasks
+            .iter()
+            .zip(&results)
+            .filter(|((r, _), _)| *r == rate)
+            .map(|(_, p)| *p)
+            .collect();
         let (rho, p_bi, p_ib, dist) = aggregate_points(&points);
         // The simulator-calibrated analysis, at the probed pair's distance.
         let calibrated = AnalyticModel {
@@ -54,9 +74,11 @@ fn main() {
             p3(calibrated.p_idle_given_busy(rho)),
         ]);
     }
-    t4a.emit("fig4a");
-    t4b.emit("fig4b");
+    t4a.emit_with("fig4a", &bc);
+    t4b.emit_with("fig4b", &bc);
     println!(
-        "(trials per point: {n}, {secs}s simulated each; the paper reports the same shapes as Fig. 3 with smaller P(S idle | R busy))"
+        "(trials per point: {}, {secs}s simulated each; the paper reports the same shapes as Fig. 3 with smaller P(S idle | R busy))",
+        bc.trials
     );
+    eprintln!("{}", runner.summary());
 }

@@ -9,100 +9,191 @@
 //! "blatant countdown" check *also* fired per 100 back-off windows — the
 //! part of the framework the paper calls immediate detection.
 //!
+//! The whole figure is one flat (panel × PM × seed) task grid drained by
+//! the mg-runner sweep engine; each task simulates *one* world carrying one
+//! monitor per sample size, and completed points replay from the result
+//! cache on re-runs.
+//!
 //! ```text
 //! cargo run --release -p mg-bench --bin fig5            # 5(a)-(c)
 //! cargo run --release -p mg-bench --bin fig5 -- --mobile # 5(d)
 //! MG_TRIALS=20 MG_SIM_SECS=300 ... for higher fidelity
 //! ```
 
+use mg_bench::sweep::{detection_key, outcomes_codec};
 use mg_bench::table::{p3, Table};
 use mg_bench::{
-    aggregate, detection_trial, grid_base, mobile_detection_trial, parallel_seeds, sim_secs,
-    trials, Load, TrialOutcome,
+    aggregate, detection_trial_fanout, grid_base, mobile_detection_trial_fanout, BenchConfig,
+    Load, TrialOutcome,
 };
+use mg_net::ScenarioConfig;
 use mg_sim::SimDuration;
 use mg_trace::MetricsSnapshot;
 
 const SAMPLE_SIZES: [usize; 4] = [10, 25, 50, 100];
 const PMS: [u8; 10] = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
 
-fn run_figure(load: Load, mobile: bool, slug: &str, title: &str) {
-    let n = trials();
-    let secs = sim_secs();
-    let mut t = Table::new(
-        title,
-        &[
-            "PM%", "n=10", "n=25", "n=50", "n=100", "rho", "blatant/100win",
-        ],
-    );
-    let mut figure_metrics = MetricsSnapshot::default();
-    for &pm in &PMS {
-        let mut cells = vec![format!("{pm}")];
-        let mut rho_acc = 0.0;
-        let mut blatant_rate = 0.0;
-        for &ss in &SAMPLE_SIZES {
-            // The blatant check runs alongside but never influences the
-            // statistical test (it only records violations), so one run
-            // yields both the hypothesis-test curve and the deterministic
-            // column.
-            let outcomes: Vec<TrialOutcome> = parallel_seeds(n, 3000 + pm as u64 * 17, |seed| {
-                if mobile {
-                    mobile_detection_trial(seed, load, pm, ss, secs, SimDuration::ZERO)
-                } else {
-                    detection_trial(seed, load, pm, ss, secs, false, grid_base())
-                }
-            });
-            let agg = aggregate(&outcomes);
-            figure_metrics.merge(&agg.metrics);
-            cells.push(p3(agg.rejection_rate()));
-            rho_acc = agg.rho;
-            if ss == SAMPLE_SIZES[0] {
-                blatant_rate = if agg.samples > 0 {
-                    agg.violations as f64 * 100.0 / agg.samples as f64
-                } else {
-                    0.0
-                };
-            }
-        }
-        cells.push(p3(rho_acc));
-        cells.push(p3(blatant_rate));
-        t.row(cells);
+struct Panel {
+    load: Load,
+    mobile: bool,
+    slug: &'static str,
+    title: &'static str,
+}
+
+#[derive(Clone, Copy)]
+struct Task {
+    panel: usize,
+    pm: u8,
+    seed: u64,
+}
+
+/// The fully resolved scenario a task simulates — also the cache identity.
+fn resolved_cfg(bc: &BenchConfig, p: &Panel, seed: u64) -> ScenarioConfig {
+    let base = if p.mobile {
+        ScenarioConfig::mobile_paper(seed, SimDuration::ZERO)
+    } else {
+        grid_base()
+    };
+    ScenarioConfig {
+        sim_secs: bc.sim_secs,
+        rate_pps: p.load.rate_pps(),
+        seed,
+        ..base
     }
-    t.meta("metrics", figure_metrics.to_json());
-    t.emit(slug);
 }
 
 fn main() {
+    let bc = BenchConfig::from_env_or_exit();
+    let runner = bc.runner();
     let mobile = std::env::args().any(|a| a == "--mobile");
-    if mobile {
-        run_figure(
-            Load::Medium,
-            true,
-            "fig5d",
-            "Figure 5(d): P(correct diagnosis) vs PM — mobile (RWP), load 0.6",
-        );
+
+    let panels: Vec<Panel> = if mobile {
+        vec![Panel {
+            load: Load::Medium,
+            mobile: true,
+            slug: "fig5d",
+            title: "Figure 5(d): P(correct diagnosis) vs PM — mobile (RWP), load 0.6",
+        }]
     } else {
-        run_figure(
-            Load::Low,
-            false,
-            "fig5a",
-            "Figure 5(a): P(correct diagnosis) vs PM — static grid, load 0.3",
+        vec![
+            Panel {
+                load: Load::Low,
+                mobile: false,
+                slug: "fig5a",
+                title: "Figure 5(a): P(correct diagnosis) vs PM — static grid, load 0.3",
+            },
+            Panel {
+                load: Load::Medium,
+                mobile: false,
+                slug: "fig5b",
+                title: "Figure 5(b): P(correct diagnosis) vs PM — static grid, load 0.6",
+            },
+            Panel {
+                load: Load::High,
+                mobile: false,
+                slug: "fig5c",
+                title: "Figure 5(c): P(correct diagnosis) vs PM — static grid, load 0.9",
+            },
+        ]
+    };
+
+    // One flat grid for the whole figure: threads never idle at a
+    // parameter-point boundary waiting for a slow trial elsewhere.
+    let mut tasks = Vec::new();
+    for (panel, _) in panels.iter().enumerate() {
+        for &pm in &PMS {
+            for i in 0..bc.trials {
+                tasks.push(Task { panel, pm, seed: 3000 + pm as u64 * 17 + i });
+            }
+        }
+    }
+
+    let results: Vec<Vec<TrialOutcome>> = runner.sweep(
+        &tasks,
+        |t| {
+            let p = &panels[t.panel];
+            let experiment = if p.mobile { "detection-mobile" } else { "detection" };
+            detection_key(experiment, &resolved_cfg(&bc, p, t.seed), t.pm, &SAMPLE_SIZES, false)
+        },
+        outcomes_codec(),
+        |t| {
+            let p = &panels[t.panel];
+            if p.mobile {
+                mobile_detection_trial_fanout(
+                    t.seed,
+                    p.load,
+                    t.pm,
+                    &SAMPLE_SIZES,
+                    bc.sim_secs,
+                    SimDuration::ZERO,
+                )
+            } else {
+                detection_trial_fanout(
+                    t.seed,
+                    p.load,
+                    t.pm,
+                    &SAMPLE_SIZES,
+                    bc.sim_secs,
+                    false,
+                    grid_base(),
+                )
+            }
+        },
+    );
+
+    for (pi, p) in panels.iter().enumerate() {
+        let mut t = Table::new(
+            p.title,
+            &["PM%", "n=10", "n=25", "n=50", "n=100", "rho", "blatant/100win"],
         );
-        run_figure(
-            Load::Medium,
-            false,
-            "fig5b",
-            "Figure 5(b): P(correct diagnosis) vs PM — static grid, load 0.6",
-        );
-        run_figure(
-            Load::High,
-            false,
-            "fig5c",
-            "Figure 5(c): P(correct diagnosis) vs PM — static grid, load 0.9",
-        );
+        let mut figure_metrics = MetricsSnapshot::default();
+        for &pm in &PMS {
+            let per_seed: Vec<&Vec<TrialOutcome>> = tasks
+                .iter()
+                .zip(&results)
+                .filter(|(task, _)| task.panel == pi && task.pm == pm)
+                .map(|(_, r)| r)
+                .collect();
+            let mut cells = vec![format!("{pm}")];
+            for si in 0..SAMPLE_SIZES.len() {
+                let outcomes: Vec<TrialOutcome> = per_seed.iter().map(|v| v[si]).collect();
+                cells.push(p3(aggregate(&outcomes).rejection_rate()));
+            }
+            // The world-level measurements (ρ, blatant violations, metrics)
+            // are per simulation, not per monitor: all sample sizes share
+            // one world, so take them once per seed — and check that the
+            // fan-out really did measure the same world everywhere.
+            let world_level: Vec<TrialOutcome> = per_seed
+                .iter()
+                .map(|v| {
+                    for o in v.iter() {
+                        assert_eq!(
+                            o.rho.to_bits(),
+                            v[0].rho.to_bits(),
+                            "per-sample-size outcomes must agree on the shared world's rho"
+                        );
+                        assert_eq!(o.violations, v[0].violations);
+                    }
+                    v[0]
+                })
+                .collect();
+            let agg = aggregate(&world_level);
+            figure_metrics.merge(&agg.metrics);
+            cells.push(p3(agg.rho));
+            let blatant = if agg.samples > 0 {
+                agg.violations as f64 * 100.0 / agg.samples as f64
+            } else {
+                0.0
+            };
+            cells.push(p3(blatant));
+            t.row(cells);
+        }
+        t.meta("metrics", figure_metrics.to_json());
+        t.emit_with(p.slug, &bc);
     }
     println!(
         "(expected shape: detection rises with PM and with sample size; \
          the paper reports >0.8 at PM=65 even with n=10 and ~1 at PM=25 with n=100)"
     );
+    eprintln!("{}", runner.summary());
 }

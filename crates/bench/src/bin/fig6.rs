@@ -4,38 +4,70 @@
 //! * 6(a) static grid at loads {0.3, 0.6, 0.9};
 //! * 6(b) mobile scenario (`--mobile`) at load 0.6.
 //!
+//! Sample sizes fan out over a single world per (load, seed) point: the
+//! monitors are read-only, so one simulation carries one monitor per sample
+//! size instead of being re-run once per size. Tasks drain through the
+//! mg-runner sweep engine and replay from the result cache on re-runs.
+//!
 //! ```text
 //! cargo run --release -p mg-bench --bin fig6             # 6(a)
 //! cargo run --release -p mg-bench --bin fig6 -- --mobile # 6(b)
 //! ```
 
+use mg_bench::sweep::{detection_key, outcomes_codec};
 use mg_bench::table::{p3, Table};
 use mg_bench::{
-    aggregate, detection_trial, grid_base, mobile_detection_trial, parallel_seeds, sim_secs,
-    trials, Load, TrialOutcome,
+    aggregate, detection_trial_fanout, grid_base, mobile_detection_trial_fanout, BenchConfig,
+    Load, TrialOutcome,
 };
+use mg_net::ScenarioConfig;
 use mg_sim::SimDuration;
 use mg_trace::MetricsSnapshot;
 
 const SAMPLE_SIZES: [usize; 5] = [10, 25, 50, 75, 100];
 
 fn main() {
+    let bc = BenchConfig::from_env_or_exit();
+    let runner = bc.runner();
     let mobile = std::env::args().any(|a| a == "--mobile");
-    let n = trials();
-    let secs = sim_secs();
 
     if mobile {
+        let tasks: Vec<u64> = (0..bc.trials).map(|i| 4000 + i).collect();
+        let results: Vec<Vec<TrialOutcome>> = runner.sweep(
+            &tasks,
+            |&seed| {
+                let cfg = ScenarioConfig {
+                    sim_secs: bc.sim_secs,
+                    rate_pps: Load::Medium.rate_pps(),
+                    seed,
+                    ..ScenarioConfig::mobile_paper(seed, SimDuration::ZERO)
+                };
+                detection_key("detection-mobile", &cfg, 0, &SAMPLE_SIZES, false)
+            },
+            outcomes_codec(),
+            |&seed| {
+                mobile_detection_trial_fanout(
+                    seed,
+                    Load::Medium,
+                    0,
+                    &SAMPLE_SIZES,
+                    bc.sim_secs,
+                    SimDuration::ZERO,
+                )
+            },
+        );
         let mut t = Table::new(
             "Figure 6(b): P(misdiagnosis) vs sample size — mobile (RWP), load 0.6",
             &["sample size", "P(misdiagnosis)", "tests", "false viol"],
         );
         let mut figure_metrics = MetricsSnapshot::default();
-        for &ss in &SAMPLE_SIZES {
-            let outcomes: Vec<TrialOutcome> = parallel_seeds(n, 4000 + ss as u64, |seed| {
-                mobile_detection_trial(seed, Load::Medium, 0, ss, secs, SimDuration::ZERO)
-            });
+        for (si, &ss) in SAMPLE_SIZES.iter().enumerate() {
+            let outcomes: Vec<TrialOutcome> = results.iter().map(|v| v[si]).collect();
             let agg = aggregate(&outcomes);
-            figure_metrics.merge(&agg.metrics);
+            if si == 0 {
+                // One world per seed: count its metrics once, not per size.
+                figure_metrics.merge(&agg.metrics);
+            }
             t.row(vec![
                 format!("{ss}"),
                 p3(agg.rejection_rate()),
@@ -44,8 +76,31 @@ fn main() {
             ]);
         }
         t.meta("metrics", figure_metrics.to_json());
-        t.emit("fig6b");
+        t.emit_with("fig6b", &bc);
     } else {
+        // Flat (load × seed) grid; sample sizes ride along on each world.
+        let mut tasks = Vec::new();
+        for load in Load::all() {
+            for i in 0..bc.trials {
+                tasks.push((load, 5000 + i));
+            }
+        }
+        let results: Vec<Vec<TrialOutcome>> = runner.sweep(
+            &tasks,
+            |&(load, seed)| {
+                let cfg = ScenarioConfig {
+                    sim_secs: bc.sim_secs,
+                    rate_pps: load.rate_pps(),
+                    seed,
+                    ..grid_base()
+                };
+                detection_key("detection", &cfg, 0, &SAMPLE_SIZES, false)
+            },
+            outcomes_codec(),
+            |&(load, seed)| {
+                detection_trial_fanout(seed, load, 0, &SAMPLE_SIZES, bc.sim_secs, false, grid_base())
+            },
+        );
         let mut t = Table::new(
             "Figure 6(a): P(misdiagnosis) vs sample size — static grid, all compliant",
             &[
@@ -58,17 +113,21 @@ fn main() {
             ],
         );
         let mut figure_metrics = MetricsSnapshot::default();
-        for &ss in &SAMPLE_SIZES {
+        for (si, &ss) in SAMPLE_SIZES.iter().enumerate() {
             let mut rates = Vec::new();
             let mut tests = Vec::new();
             let mut viols = 0;
             for load in Load::all() {
-                let outcomes: Vec<TrialOutcome> =
-                    parallel_seeds(n, 5000 + ss as u64 * 3, |seed| {
-                        detection_trial(seed, load, 0, ss, secs, false, grid_base())
-                    });
+                let outcomes: Vec<TrialOutcome> = tasks
+                    .iter()
+                    .zip(&results)
+                    .filter(|((l, _), _)| *l == load)
+                    .map(|(_, v)| v[si])
+                    .collect();
                 let agg = aggregate(&outcomes);
-                figure_metrics.merge(&agg.metrics);
+                if si == 0 {
+                    figure_metrics.merge(&agg.metrics);
+                }
                 rates.push(p3(agg.rejection_rate()));
                 tests.push(format!("{}", agg.tests));
                 viols += agg.violations;
@@ -83,10 +142,11 @@ fn main() {
             ]);
         }
         t.meta("metrics", figure_metrics.to_json());
-        t.emit("fig6a");
+        t.emit_with("fig6a", &bc);
     }
     println!(
         "(paper: misdiagnosis < 0.01 at n=10, shrinking with sample size; \
          'false viol' counts deterministic violations against compliant nodes — must be 0)"
     );
+    eprintln!("{}", runner.summary());
 }

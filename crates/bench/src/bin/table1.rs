@@ -6,10 +6,12 @@
 //! ```
 
 use mg_bench::table::Table;
+use mg_bench::BenchConfig;
 use mg_dcf::MacTiming;
 use mg_net::ScenarioConfig;
 
 fn main() {
+    let bc = BenchConfig::from_env_or_exit();
     for (name, cfg) in [
         ("Grid topology", ScenarioConfig::grid_paper(0)),
         ("Random topology", ScenarioConfig::random_paper(0)),
@@ -35,9 +37,12 @@ fn main() {
             "CWmin / CWmax".into(),
             format!("{} / {}", timing.cw_min, timing.cw_max),
         ]);
-        t.emit(&format!(
-            "table1_{}",
-            name.split_whitespace().next().unwrap().to_lowercase()
-        ));
+        t.emit_with(
+            &format!(
+                "table1_{}",
+                name.split_whitespace().next().unwrap().to_lowercase()
+            ),
+            &bc,
+        );
     }
 }

@@ -3,57 +3,54 @@
 //! One binary per table/figure of the paper (see DESIGN.md §4 for the full
 //! index), all built on the helpers here:
 //!
+//! * [`BenchConfig`] — the shared environment knobs, read and validated
+//!   once per binary;
 //! * [`Load`] — the three offered-load levels the paper evaluates, mapped to
 //!   background source rates for this simulator (measured ρ is always
 //!   reported next to the nominal level);
 //! * [`detection_trial`] / [`mobile_detection_trial`] — one full simulation
 //!   with a tagged (possibly misbehaving) node and the paper's monitor,
-//!   returning test/violation counts;
+//!   returning test/violation counts — plus `_fanout` variants that attach
+//!   one monitor per sample size to a *single* world, so a figure sweeping
+//!   sample sizes simulates each (point, seed) once instead of once per size;
 //! * [`conditional_probability_run`] — the Figure 3/4 measurement: empirical
 //!   `p_{B|I}` / `p_{I|B}` from a [`mg_detect::JointTracker`];
-//! * [`parallel_seeds`] — scoped-thread fan-out of independent trials across
-//!   cores;
-//! * [`table`] — aligned-table output, mirrored to CSV and JSON files;
-//! * [`json`] — the hand-rolled JSON writer behind the result files.
+//! * [`sweep`] — cache keys and codecs wiring trial results through the
+//!   [`mg_runner`] sweep engine (flat task grid + content-keyed cache);
+//! * [`table`] — aligned-table output, mirrored to CSV and JSON files.
 //!
 //! ## Environment knobs
+//!
+//! All read through [`BenchConfig::from_env`]; malformed values abort with
+//! an error naming the variable.
 //!
 //! | variable | default | meaning |
 //! |----------|---------|---------|
 //! | `MG_TRIALS` | 8 | independent seeds per parameter point |
 //! | `MG_SIM_SECS` | 120 | virtual seconds per trial |
 //! | `MG_CSV_DIR` | unset | when set, each binary also writes CSV here |
+//! | `MG_JSON_DIR` | unset | when set, each binary also writes JSON here |
+//! | `MG_CACHE` | `on` | result cache: `on`, `off` or `refresh` |
+//! | `MG_CACHE_DIR` | `results/.cache` | where cached results live |
 
 #![warn(missing_docs)]
 
 use mg_dcf::BackoffPolicy;
-use mg_detect::{JointTracker, Monitor, MonitorConfig, MonitorPool, NodeCounts, Violation};
+use mg_detect::{
+    JointTracker, MonitorConfig, NodeCounts, ScenarioBuilder, Violation, WorldMonitors, WorldProbe,
+};
 use mg_net::{NetObserver, Scenario, ScenarioConfig, SourceCfg, TrafficKind};
 use mg_phy::Medium;
 use mg_sim::{SimDuration, SimTime};
-use mg_trace::{Metrics, MetricsSnapshot, Tracer};
+use mg_trace::MetricsSnapshot;
 
 pub use mg_trace::json;
 
+pub mod config;
+pub mod sweep;
 pub mod table;
 
-/// Reads an env knob with a default.
-pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Number of independent seeds per parameter point (`MG_TRIALS`, default 8).
-pub fn trials() -> u64 {
-    env_u64("MG_TRIALS", 8)
-}
-
-/// Virtual seconds per trial (`MG_SIM_SECS`, default 120).
-pub fn sim_secs() -> u64 {
-    env_u64("MG_SIM_SECS", 120)
-}
+pub use config::BenchConfig;
 
 /// The paper's three offered-load levels, mapped to background Poisson/CBR
 /// rates for this simulator. The mapping was chosen so the *measured* busy
@@ -120,7 +117,7 @@ pub struct TrialOutcome {
     pub samples: u64,
     /// Measured overall busy fraction at the monitor.
     pub rho: f64,
-    /// Stack-wide counters and histograms from the trial's [`Metrics`].
+    /// Stack-wide counters and histograms from the trial's metrics.
     pub metrics: MetricsSnapshot,
 }
 
@@ -146,47 +143,74 @@ impl TrialOutcome {
     }
 }
 
-/// Like [`detection_trial`] but with a fully explicit [`ScenarioConfig`].
-pub fn detection_trial_with_cfg(
-    _seed: u64,
+/// One static world, one monitor per requested sample size.
+///
+/// This is the fan-out at the heart of the sample-size figures: the world's
+/// evolution is independent of the monitors (observers are strictly
+/// read-only), so `sample_sizes.len()` monitors on one simulation measure
+/// exactly what `sample_sizes.len()` identical simulations would — at 1/N
+/// the cost. Outcomes come back in `sample_sizes` order, each carrying the
+/// same world-metrics snapshot.
+fn detection_trial_multi(
     cfg: ScenarioConfig,
     pm: u8,
-    sample_size: usize,
+    sample_sizes: &[usize],
     statistical_only: bool,
-) -> TrialOutcome {
+) -> Vec<TrialOutcome> {
     let secs = cfg.sim_secs;
     let scenario = Scenario::new(cfg);
     let (s, r) = scenario.tagged_pair();
     let d = scenario.positions()[s].distance(scenario.positions()[r]);
     let mut mc = MonitorConfig::grid_paper(s, r, d);
-    mc.sample_size = sample_size;
     if statistical_only {
         mc.blatant_check = false;
     }
     if matches!(scenario.config().topology, mg_net::TopologyCfg::Random { .. }) {
         mc.counts = NodeCounts::FromDensity;
     }
-    let mut monitor = Monitor::new(mc);
-    let handle = Metrics::new(scenario.positions().len());
-    monitor.set_instrumentation(Tracer::disabled(), handle.clone());
-    let mut world = scenario.build_with_observer(&[s, r], monitor);
-    world.set_metrics(handle);
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    let watches: Vec<_> = sample_sizes
+        .iter()
+        .map(|&ss| b.monitor(mc.with_sample_size(ss)))
+        .collect();
+    b.source(SourceCfg::saturated(s, r));
+    b.metrics();
+    let mut world = b.build();
     if pm > 0 {
-        world.set_policy(s, BackoffPolicy::Scaled { pm });
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
     }
-    world.add_source(SourceCfg::saturated(s, r));
     world.run_until(SimTime::from_secs(secs));
     let metrics = world.metrics().snapshot();
-    let m = world.observer();
-    let diag = m.diagnosis();
-    TrialOutcome {
-        tests: diag.tests_run as u64,
-        rejections: diag.rejections as u64,
-        violations: diag.violations as u64,
-        samples: diag.samples_collected as u64,
-        rho: m.overall_rho(),
-        metrics,
-    }
+    watches
+        .into_iter()
+        .map(|w| {
+            let diag = world.monitors().diagnosis(w);
+            TrialOutcome {
+                tests: diag.tests_run as u64,
+                rejections: diag.rejections as u64,
+                violations: diag.violations as u64,
+                samples: diag.samples_collected as u64,
+                rho: diag.measured_rho,
+                metrics,
+            }
+        })
+        .collect()
+}
+
+/// Like [`detection_trial`] but with a fully explicit [`ScenarioConfig`].
+///
+/// `seed` overrides `cfg.seed`, so sweeping seeds over a fixed base config
+/// does what it says.
+pub fn detection_trial_with_cfg(
+    seed: u64,
+    cfg: ScenarioConfig,
+    pm: u8,
+    sample_size: usize,
+    statistical_only: bool,
+) -> TrialOutcome {
+    let cfg = ScenarioConfig { seed, ..cfg };
+    detection_trial_multi(cfg, pm, &[sample_size], statistical_only)[0]
 }
 
 /// Runs one static detection trial: the paper's Figure 5 (PM > 0) and
@@ -200,56 +224,39 @@ pub fn detection_trial(
     statistical_only: bool,
     cfg_base: ScenarioConfig,
 ) -> TrialOutcome {
+    detection_trial_fanout(seed, load, pm, &[sample_size], secs, statistical_only, cfg_base)
+        .remove(0)
+}
+
+/// [`detection_trial`] fanned out over several sample sizes on one world:
+/// one simulation, one monitor per size, outcomes in `sample_sizes` order.
+pub fn detection_trial_fanout(
+    seed: u64,
+    load: Load,
+    pm: u8,
+    sample_sizes: &[usize],
+    secs: u64,
+    statistical_only: bool,
+    cfg_base: ScenarioConfig,
+) -> Vec<TrialOutcome> {
     let cfg = ScenarioConfig {
         sim_secs: secs,
         rate_pps: load.rate_pps(),
         seed,
         ..cfg_base
     };
-    let scenario = Scenario::new(cfg);
-    let (s, r) = scenario.tagged_pair();
-    let d = scenario.positions()[s].distance(scenario.positions()[r]);
-    let mut mc = MonitorConfig::grid_paper(s, r, d);
-    mc.sample_size = sample_size;
-    if statistical_only {
-        mc.blatant_check = false;
-    }
-    if matches!(cfg.topology, mg_net::TopologyCfg::Random { .. }) {
-        mc.counts = NodeCounts::FromDensity;
-    }
-    let mut monitor = Monitor::new(mc);
-    let handle = Metrics::new(scenario.positions().len());
-    monitor.set_instrumentation(Tracer::disabled(), handle.clone());
-    let mut world = scenario.build_with_observer(&[s, r], monitor);
-    world.set_metrics(handle);
-    if pm > 0 {
-        world.set_policy(s, BackoffPolicy::Scaled { pm });
-    }
-    world.add_source(SourceCfg::saturated(s, r));
-    world.run_until(SimTime::from_secs(secs));
-    let metrics = world.metrics().snapshot();
-    let m = world.observer();
-    let diag = m.diagnosis();
-    TrialOutcome {
-        tests: diag.tests_run as u64,
-        rejections: diag.rejections as u64,
-        violations: diag.violations as u64,
-        samples: diag.samples_collected as u64,
-        rho: m.overall_rho(),
-        metrics,
-    }
+    detection_trial_multi(cfg, pm, sample_sizes, statistical_only)
 }
 
-/// Runs one mobile detection trial (Figures 5(d)/6(b)): random topology,
-/// random waypoint, and a [`MonitorPool`] with range-based handoff.
-pub fn mobile_detection_trial(
+/// One mobile world, one monitor pool per requested sample size.
+fn mobile_detection_trial_multi(
     seed: u64,
     load: Load,
     pm: u8,
-    sample_size: usize,
+    sample_sizes: &[usize],
     secs: u64,
     pause: SimDuration,
-) -> TrialOutcome {
+) -> Vec<TrialOutcome> {
     let cfg = ScenarioConfig {
         sim_secs: secs,
         rate_pps: load.rate_pps(),
@@ -260,7 +267,6 @@ pub fn mobile_detection_trial(
     let (s, r) = scenario.tagged_pair();
     let vantages: Vec<usize> = (0..scenario.positions().len()).filter(|&v| v != s).collect();
     let mut template = MonitorConfig::random_paper(s, r, 240.0);
-    template.sample_size = sample_size;
     // Under mobility the vantage's collision environment diverges from the
     // tagged node's, so the EIFS compensation over-subtracts and becomes a
     // false-alarm source; run it conservative (see EXPERIMENTS.md).
@@ -268,33 +274,67 @@ pub fn mobile_detection_trial(
     // Distance-scaled calibration tracks the elected vantage's proximity
     // (close vantages share almost all of the tagged node's channel view).
     template.counts = NodeCounts::SimCalibrated;
-    let mut pool = MonitorPool::new(s, &vantages, template);
-    let handle = Metrics::new(scenario.positions().len());
-    pool.set_instrumentation(Tracer::disabled(), handle.clone());
-    let mut world = scenario.build_with_observer(&[s, r], pool);
-    world.set_metrics(handle);
-    if pm > 0 {
-        world.set_policy(s, BackoffPolicy::Scaled { pm });
-    }
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    let watches: Vec<_> = sample_sizes
+        .iter()
+        .map(|&ss| b.monitor_pool(template.with_sample_size(ss), &vantages))
+        .collect();
     // The tagged flow follows whichever neighbor is currently in range.
-    world.add_source(SourceCfg {
+    b.source(SourceCfg {
         node: s,
         model: mg_net::TrafficModel::Saturated,
         dst: mg_net::DstPolicy::StickyRandomNeighbor,
         payload_len: 512,
     });
+    b.metrics();
+    let mut world = b.build();
+    if pm > 0 {
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
+    }
     world.run_until(SimTime::from_secs(secs));
     let metrics = world.metrics().snapshot();
-    let pool = world.observer();
-    let diag = pool.diagnosis();
-    TrialOutcome {
-        tests: diag.tests_run as u64,
-        rejections: diag.rejections as u64,
-        violations: diag.violations as u64,
-        samples: diag.samples_collected as u64,
-        rho: diag.measured_rho,
-        metrics,
-    }
+    watches
+        .into_iter()
+        .map(|w| {
+            let diag = world.monitors().diagnosis(w);
+            TrialOutcome {
+                tests: diag.tests_run as u64,
+                rejections: diag.rejections as u64,
+                violations: diag.violations as u64,
+                samples: diag.samples_collected as u64,
+                rho: diag.measured_rho,
+                metrics,
+            }
+        })
+        .collect()
+}
+
+/// Runs one mobile detection trial (Figures 5(d)/6(b)): random topology,
+/// random waypoint, and a [`mg_detect::MonitorPool`] with range-based
+/// handoff.
+pub fn mobile_detection_trial(
+    seed: u64,
+    load: Load,
+    pm: u8,
+    sample_size: usize,
+    secs: u64,
+    pause: SimDuration,
+) -> TrialOutcome {
+    mobile_detection_trial_multi(seed, load, pm, &[sample_size], secs, pause).remove(0)
+}
+
+/// [`mobile_detection_trial`] fanned out over several sample sizes on one
+/// world (one pool per size).
+pub fn mobile_detection_trial_fanout(
+    seed: u64,
+    load: Load,
+    pm: u8,
+    sample_sizes: &[usize],
+    secs: u64,
+    pause: SimDuration,
+) -> Vec<TrialOutcome> {
+    mobile_detection_trial_multi(seed, load, pm, sample_sizes, secs, pause)
 }
 
 /// Observer measuring the Figure 3/4 conditional probabilities for a pair.
@@ -357,7 +397,12 @@ pub struct CondProbPoint {
 
 /// One Figure 3/4 simulation point: all nodes compliant, measure the joint
 /// statistics of the central pair.
-pub fn conditional_probability_run(seed: u64, rate_pps: f64, secs: u64, cfg_base: ScenarioConfig) -> CondProbPoint {
+pub fn conditional_probability_run(
+    seed: u64,
+    rate_pps: f64,
+    secs: u64,
+    cfg_base: ScenarioConfig,
+) -> CondProbPoint {
     let cfg = ScenarioConfig {
         sim_secs: secs,
         rate_pps,
@@ -367,11 +412,13 @@ pub fn conditional_probability_run(seed: u64, rate_pps: f64, secs: u64, cfg_base
     let scenario = Scenario::new(cfg);
     let (s, r) = scenario.tagged_pair();
     let pair_distance = scenario.positions()[s].distance(scenario.positions()[r]);
-    let probe = JointProbe::new(s, r);
-    let mut world = scenario.build_with_observer(&[], probe);
+    // No roles declared: the probed pair keeps its background traffic, same
+    // as the old empty exclusion list.
+    let b = ScenarioBuilder::new(scenario).probe(JointProbe::new(s, r));
+    let mut world = b.build();
     world.run_until(SimTime::from_secs(secs));
     let now = world.now();
-    let probe = world.observer_mut();
+    let probe = world.probe_mut();
     probe.joint.finish(now);
     CondProbPoint {
         rho: probe.joint.r_rho(),
@@ -393,45 +440,6 @@ pub fn aggregate_points(points: &[CondProbPoint]) -> (f64, f64, f64, f64) {
         points.iter().map(|p| p.p_ib).sum::<f64>() / n,
         points.iter().map(|p| p.pair_distance).sum::<f64>() / n,
     )
-}
-
-/// Runs `f(seed)` for `n` seeds in parallel across the available cores.
-///
-/// Work-steals over a shared counter on `std::thread::scope` — no external
-/// crates — and returns results in seed order. Panics in any trial propagate
-/// once every thread has joined.
-pub fn parallel_seeds<T, F>(n: u64, base_seed: u64, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(u64) -> T + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1) as usize)
-        .max(1);
-    let counter = std::sync::atomic::AtomicU64::new(0);
-    let slots: Vec<std::sync::Mutex<Option<T>>> = (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(base_seed + i);
-                *slots[i as usize].lock().expect("slot poisoned") = Some(value);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("slot poisoned")
-                .expect("all trials ran")
-        })
-        .collect()
 }
 
 /// Aggregates trial outcomes over seeds.
@@ -478,12 +486,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_seeds_preserves_order_and_seeds() {
-        let out = parallel_seeds(16, 100, |seed| seed * 2);
-        assert_eq!(out, (0..16).map(|i| (100 + i) * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
     fn loads_are_ordered() {
         assert!(Load::Low.rate_pps() < Load::Medium.rate_pps());
         assert!(Load::Medium.rate_pps() < Load::High.rate_pps());
@@ -498,6 +500,43 @@ mod tests {
         assert!(
             o.metrics.total(mg_trace::Counter::TxFrames) > 0,
             "trials must carry a metrics snapshot: {o:?}"
+        );
+    }
+
+    #[test]
+    fn fanout_matches_single_monitor_runs() {
+        // One world with four monitors must measure exactly what four
+        // identical worlds with one monitor each measure — and the outcomes
+        // must not depend on sample-size registration order.
+        let sizes = [10usize, 25, 50];
+        let fanned = detection_trial_fanout(3, Load::Low, 60, &sizes, 10, false, grid_base());
+        for (i, &ss) in sizes.iter().enumerate() {
+            let solo = detection_trial(3, Load::Low, 60, ss, 10, false, grid_base());
+            assert_eq!(fanned[i].tests, solo.tests, "ss={ss}");
+            assert_eq!(fanned[i].rejections, solo.rejections, "ss={ss}");
+            assert_eq!(fanned[i].violations, solo.violations, "ss={ss}");
+            assert_eq!(fanned[i].samples, solo.samples, "ss={ss}");
+            assert!((fanned[i].rho - solo.rho).abs() < 1e-12, "ss={ss}");
+        }
+        let reversed: Vec<usize> = sizes.iter().rev().copied().collect();
+        let back = detection_trial_fanout(3, Load::Low, 60, &reversed, 10, false, grid_base());
+        for (i, o) in back.iter().rev().enumerate() {
+            assert_eq!(o.tests, fanned[i].tests);
+            assert_eq!(o.samples, fanned[i].samples);
+        }
+    }
+
+    #[test]
+    fn with_cfg_honors_the_seed_argument() {
+        let base = grid_base();
+        let cfg = ScenarioConfig { sim_secs: 10, rate_pps: 0.8, seed: 999, ..base };
+        let a = detection_trial_with_cfg(5, cfg, 0, 10, true);
+        let b = detection_trial_with_cfg(5, cfg, 0, 10, true);
+        let c = detection_trial_with_cfg(6, cfg, 0, 10, true);
+        assert_eq!(a.samples, b.samples, "same seed ⇒ same trial");
+        assert!(
+            a.samples != c.samples || (a.rho - c.rho).abs() > 1e-12,
+            "different seeds must differ somewhere: {a:?} vs {c:?}"
         );
     }
 

@@ -1,0 +1,168 @@
+//! Cache keys and codecs wiring trial results through [`mg_runner`].
+//!
+//! Every experiment binary flattens its (parameter-point × seed) grid into
+//! tasks and drains them through [`mg_runner::Runner::sweep`]. The pieces
+//! here make that uniform:
+//!
+//! * [`SCHEMA`] — the result-schema version baked into every key. Bump it
+//!   when the *meaning* of a trial outcome changes without its config
+//!   changing (estimator fixes, new outcome fields) to invalidate the whole
+//!   cache at once.
+//! * [`detection_key`] / [`cond_key`] — canonical keys over the *resolved*
+//!   [`ScenarioConfig`] (every field participates via `Debug`, so any
+//!   change to topology, rates, seed or timing invalidates the entry) plus
+//!   the monitor-side parameters.
+//! * [`outcome_codec`] / [`outcomes_codec`] / [`cond_codec`] — strict
+//!   [`Codec`]s for the trial result types; a cached entry that fails to
+//!   decode is recomputed, never trusted.
+
+use crate::{CondProbPoint, TrialOutcome};
+use mg_net::ScenarioConfig;
+use mg_runner::{CacheKey, Codec};
+use mg_trace::json::Json;
+use mg_trace::MetricsSnapshot;
+
+/// Result-schema version for every mg-bench cache key.
+pub const SCHEMA: u64 = 1;
+
+/// Key for one detection trial (or one fanned-out trial when `sample_sizes`
+/// has several entries). `cfg` must be the fully resolved config — seed,
+/// duration and rate already substituted — so the key covers every knob.
+pub fn detection_key(
+    experiment: &str,
+    cfg: &ScenarioConfig,
+    pm: u8,
+    sample_sizes: &[usize],
+    statistical_only: bool,
+) -> CacheKey {
+    CacheKey::new(experiment, SCHEMA)
+        .field("cfg", cfg)
+        .field("pm", pm)
+        .field("sample_sizes", sample_sizes)
+        .field("statistical_only", statistical_only)
+}
+
+/// Key for one Figure 3/4 conditional-probability run.
+pub fn cond_key(experiment: &str, cfg: &ScenarioConfig) -> CacheKey {
+    CacheKey::new(experiment, SCHEMA).field("cfg", cfg)
+}
+
+fn outcome_to_json(o: &TrialOutcome) -> Json {
+    Json::obj([
+        ("tests", Json::from(o.tests)),
+        ("rejections", Json::from(o.rejections)),
+        ("violations", Json::from(o.violations)),
+        ("samples", Json::from(o.samples)),
+        ("rho", Json::Num(o.rho)),
+        ("metrics", o.metrics.to_json()),
+    ])
+}
+
+fn outcome_from_json(v: &Json) -> Option<TrialOutcome> {
+    Some(TrialOutcome {
+        tests: v.get("tests")?.as_u64()?,
+        rejections: v.get("rejections")?.as_u64()?,
+        violations: v.get("violations")?.as_u64()?,
+        samples: v.get("samples")?.as_u64()?,
+        rho: v.get("rho")?.as_f64()?,
+        metrics: MetricsSnapshot::from_json(v.get("metrics")?)?,
+    })
+}
+
+/// Codec for a single [`TrialOutcome`].
+pub fn outcome_codec() -> Codec<TrialOutcome> {
+    Codec {
+        encode: outcome_to_json,
+        decode: outcome_from_json,
+    }
+}
+
+/// Codec for a fanned-out `Vec<TrialOutcome>` (one per sample size).
+pub fn outcomes_codec() -> Codec<Vec<TrialOutcome>> {
+    Codec {
+        encode: |os| Json::Arr(os.iter().map(outcome_to_json).collect()),
+        decode: |v| v.as_arr()?.iter().map(outcome_from_json).collect(),
+    }
+}
+
+/// Codec for a [`CondProbPoint`].
+pub fn cond_codec() -> Codec<CondProbPoint> {
+    Codec {
+        encode: |p| {
+            Json::obj([
+                ("rho", Json::Num(p.rho)),
+                ("p_bi", Json::Num(p.p_bi)),
+                ("p_ib", Json::Num(p.p_ib)),
+                ("pair_distance", Json::Num(p.pair_distance)),
+            ])
+        },
+        decode: |v| {
+            Some(CondProbPoint {
+                rho: v.get("rho")?.as_f64()?,
+                p_bi: v.get("p_bi")?.as_f64()?,
+                p_ib: v.get("p_ib")?.as_f64()?,
+                pair_distance: v.get("pair_distance")?.as_f64()?,
+            })
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_trace::Counter;
+
+    #[test]
+    fn outcome_codec_round_trips() {
+        let mut o = TrialOutcome {
+            tests: 7,
+            rejections: 3,
+            violations: 1,
+            samples: 250,
+            rho: 0.3141592653589793,
+            ..TrialOutcome::default()
+        };
+        o.metrics.totals[Counter::TxFrames.index()] = 1234;
+        let codec = outcome_codec();
+        let back = (codec.decode)(&(codec.encode)(&o)).expect("round trip");
+        assert_eq!(back.tests, o.tests);
+        assert_eq!(back.samples, o.samples);
+        assert_eq!(back.rho.to_bits(), o.rho.to_bits(), "f64 must survive exactly");
+        assert_eq!(back.metrics.total(Counter::TxFrames), 1234);
+    }
+
+    #[test]
+    fn outcomes_codec_preserves_order_and_rejects_partial_decode() {
+        let os: Vec<TrialOutcome> = (0..4)
+            .map(|i| TrialOutcome { tests: i, ..TrialOutcome::default() })
+            .collect();
+        let codec = outcomes_codec();
+        let back = (codec.decode)(&(codec.encode)(&os)).expect("round trip");
+        assert_eq!(back.iter().map(|o| o.tests).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // One corrupt element poisons the whole vector (→ recompute).
+        let mut arr = match (codec.encode)(&os) {
+            Json::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        };
+        arr[2] = Json::Null;
+        assert!((codec.decode)(&Json::Arr(arr)).is_none());
+    }
+
+    #[test]
+    fn detection_keys_cover_the_resolved_config() {
+        let base = crate::grid_base();
+        let a = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], true);
+        let b = detection_key("fig5", &ScenarioConfig { seed: 2, ..base }, 50, &[10, 25], true);
+        let c = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 60, &[10, 25], true);
+        let d = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10], true);
+        let e = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], false);
+        let f = detection_key("fig6", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], true);
+        let all = [&a, &b, &c, &d, &e, &f];
+        for (i, x) in all.iter().enumerate() {
+            for y in &all[i + 1..] {
+                assert_ne!(x.hash(), y.hash(), "{} vs {}", x.text(), y.text());
+            }
+        }
+        assert!(a.text().contains("seed: 1"), "resolved cfg must appear: {}", a.text());
+    }
+}

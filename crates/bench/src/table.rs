@@ -3,7 +3,6 @@
 
 use crate::json::Json;
 use std::io::Write;
-use std::path::PathBuf;
 
 /// A simple column-aligned text table that can also mirror itself to CSV.
 pub struct Table {
@@ -109,13 +108,13 @@ impl Table {
         Json::Obj(fields).render()
     }
 
-    /// Prints the table to stdout and, when `MG_CSV_DIR` / `MG_JSON_DIR`
-    /// are set, writes `<dir>/<slug>.csv` / `<dir>/<slug>.json` too.
-    pub fn emit(&self, slug: &str) {
+    /// Prints the table to stdout and, when the config carries CSV/JSON
+    /// directories, writes `<dir>/<slug>.csv` / `<dir>/<slug>.json` too.
+    pub fn emit_with(&self, slug: &str, cfg: &crate::BenchConfig) {
         print!("{}", self.render());
         println!();
-        if let Ok(dir) = std::env::var("MG_CSV_DIR") {
-            let mut path = PathBuf::from(dir);
+        if let Some(dir) = &cfg.csv_dir {
+            let mut path = dir.clone();
             if std::fs::create_dir_all(&path).is_ok() {
                 path.push(format!("{slug}.csv"));
                 if let Ok(mut f) = std::fs::File::create(&path) {
@@ -124,8 +123,8 @@ impl Table {
                 }
             }
         }
-        if let Ok(dir) = std::env::var("MG_JSON_DIR") {
-            let mut path = PathBuf::from(dir);
+        if let Some(dir) = &cfg.json_dir {
+            let mut path = dir.clone();
             if std::fs::create_dir_all(&path).is_ok() {
                 path.push(format!("{slug}.json"));
                 if let Ok(mut f) = std::fs::File::create(&path) {

@@ -6,10 +6,8 @@
 //! PHY, MAC, traffic, trackers, thread fan-out, rendering).
 
 use mg_bench::table::{p3, Table};
-use mg_bench::{
-    aggregate_points, conditional_probability_run, detection_trial, grid_base, parallel_seeds,
-    Load,
-};
+use mg_bench::{aggregate_points, conditional_probability_run, detection_trial, grid_base, Load};
+use mg_runner::run_grid;
 
 /// One miniature fig3-style sweep: a couple of rates, a few seeds each,
 /// rendered exactly the way the fig3 binary renders its tables.
@@ -19,7 +17,8 @@ fn fig3_style_summary(base_seed: u64) -> String {
         &["rho(meas)", "p_busy_idle", "p_idle_busy"],
     );
     for &rate in &[2.0, 8.0] {
-        let points = parallel_seeds(3, base_seed, |seed| {
+        let seeds: Vec<u64> = (0..3).map(|i| base_seed + i).collect();
+        let points = run_grid(&seeds, |_, &seed| {
             conditional_probability_run(seed, rate, 2, grid_base())
         });
         let (rho, p_bi, p_ib, _dist) = aggregate_points(&points);

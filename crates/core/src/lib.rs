@@ -61,7 +61,9 @@ pub use channel::{ChannelTracker, JointTracker};
 pub use density::DensityEstimator;
 pub use monitor::{Diagnosis, Judge, Monitor, MonitorConfig, NodeCounts, Violation};
 pub use pool::MonitorPool;
-pub use scenario::{AttackerHandle, MonitorHandle, Monitors, ScenarioBuilder, WorldMonitors};
+pub use scenario::{
+    Assembly, AttackerHandle, MonitorHandle, Monitors, ScenarioBuilder, WorldMonitors, WorldProbe,
+};
 
 /// Index of a node in the simulation.
 pub type NodeId = usize;

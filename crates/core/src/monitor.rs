@@ -251,6 +251,12 @@ impl MonitorConfig {
             ..Self::grid_paper(tagged, vantage, pair_distance)
         }
     }
+
+    /// This configuration with `sample_size` replaced — the knob sample-size
+    /// sweeps turn while everything else stays fixed.
+    pub fn with_sample_size(self, sample_size: usize) -> Self {
+        MonitorConfig { sample_size, ..self }
+    }
 }
 
 /// Aggregate outcome of a monitoring session.

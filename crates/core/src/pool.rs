@@ -7,12 +7,13 @@
 //! closest to the tagged node as *active*, and aggregates only the active
 //! monitor's back-off samples into one shared hypothesis-test stream.
 
-use crate::monitor::{Diagnosis, Monitor, MonitorConfig, Violation};
+use crate::monitor::{Diagnosis, Judge, Monitor, MonitorConfig, Violation};
 use crate::NodeId;
 use mg_dcf::Frame;
 use mg_net::NetObserver;
 use mg_phy::Medium;
 use mg_sim::SimTime;
+use mg_stats::signed_rank::signed_rank_test;
 use mg_stats::wilcoxon::{rank_sum_test, Alternative, RankSumResult};
 use mg_trace::{Counter, EventKind, Metrics, Tracer};
 use std::collections::HashMap;
@@ -24,6 +25,7 @@ pub struct MonitorPool {
     tx_range: f64,
     alpha: f64,
     sample_size: usize,
+    judge: Judge,
     monitors: HashMap<NodeId, Monitor>,
     active: Option<NodeId>,
     samples: Vec<(f64, f64)>,
@@ -69,6 +71,7 @@ impl MonitorPool {
             tx_range: template.tx_range,
             alpha: template.alpha,
             sample_size: template.sample_size,
+            judge: template.judge,
             monitors,
             active: None,
             samples: Vec::new(),
@@ -107,6 +110,15 @@ impl MonitorPool {
         self.active
     }
 
+    /// The member monitor stationed at `vantage`, if it is part of the pool.
+    ///
+    /// Gives access to per-member state the pooled aggregates fold away —
+    /// the background-traffic ARMA estimate, the full sample log, the
+    /// member's own deterministic violations.
+    pub fn monitor(&self, vantage: NodeId) -> Option<&Monitor> {
+        self.monitors.get(&vantage)
+    }
+
     /// Aggregated diagnosis across the pool.
     ///
     /// `violations` is the *maximum* count over members, not the sum: every
@@ -125,7 +137,11 @@ impl MonitorPool {
             violations,
             samples_collected: self.samples.len()
                 + self.tests.len() * self.sample_size.min(usize::MAX),
-            samples_discarded: 0,
+            samples_discarded: self
+                .monitors
+                .values()
+                .map(|m| m.diagnosis().samples_discarded)
+                .sum(),
             last_p: self.tests.last().map(|t| t.p_value),
             measured_rho: self
                 .active
@@ -196,7 +212,21 @@ impl MonitorPool {
             let batch: Vec<(f64, f64)> = self.samples.drain(..self.sample_size).collect();
             let xs: Vec<f64> = batch.iter().map(|&(x, _)| x).collect();
             let ys: Vec<f64> = batch.iter().map(|&(_, y)| y).collect();
-            let r = rank_sum_test(&ys, &xs, Alternative::Less);
+            let r = match self.judge {
+                Judge::RankSum => rank_sum_test(&ys, &xs, Alternative::Less),
+                Judge::SignedRank => {
+                    let sr = signed_rank_test(&ys, &xs, Alternative::Less);
+                    // Same common-shape report as `Monitor::run_test`.
+                    RankSumResult {
+                        w: sr.w_plus,
+                        u: sr.w_plus,
+                        p_value: sr.p_value,
+                        method: sr.method,
+                        n1: sr.n_used,
+                        n2: sr.n_used,
+                    }
+                }
+            };
             let reject = r.p_value < self.alpha;
             if reject {
                 self.rejections += 1;

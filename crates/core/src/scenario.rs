@@ -194,12 +194,73 @@ impl NetObserver for Monitors {
     }
 }
 
+/// The observer a [`ScenarioBuilder`] installs on the world it builds: the
+/// registered [`Monitors`] plus an optional custom probe observer.
+///
+/// Monitors see every event first, then the probe — so a probe measuring
+/// e.g. delivery latency observes exactly what it would observe alone, while
+/// the monitors stay read-only alongside it. Built worlds expose the halves
+/// through [`WorldMonitors::monitors`] and [`WorldProbe::probe`].
+#[derive(Debug, Default)]
+pub struct Assembly<P: NetObserver = ()> {
+    monitors: Monitors,
+    probe: P,
+}
+
+impl<P: NetObserver> Assembly<P> {
+    /// The registered monitors.
+    pub fn monitors(&self) -> &Monitors {
+        &self.monitors
+    }
+
+    /// The custom probe observer (the unit observer `()` by default).
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+}
+
+impl<P: NetObserver> NetObserver for Assembly<P> {
+    fn on_channel_edge(&mut self, medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
+        self.monitors.on_channel_edge(medium, node, busy, now);
+        self.probe.on_channel_edge(medium, node, busy, now);
+    }
+
+    fn on_tx_start(
+        &mut self,
+        medium: &Medium,
+        src: NodeId,
+        frame: &Frame,
+        now: SimTime,
+        end: SimTime,
+    ) {
+        self.monitors.on_tx_start(medium, src, frame, now, end);
+        self.probe.on_tx_start(medium, src, frame, now, end);
+    }
+
+    fn on_frame_decoded(
+        &mut self,
+        medium: &Medium,
+        at: NodeId,
+        frame: &Frame,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.monitors.on_frame_decoded(medium, at, frame, start, end);
+        self.probe.on_frame_decoded(medium, at, frame, start, end);
+    }
+
+    fn on_frame_garbled(&mut self, medium: &Medium, at: NodeId, now: SimTime) {
+        self.monitors.on_frame_garbled(medium, at, now);
+        self.probe.on_frame_garbled(medium, at, now);
+    }
+}
+
 /// Read the monitors back out of a world built by [`ScenarioBuilder`].
 ///
 /// `world.monitors()` generalizes the old `world.observer()` idiom: the
-/// observer of a builder-made world is always a [`Monitors`] collection, and
-/// this trait names that without spelling the type parameter at every call
-/// site.
+/// observer of a builder-made world is always an [`Assembly`], and this
+/// trait names its monitor half without spelling the type parameter at
+/// every call site.
 pub trait WorldMonitors {
     /// The registered monitors.
     fn monitors(&self) -> &Monitors;
@@ -207,13 +268,32 @@ pub trait WorldMonitors {
     fn monitors_mut(&mut self) -> &mut Monitors;
 }
 
-impl WorldMonitors for World<Monitors> {
+impl<P: NetObserver> WorldMonitors for World<Assembly<P>> {
     fn monitors(&self) -> &Monitors {
-        self.observer()
+        &self.observer().monitors
     }
 
     fn monitors_mut(&mut self) -> &mut Monitors {
-        self.observer_mut()
+        &mut self.observer_mut().monitors
+    }
+}
+
+/// Read a custom probe observer back out of a world built with
+/// [`ScenarioBuilder::probe`].
+pub trait WorldProbe<P> {
+    /// The probe installed at build time.
+    fn probe(&self) -> &P;
+    /// Mutable access to the probe.
+    fn probe_mut(&mut self) -> &mut P;
+}
+
+impl<P: NetObserver> WorldProbe<P> for World<Assembly<P>> {
+    fn probe(&self) -> &P {
+        &self.observer().probe
+    }
+
+    fn probe_mut(&mut self) -> &mut P {
+        &mut self.observer_mut().probe
     }
 }
 
@@ -222,15 +302,18 @@ impl WorldMonitors for World<Monitors> {
 ///
 /// Registration order is free; [`build`](ScenarioBuilder::build) derives the
 /// background-source exclusion set from the declared roles (attackers,
-/// tagged nodes, template vantages), exactly as the old positional
-/// `Scenario::build(&[attacker, vantage], monitor)` call did by hand.
-pub struct ScenarioBuilder {
+/// tagged nodes, template vantages) and hands it to the low-level
+/// [`Scenario::realize`] primitive. The type parameter `P` is a custom probe
+/// observer (see [`ScenarioBuilder::probe`]); it defaults to the unit
+/// observer, so plain monitor-only builds never mention it.
+pub struct ScenarioBuilder<P: NetObserver = ()> {
     scenario: Scenario,
     exclude: Vec<NodeId>,
     pools: Vec<MonitorPool>,
     sources: Vec<SourceCfg>,
     trace: Option<TraceConfig>,
     metrics: bool,
+    probe: P,
 }
 
 impl ScenarioBuilder {
@@ -243,8 +326,12 @@ impl ScenarioBuilder {
             sources: Vec::new(),
             trace: None,
             metrics: false,
+            probe: (),
         }
     }
+}
+
+impl<P: NetObserver> ScenarioBuilder<P> {
 
     /// The underlying scenario (topology and config).
     pub fn scenario(&self) -> &Scenario {
@@ -292,6 +379,30 @@ impl ScenarioBuilder {
         self.sources.push(cfg);
     }
 
+    /// Reserves `node`: background sources stay off it without giving it a
+    /// role. Useful for keeping a measurement pair quiet in benchmarks that
+    /// attach no monitor.
+    pub fn reserve(&mut self, node: NodeId) {
+        self.exclude_node(node);
+    }
+
+    /// Installs a custom probe observer alongside the monitors.
+    ///
+    /// The probe sees every [`NetObserver`] event (after the monitors) and is
+    /// read back from the built world with [`WorldProbe::probe`]. Replaces
+    /// any previously installed probe.
+    pub fn probe<Q: NetObserver>(self, probe: Q) -> ScenarioBuilder<Q> {
+        ScenarioBuilder {
+            scenario: self.scenario,
+            exclude: self.exclude,
+            pools: self.pools,
+            sources: self.sources,
+            trace: self.trace,
+            metrics: self.metrics,
+            probe,
+        }
+    }
+
     /// Journals the whole stack (scheduler → PHY → MAC → net → monitors)
     /// into a ring-buffer trace with the given capacity and level filters.
     pub fn trace(&mut self, cfg: TraceConfig) {
@@ -304,9 +415,9 @@ impl ScenarioBuilder {
     }
 
     /// Builds the world: lays out sources with the role-derived exclusion
-    /// set, installs the monitors as the observer, and threads the trace and
-    /// metrics handles through every layer.
-    pub fn build(self) -> World<Monitors> {
+    /// set, installs the monitors (and probe) as the observer, and threads
+    /// the trace and metrics handles through every layer.
+    pub fn build(self) -> World<Assembly<P>> {
         let nodes = self.scenario.positions().len();
         let tracer = match self.trace {
             Some(cfg) => Tracer::new(cfg),
@@ -321,7 +432,11 @@ impl ScenarioBuilder {
         for p in &mut monitors.pools {
             p.set_instrumentation(tracer.clone(), metrics.clone());
         }
-        let mut world = self.scenario.build_with_observer(&self.exclude, monitors);
+        let assembly = Assembly {
+            monitors,
+            probe: self.probe,
+        };
+        let mut world = self.scenario.realize(&self.exclude, assembly);
         world.set_tracer(tracer);
         world.set_metrics(metrics);
         // Extra sources go in after the scenario's background sources so the
@@ -443,7 +558,7 @@ mod tests {
         wa.run_until(SimTime::from_secs(3));
 
         let scenario_b = paper_scenario(9, 3);
-        let mut wb = scenario_b.build_with_observer(&[s, r], ());
+        let mut wb = scenario_b.realize(&[s, r], ());
         wb.add_source(SourceCfg::saturated(s, r));
         wb.run_until(SimTime::from_secs(3));
 

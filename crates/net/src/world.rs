@@ -652,21 +652,17 @@ impl Scenario {
         panic!("no node in the topology has a one-hop neighbor");
     }
 
-    /// Builds the world: MACs, background sources, mobility.
+    /// Realizes the scenario into a [`World`]: MACs, background sources,
+    /// mobility.
     ///
-    /// Prefer `mg-detect`'s `ScenarioBuilder` for detection scenarios — it
-    /// wires monitors, attackers, and instrumentation through this method
-    /// and returns typed handles.
-    #[deprecated(since = "0.1.0", note = "use build_with_observer, or mg-detect's ScenarioBuilder")]
-    pub fn build<O: NetObserver>(&self, exclude: &[NodeId], observer: O) -> World<O> {
-        self.build_with_observer(exclude, observer)
-    }
-
-    /// Builds the world: MACs, background sources, mobility.
-    ///
-    /// Background sources are placed on `source_count` distinct random nodes
-    /// (excluding `exclude`, so the tagged pair can be configured manually).
-    pub fn build_with_observer<O: NetObserver>(&self, exclude: &[NodeId], observer: O) -> World<O> {
+    /// Background sources are placed on `source_count` distinct random nodes,
+    /// skipping the `reserved` ones so their traffic can be configured
+    /// explicitly. This is the low-level assembly primitive: callers are
+    /// expected to go through `mg-detect`'s `ScenarioBuilder`, which derives
+    /// `reserved` from declared roles (attackers, monitors) and supports
+    /// custom probe observers; `realize` stays public for the builder itself
+    /// and for this crate's tests.
+    pub fn realize<O: NetObserver>(&self, reserved: &[NodeId], observer: O) -> World<O> {
         let cfg = &self.cfg;
         let mut world = World::new(
             self.positions.clone(),
@@ -681,7 +677,7 @@ impl Scenario {
         let dir = RngDirectory::new(cfg.seed);
         let mut rng = dir.stream("source-pick", 0);
         let mut candidates: Vec<NodeId> = (0..self.positions.len())
-            .filter(|n| !exclude.contains(n))
+            .filter(|n| !reserved.contains(n))
             .collect();
         let mut chosen = Vec::new();
         while chosen.len() < cfg.source_count && !candidates.is_empty() {
@@ -824,7 +820,7 @@ mod tests {
             ..ScenarioConfig::grid_paper(3)
         };
         let scenario = Scenario::new(cfg);
-        let mut w = scenario.build_with_observer(&[], ());
+        let mut w = scenario.realize(&[], ());
         w.run_until(SimTime::from_secs(2));
         let delivered: u64 = (0..w.node_count()).map(|i| w.mac(i).stats().delivered).sum();
         assert!(delivered > 100, "grid delivered only {delivered}");
@@ -871,9 +867,7 @@ mod tests {
         };
         let scenario = Scenario::new(cfg);
         let before = scenario.positions().to_vec();
-        // Deliberately exercises the deprecated wrapper so it stays covered.
-        #[allow(deprecated)]
-        let mut w = scenario.build(&[], ());
+        let mut w = scenario.realize(&[], ());
         w.run_until(SimTime::from_secs(5));
         let moved = (0..w.node_count())
             .filter(|&i| w.medium().position(i).distance(before[i]) > 1.0)

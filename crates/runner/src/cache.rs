@@ -1,0 +1,187 @@
+//! The on-disk result cache: one JSON file per task, keyed by content.
+
+use crate::key::CacheKey;
+use mg_trace::json::Json;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// On-disk format version of the cache files themselves (distinct from the
+/// per-experiment schema version inside [`CacheKey`]).
+const FORMAT: u64 = 1;
+
+/// What the cache is allowed to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Read hits, write misses — the default.
+    ReadWrite,
+    /// Never read, always recompute and overwrite (`MG_CACHE=refresh`).
+    Refresh,
+    /// Bypass the cache entirely (`MG_CACHE=off`).
+    Off,
+}
+
+impl CacheMode {
+    /// Parses an `MG_CACHE` value. Accepts `on`/`off`/`refresh` (also
+    /// `1`/`0`); anything else is an error naming the valid values.
+    pub fn parse(s: &str) -> Result<CacheMode, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "on" | "1" => Ok(CacheMode::ReadWrite),
+            "off" | "0" => Ok(CacheMode::Off),
+            "refresh" => Ok(CacheMode::Refresh),
+            other => Err(format!(
+                "invalid MG_CACHE value {other:?}: expected \"on\", \"off\" or \"refresh\""
+            )),
+        }
+    }
+}
+
+/// A directory of content-keyed result files.
+///
+/// Layout: one `<fnv64(key) as hex>.json` file per task, each holding
+/// `{"v": <format>, "key": <canonical key text>, "value": <result>}`.
+/// Reads verify the format version *and* the full key text, so a hash
+/// collision or a stale-schema file degrades to a miss, never a wrong
+/// result. Writes go through a temp file + rename, so a sweep killed
+/// mid-write leaves no torn entry and the finished points replay on resume.
+pub struct Cache {
+    dir: PathBuf,
+    mode: CacheMode,
+    tmp_seq: AtomicU64,
+}
+
+impl Cache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>, mode: CacheMode) -> Cache {
+        Cache { dir: dir.into(), mode, tmp_seq: AtomicU64::new(0) }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The operating mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Short human description ("results/.cache, read-write").
+    pub fn describe(&self) -> String {
+        let mode = match self.mode {
+            CacheMode::ReadWrite => "read-write",
+            CacheMode::Refresh => "refresh",
+            CacheMode::Off => "off",
+        };
+        format!("{}, {mode}", self.dir.display())
+    }
+
+    /// Loads the value cached under `key`, if the mode allows reads and a
+    /// verified entry exists.
+    pub fn load(&self, key: &CacheKey) -> Option<Json> {
+        if self.mode != CacheMode::ReadWrite {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.dir.join(key.file_name())).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("v")?.as_u64()? != FORMAT {
+            return None;
+        }
+        if doc.get("key")?.as_str()? != key.text() {
+            return None; // hash collision or stale format — treat as a miss
+        }
+        doc.get("value").cloned()
+    }
+
+    /// Stores `value` under `key` (no-op when the mode is `Off`).
+    ///
+    /// Best-effort: the cache is an accelerator, so I/O failures (read-only
+    /// disk, full disk) are swallowed and the sweep simply stays uncached.
+    pub fn store(&self, key: &CacheKey, value: &Json) {
+        if self.mode == CacheMode::Off {
+            return;
+        }
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let doc = Json::obj([
+            ("v", Json::from(FORMAT)),
+            ("key", Json::Str(key.text().to_string())),
+            ("value", value.clone()),
+        ]);
+        // Unique temp name per write (pid + sequence) so concurrent workers
+        // never clobber each other's in-flight file; rename is atomic.
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.file_name(),
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, doc.render()).is_ok()
+            && std::fs::rename(&tmp, self.dir.join(key.file_name())).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mg-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_then_load_roundtrips_bytes() {
+        let dir = tmp_dir("roundtrip");
+        let c = Cache::new(dir.clone(), CacheMode::ReadWrite);
+        let k = CacheKey::new("t", 1).field("seed", 9u64);
+        let v = Json::obj([("rho", Json::Num(0.125)), ("tests", Json::from(4u64))]);
+        c.store(&k, &v);
+        let back = c.load(&k).expect("stored entry loads");
+        assert_eq!(back, v);
+        assert_eq!(back.render(), v.render(), "byte-for-byte identical");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn key_text_is_verified_on_load() {
+        let dir = tmp_dir("verify");
+        let c = Cache::new(dir.clone(), CacheMode::ReadWrite);
+        let k = CacheKey::new("t", 1).field("seed", 1u64);
+        c.store(&k, &Json::from(1u64));
+        // Overwrite the file with a mismatched key but the same file name.
+        let forged = Json::obj([
+            ("v", Json::from(1u64)),
+            ("key", Json::Str("experiment=other;schema=1".into())),
+            ("value", Json::from(2u64)),
+        ]);
+        std::fs::write(dir.join(k.file_name()), forged.render()).unwrap();
+        assert_eq!(c.load(&k), None, "mismatched key text must read as a miss");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_files_read_as_misses() {
+        let dir = tmp_dir("corrupt");
+        let c = Cache::new(dir.clone(), CacheMode::ReadWrite);
+        let k = CacheKey::new("t", 1).field("seed", 2u64);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(k.file_name()), "{not json").unwrap();
+        assert_eq!(c.load(&k), None);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn mode_parsing_is_strict() {
+        assert_eq!(CacheMode::parse("on"), Ok(CacheMode::ReadWrite));
+        assert_eq!(CacheMode::parse(""), Ok(CacheMode::ReadWrite));
+        assert_eq!(CacheMode::parse("OFF"), Ok(CacheMode::Off));
+        assert_eq!(CacheMode::parse("refresh"), Ok(CacheMode::Refresh));
+        assert!(CacheMode::parse("yes").is_err());
+        assert!(CacheMode::parse("maybe").unwrap_err().contains("MG_CACHE"));
+    }
+}

@@ -1,0 +1,82 @@
+//! The flat task grid: one work-stealing pool over an up-front task list.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(index, &task)` for every task, stealing work across the available
+/// cores, and returns the results in task order.
+///
+/// Generalizes the old per-point `parallel_seeds` loop: instead of one
+/// thread-pool round per parameter point, a figure flattens its whole
+/// (point × seed) grid into one task list, so threads that finish a fast
+/// point immediately steal trials from a slow one. Scheduling is a single
+/// shared atomic counter on `std::thread::scope` — no external crates.
+///
+/// `f` runs on worker threads, so the task→result mapping must not depend
+/// on execution order for the output to be deterministic (pure functions of
+/// `(index, task)` are). Panics in any task propagate once all threads have
+/// joined.
+pub fn run_grid<T, R, F>(tasks: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = tasks.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let counter = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i, &tasks[i]);
+                *slots[i].lock().expect("slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot poisoned").expect("all tasks ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let tasks: Vec<u64> = (0..100).map(|i| i * 7).collect();
+        let out = run_grid(&tasks, |i, &t| (i as u64, t + 1));
+        for (i, &(idx, v)) in out.iter().enumerate() {
+            assert_eq!(idx, i as u64);
+            assert_eq!(v, tasks[i] + 1);
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out: Vec<u64> = run_grid(&[] as &[u64], |_, &t| t);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_task_durations_still_complete() {
+        // Tasks with wildly different costs: stealing must still cover all.
+        let tasks: Vec<u64> = (0..64).collect();
+        let out = run_grid(&tasks, |_, &t| {
+            if t % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            t * t
+        });
+        assert_eq!(out, tasks.iter().map(|t| t * t).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,104 @@
+//! Canonical content keys for cached task results.
+
+/// FNV-1a 64-bit hash — tiny, dependency-free, and stable across platforms
+/// and runs (unlike `std`'s randomly-seeded hasher).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A canonical, content-derived key for one task.
+///
+/// Built from named fields rendered through `Debug`, so *every* field of a
+/// config struct participates — deriving a key from a whole
+/// `ScenarioConfig` means any field change (topology, rates, seed, timing…)
+/// changes the key and invalidates the cached entry. The schema version
+/// passed to [`CacheKey::new`] is the manual override: bump it when the
+/// *meaning* of a result changes without its config changing (estimator
+/// fixes, new outcome fields).
+///
+/// The full canonical text is stored inside each cache file and verified on
+/// read, so an FNV collision degrades to a cache miss, never a wrong result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheKey {
+    text: String,
+}
+
+impl CacheKey {
+    /// Starts a key for `experiment` at result-schema version `schema`.
+    pub fn new(experiment: &str, schema: u64) -> CacheKey {
+        CacheKey { text: format!("experiment={experiment};schema={schema}") }
+    }
+
+    /// Appends a named field, rendered via `Debug`.
+    pub fn field(mut self, name: &str, value: impl std::fmt::Debug) -> CacheKey {
+        use std::fmt::Write as _;
+        let _ = write!(self.text, ";{name}={value:?}");
+        self
+    }
+
+    /// The full canonical key text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The key's FNV-1a 64-bit hash (the cache file name stem).
+    pub fn hash(&self) -> u64 {
+        fnv64(self.text.as_bytes())
+    }
+
+    /// The cache file name for this key: `<hash as 16 hex digits>.json`.
+    pub fn file_name(&self) -> String {
+        format!("{:016x}.json", self.hash())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn every_field_changes_the_key() {
+        let base = || CacheKey::new("fig5", 1).field("pm", 50u8).field("seed", 3000u64);
+        let k = base();
+        assert_ne!(k.hash(), CacheKey::new("fig6", 1).field("pm", 50u8).field("seed", 3000u64).hash());
+        assert_ne!(k.hash(), CacheKey::new("fig5", 2).field("pm", 50u8).field("seed", 3000u64).hash());
+        assert_ne!(k.hash(), CacheKey::new("fig5", 1).field("pm", 60u8).field("seed", 3000u64).hash());
+        assert_ne!(k.hash(), CacheKey::new("fig5", 1).field("pm", 50u8).field("seed", 3001u64).hash());
+        assert_eq!(k, base());
+    }
+
+    #[test]
+    fn debug_rendering_covers_struct_fields() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        struct Cfg {
+            rate: f64,
+            nodes: usize,
+        }
+        let a = CacheKey::new("x", 1).field("cfg", Cfg { rate: 1.0, nodes: 56 });
+        let b = CacheKey::new("x", 1).field("cfg", Cfg { rate: 1.0, nodes: 57 });
+        assert_ne!(a.hash(), b.hash());
+        assert!(a.text().contains("nodes: 56"));
+    }
+
+    #[test]
+    fn file_names_are_hex_and_stable() {
+        let k = CacheKey::new("t", 1).field("seed", 42u64);
+        assert_eq!(k.file_name(), format!("{:016x}.json", k.hash()));
+        assert!(k.file_name().ends_with(".json"));
+        assert_eq!(k.file_name().len(), 16 + 5);
+    }
+}

@@ -1,0 +1,233 @@
+//! # mg-runner — the sweep-execution engine
+//!
+//! Parameter sweeps (PM × sample-size × seed grids, one simulation per
+//! point) are the cost center of every experiment in this workspace. This
+//! crate makes them cheap and resumable with three pieces, all
+//! zero-dependency:
+//!
+//! * [`run_grid`] — a **flat task grid**: the caller declares every task up
+//!   front and one work-stealing pool drains them, so cores never idle at
+//!   parameter-point boundaries and slow tasks overlap with fast ones.
+//!   Results come back in task order, deterministically.
+//! * [`CacheKey`] — a **canonical content key** for a task: named fields
+//!   (rendered through `Debug`, so every config field participates) behind
+//!   an FNV-1a 64-bit hash. Any field change changes the key.
+//! * [`Cache`] + [`Runner`] — a **content-keyed result cache**: completed
+//!   task results serialize to `<dir>/<fnv64>.json` via [`mg_trace::json`],
+//!   so re-running a sweep replays cached points and an interrupted sweep
+//!   resumes where it stopped. Hits and misses are counted through a
+//!   [`Metrics`] handle owned by the runner — never mixed into the trial
+//!   results themselves, which keeps cold and warm sweep outputs
+//!   byte-identical.
+//!
+//! ```
+//! use mg_runner::{Cache, CacheKey, CacheMode, Codec, Runner};
+//! use mg_trace::json::Json;
+//!
+//! let dir = std::env::temp_dir().join("mg-runner-doc");
+//! let runner = Runner::new(Cache::new(dir.clone(), CacheMode::ReadWrite));
+//! let tasks: Vec<u64> = (0..8).collect();
+//! let codec = Codec {
+//!     encode: |r: &u64| Json::from(*r),
+//!     decode: |j: &Json| j.as_u64(),
+//! };
+//! let key = |t: &u64| CacheKey::new("doc", 1).field("task", t);
+//! let out = runner.sweep(&tasks, key, codec, |&t| t * t);
+//! assert_eq!(out[3], 9);
+//! let again = runner.sweep(&tasks, key, codec, |_| unreachable!("all cached"));
+//! assert_eq!(out, again);
+//! # let _ = std::fs::remove_dir_all(dir);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod grid;
+mod key;
+
+pub use cache::{Cache, CacheMode};
+pub use grid::run_grid;
+pub use key::{fnv64, CacheKey};
+
+use mg_trace::json::Json;
+use mg_trace::{Counter, Metrics};
+
+/// How a result type crosses the cache boundary: a pair of plain function
+/// pointers (so the codec stays `Copy` and trivially `Sync`).
+///
+/// `decode` returning `None` marks the cached value as unusable — the runner
+/// recomputes and overwrites it, so a decoder can be strict.
+pub struct Codec<R> {
+    /// Serializes a result for storage.
+    pub encode: fn(&R) -> Json,
+    /// Rebuilds a result from storage; `None` means "recompute".
+    pub decode: fn(&Json) -> Option<R>,
+}
+
+impl<R> Clone for Codec<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<R> Copy for Codec<R> {}
+
+/// Executes task grids against a result cache, counting hits and misses.
+pub struct Runner {
+    cache: Cache,
+    metrics: Metrics,
+}
+
+impl Runner {
+    /// A runner over `cache`. The hit/miss metrics are the runner's own —
+    /// they never leak into task results.
+    pub fn new(cache: Cache) -> Runner {
+        Runner { cache, metrics: Metrics::new(1) }
+    }
+
+    /// The cache this runner consults.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// The runner's own metrics handle (cache hit/miss counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Tasks replayed from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.metrics.node_counter(0, Counter::CacheHits)
+    }
+
+    /// Tasks actually computed so far.
+    pub fn misses(&self) -> u64 {
+        self.metrics.node_counter(0, Counter::CacheMisses)
+    }
+
+    /// One-line human summary of the cache traffic, for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "cache: {} hits, {} misses ({})",
+            self.hits(),
+            self.misses(),
+            self.cache.describe()
+        )
+    }
+
+    /// Drains `tasks` through the work-stealing pool, consulting the cache
+    /// around each one.
+    ///
+    /// For every task: build its [`CacheKey`], try [`Cache::load`] +
+    /// `codec.decode` (a hit bypasses `run` entirely), otherwise call
+    /// `run` and store the encoded result. Results return in task order —
+    /// cached and computed tasks are indistinguishable in the output.
+    pub fn sweep<T, R>(
+        &self,
+        tasks: &[T],
+        key: impl Fn(&T) -> CacheKey + Sync,
+        codec: Codec<R>,
+        run: impl Fn(&T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        run_grid(tasks, |_, task| {
+            let k = key(task);
+            if let Some(cached) = self.cache.load(&k).and_then(|v| (codec.decode)(&v)) {
+                self.metrics.bump(0, Counter::CacheHits);
+                return cached;
+            }
+            let result = run(task);
+            self.cache.store(&k, &(codec.encode)(&result));
+            self.metrics.bump(0, Counter::CacheMisses);
+            result
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mg-runner-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn u64_codec() -> Codec<u64> {
+        Codec { encode: |r| Json::from(*r), decode: |j| j.as_u64() }
+    }
+
+    #[test]
+    fn sweep_computes_then_replays() {
+        let dir = tmp_dir("replay");
+        let runner = Runner::new(Cache::new(dir.clone(), CacheMode::ReadWrite));
+        let tasks: Vec<u64> = (0..20).collect();
+        let calls = AtomicU64::new(0);
+        let key = |t: &u64| CacheKey::new("t", 1).field("task", t);
+        let run = |t: &u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            t * 3
+        };
+        let first = runner.sweep(&tasks, key, u64_codec(), run);
+        assert_eq!(first, (0..20).map(|t| t * 3).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Relaxed), 20);
+        assert_eq!((runner.hits(), runner.misses()), (0, 20));
+
+        let second = runner.sweep(&tasks, key, u64_codec(), run);
+        assert_eq!(second, first);
+        assert_eq!(calls.load(Ordering::Relaxed), 20, "second pass must be all hits");
+        assert_eq!((runner.hits(), runner.misses()), (20, 20));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cache_off_always_recomputes() {
+        let dir = tmp_dir("off");
+        let runner = Runner::new(Cache::new(dir.clone(), CacheMode::Off));
+        let tasks: Vec<u64> = (0..5).collect();
+        let calls = AtomicU64::new(0);
+        let key = |t: &u64| CacheKey::new("t", 1).field("task", t);
+        let run = |t: &u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *t
+        };
+        runner.sweep(&tasks, key, u64_codec(), run);
+        runner.sweep(&tasks, key, u64_codec(), run);
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        assert!(!dir.exists(), "Off mode must not create the cache dir");
+    }
+
+    #[test]
+    fn refresh_overwrites_but_never_reads() {
+        let dir = tmp_dir("refresh");
+        let rw = Runner::new(Cache::new(dir.clone(), CacheMode::ReadWrite));
+        let key = |t: &u64| CacheKey::new("t", 1).field("task", t);
+        rw.sweep(&[7u64], key, u64_codec(), |_| 1);
+        assert_eq!(rw.sweep(&[7u64], key, u64_codec(), |_| 2), vec![1]);
+
+        let refresh = Runner::new(Cache::new(dir.clone(), CacheMode::Refresh));
+        assert_eq!(refresh.sweep(&[7u64], key, u64_codec(), |_| 3), vec![3]);
+        // The refreshed value is what ReadWrite now sees.
+        assert_eq!(rw.sweep(&[7u64], key, u64_codec(), |_| 4), vec![3]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn undecodable_entries_are_recomputed() {
+        let dir = tmp_dir("undecodable");
+        let runner = Runner::new(Cache::new(dir.clone(), CacheMode::ReadWrite));
+        let key = |t: &u64| CacheKey::new("t", 1).field("task", t);
+        let strict: Codec<u64> = Codec { encode: |r| Json::from(*r), decode: |_| None };
+        runner.sweep(&[1u64], key, strict, |_| 5);
+        // decode always fails → the stored value is ignored, task recomputed.
+        let out = runner.sweep(&[1u64], key, strict, |_| 6);
+        assert_eq!(out, vec![6]);
+        assert_eq!(runner.hits(), 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the mg-runner sweep engine (mg-testkit
+//! harness): grid completion under work stealing, deterministic ordering,
+//! cache round-trips, and key sensitivity to every config field.
+
+use mg_runner::{fnv64, run_grid, Cache, CacheKey, CacheMode, Codec, Runner};
+use mg_testkit::prop::{check, Gen, TkResult};
+use mg_testkit::{tk_assert, tk_assert_eq};
+use mg_trace::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_dir(tag: &str, nonce: u64) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "mg-runner-prop-{tag}-{}-{nonce}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Every task of a random-size grid completes exactly once, and results
+/// land at their task's index regardless of how threads steal the work.
+#[test]
+fn grid_completes_every_task_in_order() {
+    check("grid_completes_every_task_in_order", |g: &mut Gen| -> TkResult {
+        let n = g.usize_in(0..200);
+        let tasks: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+        let calls = AtomicU64::new(0);
+        let out = run_grid(&tasks, |i, &t| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            t ^ (i as u64)
+        });
+        tk_assert_eq!(calls.load(Ordering::Relaxed), n as u64);
+        tk_assert_eq!(out.len(), n);
+        for (i, &v) in out.iter().enumerate() {
+            tk_assert_eq!(v, tasks[i] ^ (i as u64));
+        }
+        Ok(())
+    });
+}
+
+/// The task→result mapping is deterministic: two drains of the same grid
+/// produce identical result vectors even though scheduling differs.
+#[test]
+fn grid_ordering_is_deterministic_across_runs() {
+    check("grid_ordering_is_deterministic_across_runs", |g: &mut Gen| -> TkResult {
+        let tasks = g.vec(1..64, |g| g.any_u64());
+        let f = |i: usize, t: &u64| t.wrapping_mul(31).wrapping_add(i as u64);
+        let a = run_grid(&tasks, f);
+        let b = run_grid(&tasks, f);
+        tk_assert_eq!(a, b);
+        Ok(())
+    });
+}
+
+fn arb_json(g: &mut Gen, depth: usize) -> Json {
+    match g.u8_in(0..if depth == 0 { 4 } else { 6 }) {
+        0 => Json::Null,
+        1 => Json::Bool(g.bool()),
+        2 => Json::Num((g.u64_in(0..1 << 50) as f64) / 8.0),
+        3 => Json::Str(g.vec(0..8, |g| g.u8_in(b' '..b'~') as char).into_iter().collect()),
+        4 => Json::Arr(g.vec(0..4, |g| arb_json(g, depth - 1))),
+        _ => Json::Obj(
+            (0..g.usize_in(0..4))
+                .map(|i| (format!("k{i}"), arb_json(g, depth - 1)))
+                .collect(),
+        ),
+    }
+}
+
+/// A cache hit replays the stored value byte-for-byte: rendering the loaded
+/// value equals rendering the stored one exactly.
+#[test]
+fn cache_roundtrip_is_byte_identical() {
+    check("cache_roundtrip_is_byte_identical", |g: &mut Gen| -> TkResult {
+        let value = arb_json(g, 3);
+        let key = CacheKey::new("prop", g.u64_in(0..8)).field("seed", g.any_u64());
+        let dir = tmp_dir("roundtrip", g.any_u64());
+        let cache = Cache::new(dir.clone(), CacheMode::ReadWrite);
+        cache.store(&key, &value);
+        let loaded = cache.load(&key);
+        let _ = std::fs::remove_dir_all(dir);
+        tk_assert!(loaded.is_some(), "stored entry must load");
+        let loaded = loaded.unwrap();
+        tk_assert_eq!(loaded.render(), value.render());
+        tk_assert_eq!(loaded, value);
+        Ok(())
+    });
+}
+
+/// A swept grid re-run against a warm cache returns exactly the cold run's
+/// results without invoking the task function again.
+#[test]
+fn sweep_hit_equals_recompute() {
+    check("sweep_hit_equals_recompute", |g: &mut Gen| -> TkResult {
+        let tasks = g.vec(1..24, |g| g.u64_in(0..1 << 40));
+        let schema = g.u64_in(0..4);
+        let dir = tmp_dir("sweep", g.any_u64());
+        let runner = Runner::new(Cache::new(dir.clone(), CacheMode::ReadWrite));
+        let codec: Codec<u64> = Codec {
+            encode: |r| Json::from(*r),
+            decode: |j| j.as_u64(),
+        };
+        let key = move |t: &u64| CacheKey::new("prop-sweep", schema).field("task", t);
+        let calls = AtomicU64::new(0);
+        let run = |t: &u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            // Stay under 2^53: JSON numbers pass through f64, and the codec
+            // refuses (→ recompute) anything that would round.
+            t.wrapping_mul(0x5851_f42d) & ((1 << 53) - 1)
+        };
+        let cold = runner.sweep(&tasks, key, codec, run);
+        let cold_calls = calls.load(Ordering::Relaxed);
+        let warm = runner.sweep(&tasks, key, codec, run);
+        let warm_calls = calls.load(Ordering::Relaxed) - cold_calls;
+        let _ = std::fs::remove_dir_all(dir);
+        tk_assert_eq!(warm, cold);
+        // Duplicate task values may collapse to one cache entry on the cold
+        // pass; the warm pass must do no work at all.
+        tk_assert_eq!(warm_calls, 0);
+        tk_assert!(runner.hits() >= tasks.len() as u64);
+        Ok(())
+    });
+}
+
+/// Changing any single key field — experiment name, schema version, or any
+/// config field value — produces a different key hash and file name.
+#[test]
+fn key_depends_on_every_field() {
+    check("key_depends_on_every_field", |g: &mut Gen| -> TkResult {
+        let experiment = format!("exp{}", g.u8_in(0..10));
+        let schema = g.u64_in(0..100);
+        let fields: Vec<(String, u64)> = (0..g.usize_in(1..6))
+            .map(|i| (format!("f{i}"), g.any_u64()))
+            .collect();
+        let build = |exp: &str, schema: u64, fields: &[(String, u64)]| {
+            let mut k = CacheKey::new(exp, schema);
+            for (name, v) in fields {
+                k = k.field(name, v);
+            }
+            k
+        };
+        let base = build(&experiment, schema, &fields);
+        tk_assert_eq!(base.hash(), build(&experiment, schema, &fields).hash());
+
+        let other_exp = build(&format!("{experiment}x"), schema, &fields);
+        tk_assert!(other_exp.text() != base.text());
+        tk_assert!(other_exp.hash() != base.hash());
+
+        let other_schema = build(&experiment, schema + 1, &fields);
+        tk_assert!(other_schema.hash() != base.hash());
+
+        let i = g.usize_in(0..fields.len());
+        let mut mutated = fields.clone();
+        mutated[i].1 = mutated[i].1.wrapping_add(1 + g.u64_in(0..1 << 32));
+        let other_field = build(&experiment, schema, &mutated);
+        tk_assert!(other_field.text() != base.text());
+        tk_assert!(other_field.hash() != base.hash());
+        Ok(())
+    });
+}
+
+/// The hash is a pure function of the key text (stability guard for the
+/// on-disk layout: renaming nothing must invalidate nothing).
+#[test]
+fn hash_is_fnv1a_of_the_text() {
+    check("hash_is_fnv1a_of_the_text", |g: &mut Gen| -> TkResult {
+        let k = CacheKey::new("stab", g.u64_in(0..10)).field("x", g.any_u64());
+        tk_assert_eq!(k.hash(), fnv64(k.text().as_bytes()));
+        Ok(())
+    });
+}

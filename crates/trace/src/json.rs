@@ -1,10 +1,10 @@
-//! A tiny hand-rolled JSON writer for experiment results.
+//! A tiny hand-rolled JSON codec for experiment results.
 //!
-//! The workspace builds with zero external dependencies (no `serde`), and
-//! the only serialization the stack needs is *writing* result files — so
-//! this module implements exactly that: a [`Json`] value tree with a
-//! deterministic renderer (insertion-ordered object keys, RFC 8259 string
-//! escaping, shortest-roundtrip numbers).
+//! The workspace builds with zero external dependencies (no `serde`); this
+//! module implements the serialization the stack needs: a [`Json`] value
+//! tree with a deterministic renderer (insertion-ordered object keys,
+//! RFC 8259 string escaping, shortest-roundtrip numbers) and a strict
+//! recursive-descent [`Json::parse`] for reading result-cache files back.
 
 use std::fmt::Write as _;
 
@@ -46,6 +46,76 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out);
         out
+    }
+
+    /// Parses a JSON document. Strict: exactly one value, nothing but
+    /// whitespace around it, no trailing commas, RFC 8259 escapes only.
+    ///
+    /// Everything [`render`](Json::render) emits parses back to an equal
+    /// value (non-finite numbers render as `null`, so they round-trip to
+    /// `Json::Null`).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Looks up `key` in an object; `None` for other variants or a missing
+    /// key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number behind `Json::Num`, if that's what this is.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, when it is one exactly (integral, in range).
+    ///
+    /// Numbers pass through `f64`, so integers stay exact up to 2⁵³.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&n) {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The string behind `Json::Str`, if that's what this is.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items behind `Json::Arr`, if that's what this is.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The bool behind `Json::Bool`, if that's what this is.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String) {
@@ -105,6 +175,241 @@ impl From<u64> for Json {
     }
 }
 
+/// Parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub at: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_string(), at: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require the paired escape.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c).ok_or_else(|| self.err("bad code point"))?
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?
+                            };
+                            s.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).expect("input was a &str");
+                    let c = text.chars().next().expect("peeked non-empty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .and_then(|c| (c as char).to_digit(16))
+                .ok_or_else(|| self.err("expected 4 hex digits"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // RFC 8259: no leading zeros in the integer part.
+        if self.peek() == Some(b'0') {
+            self.pos += 1;
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(self.err("leading zero in number"));
+            }
+        } else {
+            self.digits()?;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn digits(&mut self) -> Result<(), JsonError> {
+        if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(self.err("expected a digit"));
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -156,6 +461,51 @@ mod tests {
             v.render(),
             "{\"title\":\"demo\",\"rows\":[[\"1\",\"2\"],[\"3\",\"4\"]],\"n\":2}"
         );
+    }
+
+    #[test]
+    fn parse_roundtrips_render() {
+        let v = Json::obj([
+            ("title", "dem\"o\n".into()),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("xs", Json::Arr(vec![Json::Num(0.1), Json::Num(-3.0), Json::Num(1e21)])),
+            ("nested", Json::obj([("k", Json::from(42u64))])),
+        ]);
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_escapes() {
+        let v = Json::parse(" { \"a\" : [ 1 , \"\\u00e9\\ud83d\\ude00\" ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].as_str(),
+            Some("é😀")
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,]", "{\"a\":}", "1 2", "nul", "\"\\x\"", "01", "--1",
+            "{\"a\" 1}", "\"unterminated", "[1 2]", "\"\\ud800\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_pick_the_right_variant() {
+        let v = Json::obj([("n", Json::Num(7.0)), ("s", "x".into())]);
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("n").unwrap().as_str(), None);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Bool(false).as_bool(), Some(false));
     }
 
     #[test]

@@ -34,10 +34,14 @@ pub enum Counter {
     MonitorTests,
     /// Protocol violations flagged by monitors.
     MonitorViolations,
+    /// Sweep-engine result-cache hits (trials replayed from disk).
+    CacheHits,
+    /// Sweep-engine result-cache misses (trials actually simulated).
+    CacheMisses,
 }
 
 /// Number of counter kinds (size of a counter row).
-pub const COUNTER_COUNT: usize = 10;
+pub const COUNTER_COUNT: usize = 12;
 
 impl Counter {
     /// Row index of this counter.
@@ -57,6 +61,8 @@ impl Counter {
         Counter::MonitorSamples,
         Counter::MonitorTests,
         Counter::MonitorViolations,
+        Counter::CacheHits,
+        Counter::CacheMisses,
     ];
 
     /// Stable snake_case name used in JSON output.
@@ -72,6 +78,8 @@ impl Counter {
             Counter::MonitorSamples => "monitor_samples",
             Counter::MonitorTests => "monitor_tests",
             Counter::MonitorViolations => "monitor_violations",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
         }
     }
 }
@@ -278,11 +286,40 @@ impl MetricsSnapshot {
             ("backoff_slots_log2", histo_json(&self.backoff_slots)),
         ])
     }
+
+    /// Rebuilds a snapshot from [`to_json`](MetricsSnapshot::to_json) output
+    /// (the result-cache round-trip). Unknown counter names are ignored and
+    /// missing ones read as zero, so snapshots survive counter-set growth;
+    /// `None` only for a structurally different value.
+    pub fn from_json(v: &Json) -> Option<MetricsSnapshot> {
+        let mut snap = MetricsSnapshot::default();
+        let totals = v.get("totals")?;
+        for c in Counter::ALL {
+            if let Some(n) = totals.get(c.name()) {
+                snap.totals[c.index()] = n.as_u64()?;
+            }
+        }
+        snap.latency_ns = histo_from_json(v.get("latency_ns_log2")?)?;
+        snap.backoff_slots = histo_from_json(v.get("backoff_slots_log2")?)?;
+        Some(snap)
+    }
 }
 
 fn histo_json(buckets: &[u64; HISTO_BUCKETS]) -> Json {
     let last = buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
     Json::Arr(buckets[..last].iter().map(|&c| Json::from(c)).collect())
+}
+
+fn histo_from_json(v: &Json) -> Option<[u64; HISTO_BUCKETS]> {
+    let items = v.as_arr()?;
+    if items.len() > HISTO_BUCKETS {
+        return None;
+    }
+    let mut buckets = [0u64; HISTO_BUCKETS];
+    for (i, item) in items.iter().enumerate() {
+        buckets[i] = item.as_u64()?;
+    }
+    Some(buckets)
 }
 
 #[cfg(test)]
@@ -346,6 +383,21 @@ mod tests {
         let rendered = m.snapshot().to_json().render();
         assert!(rendered.contains("\"monitor_violations\":1"));
         assert!(rendered.contains("\"latency_ns_log2\":[]"));
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let m = Metrics::new(2);
+        m.bump(0, Counter::TxFrames);
+        m.bump(1, Counter::CacheHits);
+        m.record_latency_ns(12345);
+        m.record_backoff_slots(17);
+        let snap = m.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // Structurally different values are rejected, not zero-filled.
+        assert!(MetricsSnapshot::from_json(&Json::Null).is_none());
+        assert!(MetricsSnapshot::from_json(&Json::obj([("totals", Json::Null)])).is_none());
     }
 
     #[test]

@@ -53,6 +53,23 @@ echo "== microbench: tracing overhead gate (<5% with tracing disabled) =="
 # The bench binary asserts the gate itself; a failed gate panics the run.
 MG_BENCH_MS="${MG_BENCH_MS:-40}" cargo bench --offline -p mg-bench
 
+echo "== sweep cache: cold vs warm runs are byte-identical =="
+cachedir=$(mktemp -d)
+outdir=$(mktemp -d)
+trap 'rm -rf "$cachedir" "$outdir"' EXIT
+run_fig5() {
+    MG_TRIALS=1 MG_SIM_SECS=2 MG_CACHE_DIR="$cachedir" \
+    MG_CSV_DIR="$outdir/$1" MG_JSON_DIR="$outdir/$1" \
+        cargo run -q --release --offline -p mg-bench --bin fig5 >"$outdir/$1.stdout"
+}
+run_fig5 cold
+run_fig5 warm
+if ! diff -r "$outdir/cold" "$outdir/warm" || ! diff "$outdir/cold.stdout" "$outdir/warm.stdout"; then
+    echo "error: warm (cached) fig5 run differs from the cold run" >&2
+    exit 1
+fi
+echo "ok: cached replay reproduces the cold run byte-for-byte"
+
 echo "== rustdoc: no warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
 

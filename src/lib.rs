@@ -102,7 +102,7 @@ pub mod prelude {
     pub use mg_dcf::{BackoffPolicy, Dest, Frame, FrameKind, MacSdu, MacTiming};
     pub use mg_detect::{
         AnalyticModel, AttackerHandle, Diagnosis, Judge, Monitor, MonitorConfig, MonitorHandle,
-        MonitorPool, Monitors, NodeCounts, ScenarioBuilder, Violation, WorldMonitors,
+        MonitorPool, Monitors, NodeCounts, ScenarioBuilder, Violation, WorldMonitors, WorldProbe,
     };
     pub use mg_geom::{PreclusionRule, RegionModel, Vec2};
     pub use mg_net::{

@@ -10,7 +10,9 @@
 //!   --rate <pps>      background packets/s per source  [default: 2.0]
 //!   --secs <s>        simulated seconds                [default: 60]
 //!   --seed <n>        run seed                         [default: 1]
-//!   --samples <n>     back-off samples per test        [default: 50]
+//!   --samples <n,..>  back-off samples per test        [default: 50]
+//!                     a comma-separated list fans out one monitor per
+//!                     size over a single simulated world
 //!   --random          random 112-node topology instead of the grid
 //!   --mobile          add random-waypoint mobility (implies --random)
 //!   --no-blatant      disable the deterministic timing check
@@ -52,7 +54,7 @@ manet-guard: back-off timer violation detection (ICDCS 2006 reproduction)
 usage:
   manet-guard demo
   manet-guard detect [--pm N] [--rate PPS] [--secs S] [--seed N]
-                     [--samples N] [--random] [--mobile] [--no-blatant]
+                     [--samples N[,N..]] [--random] [--mobile] [--no-blatant]
                      [--trace FILE] [--metrics]
   manet-guard params
 ";
@@ -62,7 +64,7 @@ struct DetectOpts {
     rate: f64,
     secs: u64,
     seed: u64,
-    samples: usize,
+    samples: Vec<usize>,
     random: bool,
     mobile: bool,
     no_blatant: bool,
@@ -78,7 +80,7 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
         rate: 2.0,
         secs: 60,
         seed: 1,
-        samples: 50,
+        samples: vec![50],
         random: false,
         mobile: false,
         no_blatant: false,
@@ -92,7 +94,7 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
             "--rate" => o.rate = value(&mut it, a)?,
             "--secs" => o.secs = value(&mut it, a)?,
             "--seed" => o.seed = value(&mut it, a)?,
-            "--samples" => o.samples = value(&mut it, a)?,
+            "--samples" => o.samples = samples_list(&raw_value(&mut it, a)?)?,
             "--random" => o.random = true,
             "--mobile" => o.mobile = true,
             "--no-blatant" => o.no_blatant = true,
@@ -102,6 +104,20 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
         }
     }
     Ok(o)
+}
+
+/// Parses the `--samples` value: one size, or a comma-separated list of
+/// sizes that all monitor the same run.
+fn samples_list(v: &str) -> Result<Vec<usize>, String> {
+    let sizes: Vec<usize> = v
+        .split(',')
+        .map(|p| p.trim().parse::<usize>().map_err(|_| p))
+        .collect::<Result<_, _>>()
+        .map_err(|p| format!("invalid value for --samples: {p:?}"))?;
+    if sizes.is_empty() || sizes.contains(&0) {
+        return Err(format!("invalid value for --samples: {v}"));
+    }
+    Ok(sizes)
 }
 
 fn raw_value<'a>(
@@ -168,25 +184,36 @@ fn detect(o: DetectOpts) {
     } else {
         MonitorConfig::grid_paper(attacker_node, vantage, d)
     };
-    mc.sample_size = o.samples;
     if o.no_blatant {
         mc.blatant_check = false;
     }
 
     let mut builder = ScenarioBuilder::new(scenario);
     let attacker = builder.attacker(attacker_node);
-    let watch = if o.mobile {
+    if o.mobile {
         // Under mobility, monitor from every candidate neighbor with
         // range-based handoff (the paper's Section 5 scheme).
         mc.eifs_weight = 0.0;
         mc.counts = NodeCounts::SimCalibrated;
-        let vantages: Vec<usize> = (0..builder.scenario().positions().len())
-            .filter(|&v| v != attacker_node)
-            .collect();
-        builder.monitor_pool(mc, &vantages)
-    } else {
-        builder.monitor(mc)
-    };
+    }
+    let vantages: Vec<usize> = (0..builder.scenario().positions().len())
+        .filter(|&v| v != attacker_node)
+        .collect();
+    // One world, one monitor per requested sample size: a multi-size
+    // `--samples` list shares a single simulation instead of re-running it.
+    let watches: Vec<(usize, MonitorHandle)> = o
+        .samples
+        .iter()
+        .map(|&n| {
+            let mc = mc.with_sample_size(n);
+            let handle = if o.mobile {
+                builder.monitor_pool(mc, &vantages)
+            } else {
+                builder.monitor(mc)
+            };
+            (n, handle)
+        })
+        .collect();
     builder.source(SourceCfg::saturated(attacker_node, vantage));
     if o.trace.is_some() {
         builder.trace(TraceConfig::verbose());
@@ -208,34 +235,42 @@ fn detect(o: DetectOpts) {
     }
     let wall = t0.elapsed();
 
-    let diag = world.monitors().diagnosis(watch);
     println!(
         "run      : {}s virtual in {wall:.2?} ({} events)",
         o.secs,
         world.events_fired()
     );
-    println!("load     : measured rho = {:.2}", diag.measured_rho);
     println!(
-        "samples  : {} collected, {} discarded",
-        diag.samples_collected, diag.samples_discarded
+        "load     : measured rho = {:.2}",
+        world.monitors().diagnosis(watches[0].1).measured_rho
     );
-    println!(
-        "tests    : {} run, {} rejected H0 (last p = {})",
-        diag.tests_run,
-        diag.rejections,
-        diag.last_p
-            .map(|p| format!("{p:.4}"))
-            .unwrap_or_else(|| "-".into())
-    );
-    println!("checks   : {} deterministic violations", diag.violations);
-    println!(
-        "verdict  : node {attacker_node} is {}",
-        if diag.is_flagged() {
-            "MISBEHAVING"
-        } else {
-            "apparently well-behaved"
+    for &(n, watch) in &watches {
+        let diag = world.monitors().diagnosis(watch);
+        if watches.len() > 1 {
+            println!("monitor  : sample size {n}");
         }
-    );
+        println!(
+            "samples  : {} collected, {} discarded",
+            diag.samples_collected, diag.samples_discarded
+        );
+        println!(
+            "tests    : {} run, {} rejected H0 (last p = {})",
+            diag.tests_run,
+            diag.rejections,
+            diag.last_p
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "-".into())
+        );
+        println!("checks   : {} deterministic violations", diag.violations);
+        println!(
+            "verdict  : node {attacker_node} is {}",
+            if diag.is_flagged() {
+                "MISBEHAVING"
+            } else {
+                "apparently well-behaved"
+            }
+        );
+    }
 
     if let Some(path) = &o.trace {
         let tracer = world.tracer();

@@ -21,13 +21,16 @@ fn run_grid(
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.sample_size = 25;
     tune(&mut mc);
-    let mut world = scenario.build_with_observer(&[s, r], Monitor::new(mc));
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    let watch = b.monitor(mc);
+    b.source(SourceCfg::saturated(s, r));
+    let mut world = b.build();
     if let Some(p) = policy {
-        world.set_policy(s, p);
+        world.set_policy(attacker.id(), p);
     }
-    world.add_source(SourceCfg::saturated(s, r));
     world.run_until(SimTime::from_secs(secs));
-    world.observer().diagnosis()
+    world.monitors().diagnosis(watch)
 }
 
 #[test]
@@ -121,16 +124,20 @@ fn two_simultaneous_attackers_are_both_caught() {
     let r2 = 1;
     let mc1 = MonitorConfig::grid_paper(s1, r1, 240.0);
     let mc2 = MonitorConfig::grid_paper(s2, r2, 240.0);
-    let observers = manet_guard::net::Fanout(Monitor::new(mc1), Monitor::new(mc2));
-    let mut world = scenario.build_with_observer(&[s1, r1, s2, r2], observers);
-    world.set_policy(s1, BackoffPolicy::Scaled { pm: 70 });
-    world.set_policy(s2, BackoffPolicy::Scaled { pm: 70 });
-    world.add_source(SourceCfg::saturated(s1, r1));
-    world.add_source(SourceCfg::saturated(s2, r2));
+    let mut b = ScenarioBuilder::new(scenario);
+    let a1 = b.attacker(s1);
+    let w1 = b.monitor(mc1);
+    let a2 = b.attacker(s2);
+    let w2 = b.monitor(mc2);
+    b.source(SourceCfg::saturated(s1, r1));
+    b.source(SourceCfg::saturated(s2, r2));
+    let mut world = b.build();
+    world.set_policy(a1.id(), BackoffPolicy::Scaled { pm: 70 });
+    world.set_policy(a2.id(), BackoffPolicy::Scaled { pm: 70 });
     world.run_until(SimTime::from_secs(60));
 
-    let d1 = world.observer().0.diagnosis();
-    let d2 = world.observer().1.diagnosis();
+    let d1 = world.monitors().diagnosis(w1);
+    let d2 = world.monitors().diagnosis(w2);
     assert!(d1.is_flagged(), "attacker 1 missed: {d1:?}");
     assert!(d2.is_flagged(), "attacker 2 missed: {d2:?}");
 }
@@ -148,18 +155,22 @@ fn basic_access_evasion_is_flagged() {
     let (s, r) = scenario.tagged_pair();
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.sample_size = 25;
-    let mut world = scenario.build_with_observer(&[s, r], Monitor::new(mc));
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    let watch = b.monitor(mc);
+    b.source(SourceCfg::saturated(s, r));
+    let mut world = b.build();
     world.set_rts_threshold(s, u32::MAX); // never send RTS
-    world.set_policy(s, BackoffPolicy::Scaled { pm: 80 });
-    world.add_source(SourceCfg::saturated(s, r));
+    world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: 80 });
     world.run_until(SimTime::from_secs(30));
-    let m = world.observer();
     assert!(
-        m.violations()
+        world
+            .monitors()
+            .violations(watch)
             .iter()
             .any(|v| matches!(v, Violation::UnverifiedData { .. })),
         "{:?}",
-        m.diagnosis()
+        world.monitors().diagnosis(watch)
     );
     // And honest RTS users never trip it (covered by
     // compliant_node_is_never_flagged, which asserts zero violations).

@@ -37,10 +37,12 @@ fn measure(cfg: ScenarioConfig, secs: u64) -> (f64, f64, f64) {
         r,
         joint: JointTracker::new(),
     };
-    let mut world = scenario.build_with_observer(&[], probe);
+    // No roles declared: the probe only listens, nothing is excluded.
+    let b = ScenarioBuilder::new(scenario).probe(probe);
+    let mut world = b.build();
     world.run_until(SimTime::from_secs(secs));
     let now = world.now();
-    let p = world.observer_mut();
+    let p = world.probe_mut();
     p.joint.finish(now);
     (
         p.joint.r_rho(),
@@ -183,14 +185,17 @@ fn detection_survives_shadowing() {
     let (s, r) = scenario.tagged_pair();
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.sample_size = 25;
-    let mut world = scenario.build_with_observer(&[s, r], Monitor::new(mc));
-    world.set_policy(s, BackoffPolicy::Scaled { pm: 85 });
-    world.add_source(SourceCfg::saturated(s, r));
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    let watch = b.monitor(mc);
+    b.source(SourceCfg::saturated(s, r));
+    let mut world = b.build();
+    world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: 85 });
     world.run_until(SimTime::from_secs(40));
     assert!(
-        world.observer().diagnosis().is_flagged(),
+        world.monitors().diagnosis(watch).is_flagged(),
         "{:?}",
-        world.observer().diagnosis()
+        world.monitors().diagnosis(watch)
     );
 }
 
@@ -207,13 +212,16 @@ fn signed_rank_judge_works_end_to_end() {
         mc.sample_size = 25;
         mc.judge = judge;
         mc.blatant_check = false;
-        let mut world = scenario.build_with_observer(&[s, r], Monitor::new(mc));
+        let mut b = ScenarioBuilder::new(scenario);
+        let attacker = b.attacker(s);
+        let watch = b.monitor(mc);
+        b.source(SourceCfg::saturated(s, r));
+        let mut world = b.build();
         if pm > 0 {
-            world.set_policy(s, BackoffPolicy::Scaled { pm });
+            world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
         }
-        world.add_source(SourceCfg::saturated(s, r));
         world.run_until(SimTime::from_secs(40));
-        world.observer().diagnosis()
+        world.monitors().diagnosis(watch)
     };
     // The paired test is sharper under H1 but — unlike the paper's unpaired
     // rank-sum — sensitive to the estimator's asymmetric noise under H0 (it
