@@ -10,7 +10,7 @@
 
 use mg_bench::sweep::{outcome_codec, SCHEMA};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate, BenchConfig, Load, TrialOutcome};
+use mg_bench::{aggregate, sweep_or_exit, BenchConfig, Load, TrialOutcome};
 use mg_dcf::BackoffPolicy;
 use mg_detect::{MonitorConfig, ScenarioBuilder, WorldMonitors};
 use mg_net::{Scenario, ScenarioConfig, SourceCfg};
@@ -68,7 +68,8 @@ fn main() {
             }
         }
     }
-    let results: Vec<TrialOutcome> = runner.sweep(
+    let results: Vec<TrialOutcome> = sweep_or_exit(
+        &runner,
         &tasks,
         |&(alpha, pm, seed)| {
             let cfg = ScenarioConfig {

@@ -10,7 +10,7 @@
 
 use mg_bench::sweep::SCHEMA;
 use mg_bench::table::{p3, Table};
-use mg_bench::{BenchConfig, Load};
+use mg_bench::{sweep_or_exit, BenchConfig, Load};
 use mg_dcf::BackoffPolicy;
 use mg_detect::{MonitorConfig, ScenarioBuilder, WorldMonitors};
 use mg_net::{Scenario, ScenarioConfig, SourceCfg};
@@ -121,7 +121,8 @@ fn main() {
             tasks.push((pm, 7000 + pm as u64 + i));
         }
     }
-    let all: Vec<Vec<(f64, f64)>> = runner.sweep(
+    let all: Vec<Vec<(f64, f64)>> = sweep_or_exit(
+        &runner,
         &tasks,
         |&(pm, seed)| {
             let cfg = ScenarioConfig {

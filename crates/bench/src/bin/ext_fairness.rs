@@ -12,7 +12,7 @@
 
 use mg_bench::sweep::SCHEMA;
 use mg_bench::table::{f2, p3, Table};
-use mg_bench::BenchConfig;
+use mg_bench::{sweep_or_exit, BenchConfig};
 use mg_dcf::{BackoffPolicy, MacTiming};
 use mg_geom::Vec2;
 use mg_net::{SourceCfg, World};
@@ -85,7 +85,8 @@ fn main() {
             tasks.push((pm, 9800 + pm as u64 + i));
         }
     }
-    let results: Vec<[u64; 3]> = runner.sweep(
+    let results: Vec<[u64; 3]> = sweep_or_exit(
+        &runner,
         &tasks,
         |&(pm, seed)| {
             // No ScenarioConfig here — the three-node world is fixed in code,

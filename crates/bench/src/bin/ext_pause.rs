@@ -11,7 +11,10 @@
 
 use mg_bench::sweep::{detection_key, outcome_codec};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate, mobile_detection_trial, BenchConfig, Load, TrialOutcome};
+use mg_bench::{
+    aggregate, mobile_detection_trial_fanout_faulted, sweep_or_exit, BenchConfig, Load,
+    TrialOutcome,
+};
 use mg_net::ScenarioConfig;
 use mg_sim::SimDuration;
 
@@ -29,7 +32,8 @@ fn main() {
             }
         }
     }
-    let results: Vec<TrialOutcome> = runner.sweep(
+    let results: Vec<TrialOutcome> = sweep_or_exit(
+        &runner,
         &tasks,
         |&(pause_s, pm, seed)| {
             let cfg = ScenarioConfig {
@@ -38,18 +42,20 @@ fn main() {
                 seed,
                 ..ScenarioConfig::mobile_paper(seed, SimDuration::from_secs(pause_s))
             };
-            detection_key("detection-mobile", &cfg, pm, &[25], false)
+            detection_key("detection-mobile", &cfg, pm, &[25], false, &bc.fault)
         },
         outcome_codec(),
         |&(pause_s, pm, seed)| {
-            mobile_detection_trial(
+            mobile_detection_trial_fanout_faulted(
                 seed,
                 Load::Medium,
                 pm,
-                25,
+                &[25],
                 bc.sim_secs,
                 SimDuration::from_secs(pause_s),
+                &bc.fault,
             )
+            .remove(0)
         },
     );
 

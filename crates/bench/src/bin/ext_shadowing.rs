@@ -13,7 +13,9 @@
 
 use mg_bench::sweep::{detection_key, outcome_codec};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate, detection_trial_with_cfg, BenchConfig, Load, TrialOutcome};
+use mg_bench::{
+    aggregate, detection_trial_with_cfg_faulted, sweep_or_exit, BenchConfig, Load, TrialOutcome,
+};
 use mg_net::ScenarioConfig;
 use mg_phy::PropagationModel;
 
@@ -38,14 +40,17 @@ fn main() {
             }
         }
     }
-    let results: Vec<TrialOutcome> = runner.sweep(
+    let results: Vec<TrialOutcome> = sweep_or_exit(
+        &runner,
         &tasks,
         |&(sigma, pm, seed)| {
             let cfg = ScenarioConfig { seed, ..base_for(sigma) };
-            detection_key("ext-shadowing", &cfg, pm, &[25], true)
+            detection_key("ext-shadowing", &cfg, pm, &[25], true, &bc.fault)
         },
         outcome_codec(),
-        |&(sigma, pm, seed)| detection_trial_with_cfg(seed, base_for(sigma), pm, 25, true),
+        |&(sigma, pm, seed)| {
+            detection_trial_with_cfg_faulted(seed, base_for(sigma), pm, 25, true, &bc.fault)
+        },
     );
 
     let mut t = Table::new(

@@ -7,7 +7,10 @@
 
 use mg_bench::sweep::{cond_codec, cond_key};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate_points, conditional_probability_run, random_base, BenchConfig, CondProbPoint};
+use mg_bench::{
+    aggregate_points, conditional_probability_run, random_base, sweep_or_exit, BenchConfig,
+    CondProbPoint,
+};
 use mg_detect::AnalyticModel;
 use mg_geom::PreclusionRule;
 use mg_net::ScenarioConfig;
@@ -35,7 +38,8 @@ fn main() {
             tasks.push((rate, 2000 + i));
         }
     }
-    let results: Vec<CondProbPoint> = runner.sweep(
+    let results: Vec<CondProbPoint> = sweep_or_exit(
+        &runner,
         &tasks,
         |&(rate, seed)| {
             let cfg = ScenarioConfig { sim_secs: secs, rate_pps: rate, seed, ..random_base() };

@@ -23,8 +23,8 @@
 use mg_bench::sweep::{detection_key, outcomes_codec};
 use mg_bench::table::{p3, Table};
 use mg_bench::{
-    aggregate, detection_trial_fanout, grid_base, mobile_detection_trial_fanout, BenchConfig,
-    Load, TrialOutcome,
+    aggregate, detection_trial_fanout_faulted, grid_base, mobile_detection_trial_fanout_faulted,
+    sweep_or_exit, BenchConfig, Load, TrialOutcome,
 };
 use mg_net::ScenarioConfig;
 use mg_sim::SimDuration;
@@ -108,27 +108,36 @@ fn main() {
         }
     }
 
-    let results: Vec<Vec<TrialOutcome>> = runner.sweep(
+    let results: Vec<Vec<TrialOutcome>> = sweep_or_exit(
+        &runner,
         &tasks,
         |t| {
             let p = &panels[t.panel];
             let experiment = if p.mobile { "detection-mobile" } else { "detection" };
-            detection_key(experiment, &resolved_cfg(&bc, p, t.seed), t.pm, &SAMPLE_SIZES, false)
+            detection_key(
+                experiment,
+                &resolved_cfg(&bc, p, t.seed),
+                t.pm,
+                &SAMPLE_SIZES,
+                false,
+                &bc.fault,
+            )
         },
         outcomes_codec(),
         |t| {
             let p = &panels[t.panel];
             if p.mobile {
-                mobile_detection_trial_fanout(
+                mobile_detection_trial_fanout_faulted(
                     t.seed,
                     p.load,
                     t.pm,
                     &SAMPLE_SIZES,
                     bc.sim_secs,
                     SimDuration::ZERO,
+                    &bc.fault,
                 )
             } else {
-                detection_trial_fanout(
+                detection_trial_fanout_faulted(
                     t.seed,
                     p.load,
                     t.pm,
@@ -136,6 +145,7 @@ fn main() {
                     bc.sim_secs,
                     false,
                     grid_base(),
+                    &bc.fault,
                 )
             }
         },

@@ -17,8 +17,8 @@
 use mg_bench::sweep::{detection_key, outcomes_codec};
 use mg_bench::table::{p3, Table};
 use mg_bench::{
-    aggregate, detection_trial_fanout, grid_base, mobile_detection_trial_fanout, BenchConfig,
-    Load, TrialOutcome,
+    aggregate, detection_trial_fanout_faulted, grid_base, mobile_detection_trial_fanout_faulted,
+    sweep_or_exit, BenchConfig, Load, TrialOutcome,
 };
 use mg_net::ScenarioConfig;
 use mg_sim::SimDuration;
@@ -33,7 +33,8 @@ fn main() {
 
     if mobile {
         let tasks: Vec<u64> = (0..bc.trials).map(|i| 4000 + i).collect();
-        let results: Vec<Vec<TrialOutcome>> = runner.sweep(
+        let results: Vec<Vec<TrialOutcome>> = sweep_or_exit(
+            &runner,
             &tasks,
             |&seed| {
                 let cfg = ScenarioConfig {
@@ -42,17 +43,18 @@ fn main() {
                     seed,
                     ..ScenarioConfig::mobile_paper(seed, SimDuration::ZERO)
                 };
-                detection_key("detection-mobile", &cfg, 0, &SAMPLE_SIZES, false)
+                detection_key("detection-mobile", &cfg, 0, &SAMPLE_SIZES, false, &bc.fault)
             },
             outcomes_codec(),
             |&seed| {
-                mobile_detection_trial_fanout(
+                mobile_detection_trial_fanout_faulted(
                     seed,
                     Load::Medium,
                     0,
                     &SAMPLE_SIZES,
                     bc.sim_secs,
                     SimDuration::ZERO,
+                    &bc.fault,
                 )
             },
         );
@@ -85,7 +87,8 @@ fn main() {
                 tasks.push((load, 5000 + i));
             }
         }
-        let results: Vec<Vec<TrialOutcome>> = runner.sweep(
+        let results: Vec<Vec<TrialOutcome>> = sweep_or_exit(
+            &runner,
             &tasks,
             |&(load, seed)| {
                 let cfg = ScenarioConfig {
@@ -94,11 +97,20 @@ fn main() {
                     seed,
                     ..grid_base()
                 };
-                detection_key("detection", &cfg, 0, &SAMPLE_SIZES, false)
+                detection_key("detection", &cfg, 0, &SAMPLE_SIZES, false, &bc.fault)
             },
             outcomes_codec(),
             |&(load, seed)| {
-                detection_trial_fanout(seed, load, 0, &SAMPLE_SIZES, bc.sim_secs, false, grid_base())
+                detection_trial_fanout_faulted(
+                    seed,
+                    load,
+                    0,
+                    &SAMPLE_SIZES,
+                    bc.sim_secs,
+                    false,
+                    grid_base(),
+                    &bc.fault,
+                )
             },
         );
         let mut t = Table::new(

@@ -6,6 +6,7 @@
 //! a typo'd `MG_TRIALS=8x` aborts up front instead of silently running the
 //! default trial count.
 
+use crate::FaultPlan;
 use mg_runner::{Cache, CacheMode, Runner};
 use std::path::PathBuf;
 
@@ -24,6 +25,9 @@ pub struct BenchConfig {
     pub cache_mode: CacheMode,
     /// Result-cache directory (`MG_CACHE_DIR`, default `results/.cache`).
     pub cache_dir: PathBuf,
+    /// Fault-injection plan (`MG_FAULT_PROFILE` spec string, default no-op,
+    /// with `MG_FAULT_SEED` overriding the plan's seed).
+    pub fault: FaultPlan,
 }
 
 impl Default for BenchConfig {
@@ -35,6 +39,7 @@ impl Default for BenchConfig {
             json_dir: None,
             cache_mode: CacheMode::ReadWrite,
             cache_dir: PathBuf::from("results/.cache"),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -62,6 +67,16 @@ impl BenchConfig {
         if let Some(d) = dir_var("MG_CACHE_DIR") {
             cfg.cache_dir = d;
         }
+        if let Ok(spec) = std::env::var("MG_FAULT_PROFILE") {
+            cfg.fault = FaultPlan::parse(&spec)
+                .map_err(|e| format!("invalid MG_FAULT_PROFILE value {spec:?}: {e}"))?;
+        }
+        if let Ok(raw) = std::env::var("MG_FAULT_SEED") {
+            let seed: u64 = raw.trim().parse().map_err(|_| {
+                format!("invalid MG_FAULT_SEED value {raw:?}: expected a non-negative integer")
+            })?;
+            cfg.fault = cfg.fault.with_seed(seed);
+        }
         Ok(cfg)
     }
 
@@ -76,9 +91,11 @@ impl BenchConfig {
         }
     }
 
-    /// A sweep runner over this config's cache directory and mode.
+    /// A sweep runner over this config's cache directory and mode, carrying
+    /// the fault plan's runner-layer knobs (panics, hangs, watchdog).
     pub fn runner(&self) -> Runner {
         Runner::new(Cache::new(self.cache_dir.clone(), self.cache_mode))
+            .with_faults(self.fault.runner.clone())
     }
 }
 
@@ -110,6 +127,8 @@ mod tests {
             "MG_JSON_DIR",
             "MG_CACHE",
             "MG_CACHE_DIR",
+            "MG_FAULT_PROFILE",
+            "MG_FAULT_SEED",
         ];
         let saved: Vec<_> = vars.iter().map(|v| (*v, std::env::var_os(v))).collect();
         for v in vars {
@@ -141,6 +160,23 @@ mod tests {
         std::env::set_var("MG_CACHE", "sometimes");
         let err = BenchConfig::from_env().unwrap_err();
         assert!(err.contains("MG_CACHE"), "{err}");
+        std::env::set_var("MG_CACHE", "on");
+
+        std::env::set_var("MG_FAULT_PROFILE", "seed=7,loss=0.25,panic=2");
+        std::env::set_var("MG_FAULT_SEED", "99");
+        let cfg = BenchConfig::from_env().expect("valid fault profile parses");
+        assert_eq!(cfg.fault.seed, 99, "MG_FAULT_SEED overrides the spec seed");
+        assert!((cfg.fault.phy.loss - 0.25).abs() < 1e-12);
+        assert!(cfg.fault.runner.panics(2));
+        assert!(!cfg.fault.is_noop());
+
+        std::env::set_var("MG_FAULT_PROFILE", "loss=nope");
+        let err = BenchConfig::from_env().unwrap_err();
+        assert!(err.contains("MG_FAULT_PROFILE") && err.contains("nope"), "{err}");
+        std::env::set_var("MG_FAULT_PROFILE", "light");
+        std::env::set_var("MG_FAULT_SEED", "8x");
+        let err = BenchConfig::from_env().unwrap_err();
+        assert!(err.contains("MG_FAULT_SEED") && err.contains("8x"), "{err}");
 
         for (name, value) in saved {
             match value {

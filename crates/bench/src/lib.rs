@@ -41,9 +41,11 @@ use mg_detect::{
 };
 use mg_net::{NetObserver, Scenario, ScenarioConfig, SourceCfg, TrafficKind};
 use mg_phy::Medium;
+use mg_runner::{CacheKey, Codec, Runner};
 use mg_sim::{SimDuration, SimTime};
 use mg_trace::MetricsSnapshot;
 
+pub use mg_detect::FaultPlan;
 pub use mg_trace::json;
 
 pub mod config;
@@ -115,6 +117,9 @@ pub struct TrialOutcome {
     pub violations: u64,
     /// Back-off samples collected.
     pub samples: u64,
+    /// Anomalous observations held below the monitor's confirmation
+    /// threshold (nonzero only under observation-fault injection).
+    pub uncertain: u64,
     /// Measured overall busy fraction at the monitor.
     pub rho: f64,
     /// Stack-wide counters and histograms from the trial's metrics.
@@ -128,6 +133,7 @@ impl TrialOutcome {
         self.rejections += o.rejections;
         self.violations += o.violations;
         self.samples += o.samples;
+        self.uncertain += o.uncertain;
         self.rho += o.rho; // divide by trial count at the end
         self.metrics.merge(&o.metrics);
     }
@@ -156,6 +162,7 @@ fn detection_trial_multi(
     pm: u8,
     sample_sizes: &[usize],
     statistical_only: bool,
+    faults: &FaultPlan,
 ) -> Vec<TrialOutcome> {
     let secs = cfg.sim_secs;
     let scenario = Scenario::new(cfg);
@@ -176,6 +183,9 @@ fn detection_trial_multi(
         .collect();
     b.source(SourceCfg::saturated(s, r));
     b.metrics();
+    if !faults.is_noop() {
+        b.fault(faults.clone());
+    }
     let mut world = b.build();
     if pm > 0 {
         world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
@@ -191,6 +201,7 @@ fn detection_trial_multi(
                 rejections: diag.rejections as u64,
                 violations: diag.violations as u64,
                 samples: diag.samples_collected as u64,
+                uncertain: diag.uncertain as u64,
                 rho: diag.measured_rho,
                 metrics,
             }
@@ -209,8 +220,21 @@ pub fn detection_trial_with_cfg(
     sample_size: usize,
     statistical_only: bool,
 ) -> TrialOutcome {
+    detection_trial_with_cfg_faulted(seed, cfg, pm, sample_size, statistical_only, &FaultPlan::default())
+}
+
+/// [`detection_trial_with_cfg`] with a [`FaultPlan`] injected at the
+/// monitor's observation boundary.
+pub fn detection_trial_with_cfg_faulted(
+    seed: u64,
+    cfg: ScenarioConfig,
+    pm: u8,
+    sample_size: usize,
+    statistical_only: bool,
+    faults: &FaultPlan,
+) -> TrialOutcome {
     let cfg = ScenarioConfig { seed, ..cfg };
-    detection_trial_multi(cfg, pm, &[sample_size], statistical_only)[0]
+    detection_trial_multi(cfg, pm, &[sample_size], statistical_only, faults)[0]
 }
 
 /// Runs one static detection trial: the paper's Figure 5 (PM > 0) and
@@ -239,13 +263,39 @@ pub fn detection_trial_fanout(
     statistical_only: bool,
     cfg_base: ScenarioConfig,
 ) -> Vec<TrialOutcome> {
+    detection_trial_fanout_faulted(
+        seed,
+        load,
+        pm,
+        sample_sizes,
+        secs,
+        statistical_only,
+        cfg_base,
+        &FaultPlan::default(),
+    )
+}
+
+/// [`detection_trial_fanout`] with a [`FaultPlan`] injected at every
+/// monitor's observation boundary (chaos testing). The world itself runs
+/// unchanged; a no-op plan makes this identical to the plain variant.
+#[allow(clippy::too_many_arguments)]
+pub fn detection_trial_fanout_faulted(
+    seed: u64,
+    load: Load,
+    pm: u8,
+    sample_sizes: &[usize],
+    secs: u64,
+    statistical_only: bool,
+    cfg_base: ScenarioConfig,
+    faults: &FaultPlan,
+) -> Vec<TrialOutcome> {
     let cfg = ScenarioConfig {
         sim_secs: secs,
         rate_pps: load.rate_pps(),
         seed,
         ..cfg_base
     };
-    detection_trial_multi(cfg, pm, sample_sizes, statistical_only)
+    detection_trial_multi(cfg, pm, sample_sizes, statistical_only, faults)
 }
 
 /// One mobile world, one monitor pool per requested sample size.
@@ -256,6 +306,7 @@ fn mobile_detection_trial_multi(
     sample_sizes: &[usize],
     secs: u64,
     pause: SimDuration,
+    faults: &FaultPlan,
 ) -> Vec<TrialOutcome> {
     let cfg = ScenarioConfig {
         sim_secs: secs,
@@ -288,6 +339,9 @@ fn mobile_detection_trial_multi(
         payload_len: 512,
     });
     b.metrics();
+    if !faults.is_noop() {
+        b.fault(faults.clone());
+    }
     let mut world = b.build();
     if pm > 0 {
         world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
@@ -303,6 +357,7 @@ fn mobile_detection_trial_multi(
                 rejections: diag.rejections as u64,
                 violations: diag.violations as u64,
                 samples: diag.samples_collected as u64,
+                uncertain: diag.uncertain as u64,
                 rho: diag.measured_rho,
                 metrics,
             }
@@ -321,7 +376,16 @@ pub fn mobile_detection_trial(
     secs: u64,
     pause: SimDuration,
 ) -> TrialOutcome {
-    mobile_detection_trial_multi(seed, load, pm, &[sample_size], secs, pause).remove(0)
+    mobile_detection_trial_multi(
+        seed,
+        load,
+        pm,
+        &[sample_size],
+        secs,
+        pause,
+        &FaultPlan::default(),
+    )
+    .remove(0)
 }
 
 /// [`mobile_detection_trial`] fanned out over several sample sizes on one
@@ -334,7 +398,54 @@ pub fn mobile_detection_trial_fanout(
     secs: u64,
     pause: SimDuration,
 ) -> Vec<TrialOutcome> {
-    mobile_detection_trial_multi(seed, load, pm, sample_sizes, secs, pause)
+    mobile_detection_trial_multi(seed, load, pm, sample_sizes, secs, pause, &FaultPlan::default())
+}
+
+/// [`mobile_detection_trial_fanout`] with a [`FaultPlan`] injected at every
+/// pool member's observation boundary.
+#[allow(clippy::too_many_arguments)]
+pub fn mobile_detection_trial_fanout_faulted(
+    seed: u64,
+    load: Load,
+    pm: u8,
+    sample_sizes: &[usize],
+    secs: u64,
+    pause: SimDuration,
+    faults: &FaultPlan,
+) -> Vec<TrialOutcome> {
+    mobile_detection_trial_multi(seed, load, pm, sample_sizes, secs, pause, faults)
+}
+
+/// Runs a sweep through the [`mg_runner`] engine, degrading gracefully on
+/// trial failures: every poisoned cell (worker panic or watchdog timeout) is
+/// reported on stderr, and the process exits with status 1 *before* any
+/// table is emitted — a partially-failed sweep never masquerades as a clean
+/// figure. Fault-free sweeps return all results in task order, exactly like
+/// [`mg_runner::Runner::sweep`].
+pub fn sweep_or_exit<T: Sync, R: Send>(
+    runner: &Runner,
+    tasks: &[T],
+    key: impl Fn(&T) -> CacheKey + Sync,
+    codec: Codec<R>,
+    run: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let results = runner.try_sweep(tasks, key, codec, run);
+    let mut failed = 0usize;
+    let mut ok = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(v) => ok.push(v),
+            Err(e) => {
+                failed += 1;
+                eprintln!("mg-bench: error: {e}");
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("mg-bench: {failed} sweep cell(s) failed; no tables emitted");
+        std::process::exit(1);
+    }
+    ok
 }
 
 /// Observer measuring the Figure 3/4 conditional probabilities for a pair.
@@ -524,6 +635,51 @@ mod tests {
             assert_eq!(o.tests, fanned[i].tests);
             assert_eq!(o.samples, fanned[i].samples);
         }
+    }
+
+    #[test]
+    fn fanout_matches_single_monitor_runs_under_faults() {
+        // The fan-out equivalence must survive fault injection: each
+        // attached monitor derives its fault stream from (plan seed,
+        // vantage) alone, so a monitor sees the same drops/deafness whether
+        // it shares a world with three siblings or runs alone.
+        let plan = FaultPlan::parse("seed=11,loss=0.1,deaf=50:10").expect("valid spec");
+        let sizes = [10usize, 25, 50];
+        let fanned = detection_trial_fanout_faulted(
+            3,
+            Load::Low,
+            60,
+            &sizes,
+            10,
+            false,
+            grid_base(),
+            &plan,
+        );
+        for (i, &ss) in sizes.iter().enumerate() {
+            let solo = detection_trial_fanout_faulted(
+                3,
+                Load::Low,
+                60,
+                &[ss],
+                10,
+                false,
+                grid_base(),
+                &plan,
+            )
+            .remove(0);
+            assert_eq!(fanned[i].tests, solo.tests, "ss={ss}");
+            assert_eq!(fanned[i].violations, solo.violations, "ss={ss}");
+            assert_eq!(fanned[i].samples, solo.samples, "ss={ss}");
+            assert_eq!(fanned[i].uncertain, solo.uncertain, "ss={ss}");
+            assert!((fanned[i].rho - solo.rho).abs() < 1e-12, "ss={ss}");
+        }
+        // And the plan must actually bite: fewer samples than fault-free.
+        let clean = detection_trial_fanout(3, Load::Low, 60, &sizes, 10, false, grid_base());
+        assert!(
+            fanned.iter().map(|o| o.samples).sum::<u64>()
+                < clean.iter().map(|o| o.samples).sum::<u64>(),
+            "a 10% loss + deafness plan must suppress some observations"
+        );
     }
 
     #[test]

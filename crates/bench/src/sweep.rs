@@ -16,30 +16,37 @@
 //!   [`Codec`]s for the trial result types; a cached entry that fails to
 //!   decode is recomputed, never trusted.
 
-use crate::{CondProbPoint, TrialOutcome};
+use crate::{CondProbPoint, FaultPlan, TrialOutcome};
 use mg_net::ScenarioConfig;
 use mg_runner::{CacheKey, Codec};
 use mg_trace::json::Json;
 use mg_trace::MetricsSnapshot;
 
 /// Result-schema version for every mg-bench cache key.
-pub const SCHEMA: u64 = 1;
+///
+/// v2: [`TrialOutcome`] gained the `uncertain` counter and detection keys
+/// gained the fault plan.
+pub const SCHEMA: u64 = 2;
 
 /// Key for one detection trial (or one fanned-out trial when `sample_sizes`
 /// has several entries). `cfg` must be the fully resolved config — seed,
 /// duration and rate already substituted — so the key covers every knob.
+/// The fault plan participates too: a faulted sweep and a clean one must
+/// never share a cache entry.
 pub fn detection_key(
     experiment: &str,
     cfg: &ScenarioConfig,
     pm: u8,
     sample_sizes: &[usize],
     statistical_only: bool,
+    faults: &FaultPlan,
 ) -> CacheKey {
     CacheKey::new(experiment, SCHEMA)
         .field("cfg", cfg)
         .field("pm", pm)
         .field("sample_sizes", sample_sizes)
         .field("statistical_only", statistical_only)
+        .field("faults", faults)
 }
 
 /// Key for one Figure 3/4 conditional-probability run.
@@ -53,6 +60,7 @@ fn outcome_to_json(o: &TrialOutcome) -> Json {
         ("rejections", Json::from(o.rejections)),
         ("violations", Json::from(o.violations)),
         ("samples", Json::from(o.samples)),
+        ("uncertain", Json::from(o.uncertain)),
         ("rho", Json::Num(o.rho)),
         ("metrics", o.metrics.to_json()),
     ])
@@ -64,6 +72,7 @@ fn outcome_from_json(v: &Json) -> Option<TrialOutcome> {
         rejections: v.get("rejections")?.as_u64()?,
         violations: v.get("violations")?.as_u64()?,
         samples: v.get("samples")?.as_u64()?,
+        uncertain: v.get("uncertain")?.as_u64()?,
         rho: v.get("rho")?.as_f64()?,
         metrics: MetricsSnapshot::from_json(v.get("metrics")?)?,
     })
@@ -119,6 +128,7 @@ mod tests {
             rejections: 3,
             violations: 1,
             samples: 250,
+            uncertain: 4,
             rho: 0.3141592653589793,
             ..TrialOutcome::default()
         };
@@ -127,6 +137,7 @@ mod tests {
         let back = (codec.decode)(&(codec.encode)(&o)).expect("round trip");
         assert_eq!(back.tests, o.tests);
         assert_eq!(back.samples, o.samples);
+        assert_eq!(back.uncertain, o.uncertain);
         assert_eq!(back.rho.to_bits(), o.rho.to_bits(), "f64 must survive exactly");
         assert_eq!(back.metrics.total(Counter::TxFrames), 1234);
     }
@@ -151,13 +162,16 @@ mod tests {
     #[test]
     fn detection_keys_cover_the_resolved_config() {
         let base = crate::grid_base();
-        let a = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], true);
-        let b = detection_key("fig5", &ScenarioConfig { seed: 2, ..base }, 50, &[10, 25], true);
-        let c = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 60, &[10, 25], true);
-        let d = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10], true);
-        let e = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], false);
-        let f = detection_key("fig6", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], true);
-        let all = [&a, &b, &c, &d, &e, &f];
+        let noop = FaultPlan::default();
+        let chaos = FaultPlan::parse("seed=5,loss=0.1").expect("valid spec");
+        let a = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], true, &noop);
+        let b = detection_key("fig5", &ScenarioConfig { seed: 2, ..base }, 50, &[10, 25], true, &noop);
+        let c = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 60, &[10, 25], true, &noop);
+        let d = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10], true, &noop);
+        let e = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], false, &noop);
+        let f = detection_key("fig6", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], true, &noop);
+        let g = detection_key("fig5", &ScenarioConfig { seed: 1, ..base }, 50, &[10, 25], true, &chaos);
+        let all = [&a, &b, &c, &d, &e, &f, &g];
         for (i, x) in all.iter().enumerate() {
             for y in &all[i + 1..] {
                 assert_ne!(x.hash(), y.hash(), "{} vs {}", x.text(), y.text());

@@ -4,7 +4,7 @@
 //! work that already completed.
 
 use mg_bench::sweep::{detection_key, outcomes_codec};
-use mg_bench::{detection_trial_fanout, grid_base, Load, TrialOutcome};
+use mg_bench::{detection_trial_fanout, grid_base, FaultPlan, Load, TrialOutcome};
 use mg_net::ScenarioConfig;
 use mg_runner::{Cache, CacheKey, CacheMode, Runner};
 use mg_trace::json::Json;
@@ -31,7 +31,7 @@ fn key(&(pm, seed): &(u8, u64)) -> CacheKey {
         seed,
         ..grid_base()
     };
-    detection_key("detection", &cfg, pm, &SIZES, false)
+    detection_key("detection", &cfg, pm, &SIZES, false, &FaultPlan::default())
 }
 
 fn run(&(pm, seed): &(u8, u64)) -> Vec<TrialOutcome> {

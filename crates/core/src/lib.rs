@@ -60,6 +60,7 @@ pub use analysis::AnalyticModel;
 pub use channel::{ChannelTracker, JointTracker};
 pub use density::DensityEstimator;
 pub use monitor::{Diagnosis, Judge, Monitor, MonitorConfig, NodeCounts, Violation};
+pub use mg_fault::{FaultPlan, ObsFaults};
 pub use pool::MonitorPool;
 pub use scenario::{
     Assembly, AttackerHandle, MonitorHandle, Monitors, ScenarioBuilder, WorldMonitors, WorldProbe,

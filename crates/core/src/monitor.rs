@@ -31,6 +31,7 @@ use crate::density::DensityEstimator;
 use crate::NodeId;
 use mg_dcf::{Dest, Frame, FrameKind, MacTiming};
 use mg_crypto::VerifiableSequence;
+use mg_fault::{FrameFate, ObsFaults};
 use mg_net::NetObserver;
 use mg_phy::Medium;
 use mg_geom::PreclusionRule;
@@ -213,6 +214,14 @@ pub struct MonitorConfig {
     /// the first window after the gap yields no sample — the unobserved
     /// stretch may span sequence wraps and queue-idle time.
     pub resync_after: mg_sim::SimDuration,
+    /// Consecutive anomalous observations required before the deterministic
+    /// checks convict. At the default of 1 every anomaly flags immediately
+    /// (the paper's behavior on a clean channel). Under injected observation
+    /// faults a single bit-flipped RTS can *look* like sequence reuse, so
+    /// fault-aware runs raise this to 2: an isolated anomaly is recorded as
+    /// *uncertain* (its sample withheld, the statistical path untouched) and
+    /// only a repeated one convicts — see [`Diagnosis::uncertain`].
+    pub confirm_anomalies: usize,
 }
 
 impl MonitorConfig {
@@ -240,6 +249,7 @@ impl MonitorConfig {
             judge: Judge::RankSum,
             require_rts: true,
             resync_after: mg_sim::SimDuration::from_secs(2),
+            confirm_anomalies: 1,
         }
     }
 
@@ -276,6 +286,11 @@ pub struct Diagnosis {
     pub last_p: Option<f64>,
     /// The monitor's measured traffic intensity ρ (busy fraction).
     pub measured_rho: f64,
+    /// Anomalous observations held back below the confirmation threshold
+    /// ([`MonitorConfig::confirm_anomalies`]): the deterministic checks
+    /// fired but the observation could not be trusted, so no conviction was
+    /// recorded and no sample was taken from it.
+    pub uncertain: usize,
 }
 
 impl Diagnosis {
@@ -339,6 +354,12 @@ pub struct Monitor {
     rejections: usize,
     violations: Vec<Violation>,
     discarded: usize,
+    /// Observation-boundary fault injector (chaos testing). The world is
+    /// unchanged — only what this monitor perceives.
+    faults: Option<ObsFaults>,
+    /// Consecutive anomalous observations (feeds the confirmation gate).
+    anomaly_streak: usize,
+    uncertain: usize,
     tracer: Tracer,
     metrics: Metrics,
 }
@@ -369,6 +390,9 @@ impl Monitor {
             rejections: 0,
             violations: Vec::new(),
             discarded: 0,
+            faults: None,
+            anomaly_streak: 0,
+            uncertain: 0,
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
             cfg,
@@ -393,6 +417,24 @@ impl Monitor {
         self.cfg.pair_distance = d;
     }
 
+    /// Installs (or removes) an observation-boundary fault injector.
+    ///
+    /// Faults apply to what *this monitor perceives* — dropped frames never
+    /// reach its estimators, corrupted tagged RTSs arrive with commitment
+    /// bits flipped — while the simulated world runs unchanged. Typically
+    /// derived from a plan via [`mg_fault::FaultPlan::observer`].
+    pub fn set_faults(&mut self, faults: Option<ObsFaults>) {
+        self.faults = faults;
+    }
+
+    /// Raises the deterministic-conviction threshold to at least `confirm`
+    /// consecutive anomalous observations (never lowers it). Fault-aware
+    /// assemblies call this with 2 so an isolated corrupted observation is
+    /// classified as uncertain instead of convicting.
+    pub fn harden(&mut self, confirm: usize) {
+        self.cfg.confirm_anomalies = self.cfg.confirm_anomalies.max(confirm);
+    }
+
     /// The running diagnosis.
     pub fn diagnosis(&self) -> Diagnosis {
         Diagnosis {
@@ -403,6 +445,7 @@ impl Monitor {
             samples_discarded: self.discarded,
             last_p: self.tests.last().map(|t| t.p_value),
             measured_rho: self.chan.rho(),
+            uncertain: self.uncertain,
         }
     }
 
@@ -503,6 +546,18 @@ impl Monitor {
         self.violations.push(v);
     }
 
+    /// Records an anomaly held below the confirmation threshold: journaled
+    /// and counted as uncertain, but never convicting.
+    fn note_uncertain(&mut self, v: Violation) {
+        self.tracer.emit(
+            v.at().as_nanos(),
+            Some(self.cfg.tagged),
+            EventKind::MonitorUncertain { kind: v.kind_str() },
+        );
+        self.metrics.bump(self.cfg.tagged, Counter::MonitorUncertain);
+        self.uncertain += 1;
+    }
+
     fn slot_ns(&self) -> f64 {
         self.cfg.timing.slot.as_nanos() as f64
     }
@@ -536,14 +591,18 @@ impl Monitor {
         }
         self.last_tagged_seen = Some(end);
         // 1. Reconstruct the logical sequence offset and run the
-        //    deterministic commitment checks.
+        //    deterministic commitment checks. Anomalies are *collected*
+        //    here and only convict at the commit step below, once the
+        //    confirmation gate has ruled on how trustworthy this
+        //    observation is.
+        let mut anomalies: Vec<Violation> = Vec::new();
         let logical = match self.last_rts {
             None => u64::from(fields.seq_off_wire),
             Some(prev) => {
                 let logical =
                     VerifiableSequence::unwrap_offset(fields.seq_off_wire, prev.logical);
                 if logical <= prev.logical {
-                    self.flag(Violation::SequenceReuse {
+                    anomalies.push(Violation::SequenceReuse {
                         previous: prev.logical,
                         seen: logical,
                         at: end,
@@ -560,7 +619,7 @@ impl Monitor {
                     let feasible =
                         end.saturating_since(prev.at).div_periods(min_draw) + 2;
                     if jump > feasible {
-                        self.flag(Violation::ImplausibleAdvance {
+                        anomalies.push(Violation::ImplausibleAdvance {
                             jump,
                             feasible,
                             at: end,
@@ -570,7 +629,7 @@ impl Monitor {
                 if fields.md == prev.md && fields.attempt <= prev.attempt {
                     // Same DATA frame re-announced without bumping the
                     // attempt: the CW-widening dodge.
-                    self.flag(Violation::AttemptMismatch {
+                    anomalies.push(Violation::AttemptMismatch {
                         previous: prev.attempt,
                         seen: fields.attempt,
                         at: end,
@@ -583,7 +642,11 @@ impl Monitor {
             .prs
             .backoff(logical, fields.attempt.max(1), timing.cw_min, timing.cw_max);
 
-        // 2. Close the current back-off window and extract a sample.
+        // 2. Close the current back-off window and extract a sample. The
+        //    channel-view bookkeeping (ρ filter, window totals) always runs
+        //    — the vantage really observed that idle/busy time — but the
+        //    sample itself is only *committed* for trusted observations.
+        let mut sample: Option<(f64, f64)> = None;
         let closed = match (self.anchor, self.win.as_mut()) {
             (Some(anchor), Some(win)) if start > anchor => {
                 win.advance(start);
@@ -611,7 +674,7 @@ impl Monitor {
                 if self.cfg.blatant_check
                     && total + self.cfg.blatant_tolerance < difs + f64::from(dictated.slots)
                 {
-                    self.flag(Violation::BlatantCountdown {
+                    anomalies.push(Violation::BlatantCountdown {
                         dictated: dictated.slots,
                         observed_slots: total,
                         at: end,
@@ -638,31 +701,64 @@ impl Monitor {
                 if y > f64::from(timing.cw_max) * self.cfg.discard_factor {
                     self.discarded += 1;
                 } else {
-                    self.tracer.emit(
-                        end.as_nanos(),
-                        Some(self.cfg.tagged),
-                        EventKind::MonitorSample { dictated: x, estimated: y },
-                    );
-                    self.metrics.bump(self.cfg.tagged, Counter::MonitorSamples);
-                    self.pending.push((x, y));
-                    self.all_samples.push((x, y));
-                    if self.cfg.auto_test && self.pending.len() >= self.cfg.sample_size {
-                        self.run_test();
-                    }
+                    sample = Some((x, y));
                 }
             }
         }
 
+        // Commit step — the confirmation gate. A clean observation resets
+        // the streak; an anomalous one extends it and convicts only once
+        // the streak reaches `confirm_anomalies` (1 by default, so every
+        // anomaly convicts immediately and the order of journal events is
+        // exactly the pre-gate order).
+        let trusted = if anomalies.is_empty() {
+            self.anomaly_streak = 0;
+            true
+        } else {
+            self.anomaly_streak += 1;
+            self.anomaly_streak >= self.cfg.confirm_anomalies
+        };
+        if trusted {
+            for v in anomalies {
+                self.flag(v);
+            }
+            if let Some((x, y)) = sample {
+                self.tracer.emit(
+                    end.as_nanos(),
+                    Some(self.cfg.tagged),
+                    EventKind::MonitorSample { dictated: x, estimated: y },
+                );
+                self.metrics.bump(self.cfg.tagged, Counter::MonitorSamples);
+                self.pending.push((x, y));
+                self.all_samples.push((x, y));
+                if self.cfg.auto_test && self.pending.len() >= self.cfg.sample_size {
+                    self.run_test();
+                }
+            }
+        } else {
+            // Below the threshold: journal the anomalies as uncertain,
+            // withhold the (equally suspect) sample, and keep the previous
+            // verified sequence record as the comparison point — a
+            // bit-flipped offset must not poison the next check.
+            for v in anomalies {
+                self.note_uncertain(v);
+            }
+        }
+
         // 3. Provisionally anchor the next window at this attempt's CTS
-        //    timeout (corrected later if we see the DATA go through).
+        //    timeout (corrected later if we see the DATA go through). The
+        //    transmission physically happened even when its fields were
+        //    untrusted, so the timing anchor always moves.
         self.open_window(end + timing.cts_timeout());
         self.rts_pending = true;
-        self.last_rts = Some(RtsRecord {
-            logical,
-            attempt: fields.attempt,
-            md: fields.md,
-            at: end,
-        });
+        if trusted {
+            self.last_rts = Some(RtsRecord {
+                logical,
+                attempt: fields.attempt,
+                md: fields.md,
+                at: end,
+            });
+        }
     }
 
     /// Tracks the basic-access evasion check: every unicast DATA frame must
@@ -775,12 +871,48 @@ impl NetObserver for Monitor {
         if at != self.cfg.vantage {
             return;
         }
+        // Observation-boundary fault injection: consult the injector before
+        // any estimator sees the frame. A dropped frame never reached this
+        // monitor — the density estimator must not count it either.
+        let mut corruption = None;
+        if let Some(inj) = self.faults.as_mut() {
+            let is_tagged_rts = frame.src == self.cfg.tagged && frame.is_rts();
+            match inj.frame_fate(start.as_nanos(), is_tagged_rts) {
+                FrameFate::Deliver => {}
+                FrameFate::Drop(cause) => {
+                    self.tracer.emit(
+                        end.as_nanos(),
+                        Some(self.cfg.vantage),
+                        EventKind::FaultDrop { cause },
+                    );
+                    self.metrics.bump(self.cfg.vantage, Counter::FaultDrops);
+                    return;
+                }
+                FrameFate::Corrupt(spec) => {
+                    self.tracer.emit(
+                        end.as_nanos(),
+                        Some(self.cfg.vantage),
+                        EventKind::FaultCorrupt { bits: spec.bits_flipped() },
+                    );
+                    self.metrics.bump(self.cfg.vantage, Counter::FaultCorruptions);
+                    corruption = Some(spec);
+                }
+            }
+        }
         self.density.on_success();
         if frame.src != self.cfg.tagged {
             return;
         }
         match &frame.kind {
-            FrameKind::Rts(fields) => self.on_tagged_rts(fields, start, end),
+            FrameKind::Rts(fields) => {
+                let fields = match corruption {
+                    Some(c) => {
+                        fields.with_bit_flips(c.seq_xor, c.attempt_xor, c.md_index, c.md_mask)
+                    }
+                    None => *fields,
+                };
+                self.on_tagged_rts(&fields, start, end)
+            }
             FrameKind::Data { .. } if frame.dst != Dest::Broadcast => {
                 // The exchange went through: the tagged node's next back-off
                 // begins after the closing SIFS + ACK. Re-anchor (discarding
@@ -1198,5 +1330,150 @@ mod evasion_tests {
             m.on_frame_decoded(&med, R, &data_frame(i), t0, t0 + SimDuration::from_micros(2464));
         }
         assert!(m.violations().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use mg_fault::FaultPlan;
+    use mg_dcf::MacTiming;
+    use mg_geom::Vec2;
+    use mg_phy::{PropagationModel, RadioParams};
+
+    const S: NodeId = 0;
+    const R: NodeId = 1;
+
+    fn medium() -> Medium {
+        let prop = PropagationModel::free_space();
+        Medium::new(
+            prop,
+            RadioParams::paper_default(&prop),
+            vec![Vec2::new(0.0, 0.0), Vec2::new(240.0, 0.0)],
+        )
+    }
+
+    fn rts_frame(seq: u64, pkt: u64) -> Frame {
+        Frame {
+            src: S,
+            dst: Dest::Unicast(R),
+            duration: MacTiming::paper_default().rts_duration(512),
+            kind: FrameKind::Rts(mg_dcf::RtsFields {
+                seq_off_wire: VerifiableSequence::wire_offset(seq),
+                attempt: 1,
+                md: mg_dcf::sdu_digest(S, pkt),
+            }),
+        }
+    }
+
+    fn feed_rts(m: &mut Monitor, med: &Medium, seq: u64, pkt: u64, t: SimTime) {
+        let air = MacTiming::paper_default();
+        m.on_frame_decoded(med, R, &rts_frame(seq, pkt), t, t + air.rts_airtime());
+    }
+
+    fn hardened() -> MonitorConfig {
+        let mut c = MonitorConfig::grid_paper(S, R, 240.0);
+        c.confirm_anomalies = 2;
+        c
+    }
+
+    #[test]
+    fn isolated_anomaly_is_uncertain_under_confirmation() {
+        // One bit-flipped sequence offset in an otherwise clean stream: the
+        // hardened monitor records uncertainty, convicts nobody, and keeps
+        // checking against the last *verified* offset.
+        let mut m = Monitor::new(hardened());
+        let med = medium();
+        feed_rts(&mut m, &med, 10, 0, SimTime::from_millis(100));
+        // A corrupted observation: the wire offset appears to have gone
+        // backwards, which 20 ms cannot explain as a 13-bit wrap.
+        feed_rts(&mut m, &med, 5, 1, SimTime::from_millis(120));
+        // The stream recovers; compared against the trusted offset 10, not
+        // against the corrupted 5.
+        feed_rts(&mut m, &med, 11, 2, SimTime::from_millis(140));
+        feed_rts(&mut m, &med, 12, 3, SimTime::from_millis(160));
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+        let d = m.diagnosis();
+        assert_eq!(d.uncertain, 1, "{d:?}");
+        assert!(!d.is_flagged());
+    }
+
+    #[test]
+    fn repeated_anomalies_still_convict_under_confirmation() {
+        // A genuine cheater repeats its violation; two consecutive
+        // anomalous observations clear the confirmation gate.
+        let mut m = Monitor::new(hardened());
+        let med = medium();
+        feed_rts(&mut m, &med, 5, 0, SimTime::from_millis(100));
+        feed_rts(&mut m, &med, 5, 1, SimTime::from_millis(120)); // reuse, uncertain
+        feed_rts(&mut m, &med, 5, 2, SimTime::from_millis(140)); // reuse, convicted
+        assert!(
+            m.violations()
+                .iter()
+                .any(|v| matches!(v, Violation::SequenceReuse { .. })),
+            "{:?}",
+            m.violations()
+        );
+        assert_eq!(m.diagnosis().uncertain, 1);
+    }
+
+    #[test]
+    fn default_config_convicts_on_first_anomaly() {
+        // confirm_anomalies = 1 (the default) preserves the paper's
+        // immediate-conviction behavior bit for bit.
+        let mut m = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
+        let med = medium();
+        feed_rts(&mut m, &med, 5, 0, SimTime::from_millis(100));
+        feed_rts(&mut m, &med, 5, 1, SimTime::from_millis(120));
+        assert_eq!(m.violations().len(), 1);
+        assert_eq!(m.diagnosis().uncertain, 0);
+    }
+
+    #[test]
+    fn total_loss_blinds_the_monitor_without_accusations() {
+        // loss=1 eats every frame at the observation boundary: the monitor
+        // collects nothing and, crucially, accuses nobody.
+        let plan = FaultPlan::parse("seed=1,loss=1").unwrap();
+        let mut m = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
+        m.set_faults(plan.observer(R as u64));
+        let med = medium();
+        for i in 0..20u64 {
+            feed_rts(&mut m, &med, i, i, SimTime::from_millis(20 * (i + 1)));
+        }
+        assert!(m.samples().is_empty());
+        assert!(m.violations().is_empty());
+        assert_eq!(m.diagnosis().uncertain, 0);
+    }
+
+    #[test]
+    fn corrupting_injector_yields_uncertainty_not_convictions() {
+        // A compliant stream seen through a corrupting injector: flipped
+        // commitment bits may look anomalous, but the hardened monitor
+        // must never turn an isolated glitch into a conviction.
+        let plan = FaultPlan::parse("seed=3,corrupt=0.2").unwrap();
+        let mut m = Monitor::new(hardened());
+        m.set_faults(plan.observer(R as u64));
+        let med = medium();
+        for i in 0..60u64 {
+            feed_rts(&mut m, &med, i, i, SimTime::from_millis(20 * (i + 1)));
+        }
+        let d = m.diagnosis();
+        assert!(m.violations().is_empty(), "{:?}", m.violations());
+        assert!(d.uncertain > 0, "expected some uncertainty, got {d:?}");
+    }
+
+    #[test]
+    fn injector_fates_are_deterministic_per_vantage() {
+        let plan = FaultPlan::parse("seed=9,heavy").unwrap();
+        let run = || {
+            let mut m = Monitor::new(hardened());
+            m.set_faults(plan.observer(R as u64));
+            let med = medium();
+            for i in 0..40u64 {
+                feed_rts(&mut m, &med, i, i, SimTime::from_millis(20 * (i + 1)));
+            }
+            (m.samples().to_vec(), m.diagnosis().uncertain)
+        };
+        assert_eq!(run(), run());
     }
 }

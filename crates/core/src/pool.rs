@@ -10,6 +10,7 @@
 use crate::monitor::{Diagnosis, Judge, Monitor, MonitorConfig, Violation};
 use crate::NodeId;
 use mg_dcf::Frame;
+use mg_fault::FaultPlan;
 use mg_net::NetObserver;
 use mg_phy::Medium;
 use mg_sim::SimTime;
@@ -100,6 +101,22 @@ impl MonitorPool {
         self.tagged
     }
 
+    /// Arms every member monitor with its own deterministic observation
+    /// fault injector derived from `plan` (keyed by the member's vantage id,
+    /// so fates are identical across solo and fanned-out runs). When the
+    /// plan carries observation faults, each member is also
+    /// [hardened](Monitor::harden) to require two consecutive anomalous
+    /// observations before a deterministic conviction.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let harden = plan.has_observation_faults();
+        for (&v, m) in self.monitors.iter_mut() {
+            m.set_faults(plan.observer(v as u64));
+            if harden {
+                m.harden(2);
+            }
+        }
+    }
+
     /// The candidate vantages (arbitrary order).
     pub fn vantages(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.monitors.keys().copied()
@@ -148,6 +165,11 @@ impl MonitorPool {
                 .and_then(|v| self.monitors.get(&v))
                 .map(|m| m.diagnosis().measured_rho)
                 .unwrap_or(0.0),
+            uncertain: self
+                .monitors
+                .values()
+                .map(|m| m.diagnosis().uncertain)
+                .sum(),
         }
     }
 

@@ -32,6 +32,7 @@ use crate::monitor::{Diagnosis, MonitorConfig, Violation};
 use crate::pool::MonitorPool;
 use crate::NodeId;
 use mg_dcf::Frame;
+use mg_fault::FaultPlan;
 use mg_net::{NetObserver, Scenario, SourceCfg, World};
 use mg_phy::Medium;
 use mg_sim::SimTime;
@@ -313,6 +314,7 @@ pub struct ScenarioBuilder<P: NetObserver = ()> {
     sources: Vec<SourceCfg>,
     trace: Option<TraceConfig>,
     metrics: bool,
+    fault: Option<FaultPlan>,
     probe: P,
 }
 
@@ -326,6 +328,7 @@ impl ScenarioBuilder {
             sources: Vec::new(),
             trace: None,
             metrics: false,
+            fault: None,
             probe: (),
         }
     }
@@ -399,8 +402,24 @@ impl<P: NetObserver> ScenarioBuilder<P> {
             sources: self.sources,
             trace: self.trace,
             metrics: self.metrics,
+            fault: self.fault,
             probe,
         }
+    }
+
+    /// Injects `plan` at every registered monitor's observation boundary.
+    ///
+    /// The simulated world runs unchanged — nodes transmit, collide and
+    /// back off exactly as without the plan — but each monitor perceives it
+    /// through its own deterministic injector ([`FaultPlan::observer`],
+    /// keyed by vantage id): frames lost, deafness windows, tagged-RTS
+    /// commitment bits flipped. Plans with observation faults also harden
+    /// every monitor to require two consecutive anomalous observations
+    /// before a deterministic conviction (see
+    /// [`MonitorConfig::confirm_anomalies`]). A no-op plan changes nothing.
+    /// Replaces any previously set plan.
+    pub fn fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
     }
 
     /// Journals the whole stack (scheduler → PHY → MAC → net → monitors)
@@ -431,6 +450,9 @@ impl<P: NetObserver> ScenarioBuilder<P> {
         let mut monitors = Monitors { pools: self.pools };
         for p in &mut monitors.pools {
             p.set_instrumentation(tracer.clone(), metrics.clone());
+            if let Some(plan) = &self.fault {
+                p.apply_fault_plan(plan);
+            }
         }
         let assembly = Assembly {
             monitors,
@@ -541,6 +563,39 @@ mod tests {
         assert!(ta > 0);
         assert_eq!(ja, jb);
         assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn faulted_builds_are_byte_deterministic_and_leave_the_world_alone() {
+        use crate::FaultPlan;
+        let run = |plan: Option<FaultPlan>| {
+            let scenario = paper_scenario(7, 2);
+            let (s, r) = scenario.tagged_pair();
+            let mut b = ScenarioBuilder::new(scenario);
+            b.attacker(s);
+            b.monitor(MonitorConfig::grid_paper(s, r, 240.0));
+            b.source(SourceCfg::saturated(s, r));
+            b.trace(TraceConfig::verbose());
+            if let Some(p) = plan {
+                b.fault(p);
+            }
+            let mut world = b.build();
+            world.run_until(SimTime::from_secs(2));
+            (world.tracer().to_jsonl(), world.mac_delivered, world.events_fired())
+        };
+        let plan = FaultPlan::parse("seed=5,light").unwrap();
+        let (ja, da, ea) = run(Some(plan.clone()));
+        let (jb, db, eb) = run(Some(plan));
+        assert_eq!(ja, jb, "equal fault seeds must journal identically");
+        assert!(
+            ja.contains("\"sub\":\"fault\""),
+            "a light plan must visibly inject at least one fault"
+        );
+        // Faults live at the observation boundary: the simulated world
+        // (deliveries, event count) is identical to the fault-free run.
+        let (_, dc, ec) = run(None);
+        assert_eq!((da, ea), (dc, ec));
+        assert_eq!((db, eb), (dc, ec));
     }
 
     #[test]

@@ -58,6 +58,30 @@ pub struct RtsFields {
     pub md: [u8; 16],
 }
 
+impl RtsFields {
+    /// These fields as a receiver would decode them after on-air bit
+    /// corruption: XOR masks applied to each wire field, confined to the
+    /// widths that actually exist on the wire (13 sequence bits, 3 attempt
+    /// bits, one commitment byte). Keeps fault injectors ignorant of the
+    /// frame layout — they hand over raw masks, this type owns the wire
+    /// format.
+    pub fn with_bit_flips(
+        self,
+        seq_xor: u16,
+        attempt_xor: u8,
+        md_index: usize,
+        md_mask: u8,
+    ) -> RtsFields {
+        let mut md = self.md;
+        md[md_index % md.len()] ^= md_mask;
+        RtsFields {
+            seq_off_wire: self.seq_off_wire ^ (seq_xor & 0x1FFF),
+            attempt: self.attempt ^ (attempt_xor & 0x7),
+            md,
+        }
+    }
+}
+
 /// Frame type and type-specific payload.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum FrameKind {
@@ -120,6 +144,21 @@ mod tests {
         assert!(Dest::Unicast(3).is_for(3));
         assert!(!Dest::Unicast(3).is_for(4));
         assert!(Dest::Broadcast.is_for(17));
+    }
+
+    #[test]
+    fn bit_flips_stay_inside_wire_widths_and_invert() {
+        let f = RtsFields { seq_off_wire: 0x1ABC, attempt: 5, md: sdu_digest(1, 42) };
+        // Masks wider than the wire fields are clipped to 13 / 3 bits.
+        let g = f.with_bit_flips(0xFFFF, 0xFF, 3, 0x80);
+        assert_eq!(g.seq_off_wire, f.seq_off_wire ^ 0x1FFF);
+        assert_eq!(g.attempt, f.attempt ^ 0x7);
+        assert_eq!(g.md[3], f.md[3] ^ 0x80);
+        // XOR corruption is an involution.
+        assert_eq!(g.with_bit_flips(0xFFFF, 0xFF, 3, 0x80), f);
+        // Out-of-range commitment index wraps instead of panicking.
+        let h = f.with_bit_flips(0, 0, 16, 0x01);
+        assert_eq!(h.md[0], f.md[0] ^ 0x01);
     }
 
     #[test]

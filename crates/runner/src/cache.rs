@@ -35,6 +35,25 @@ impl CacheMode {
     }
 }
 
+/// What a classified cache read found.
+///
+/// The distinction [`Runner`](crate::Runner) cares about: a [`Miss`] is the
+/// normal cold path, while [`Corrupt`] means a file *exists* but cannot be
+/// trusted — truncated JSON, an unreadable file, a stale format — and the
+/// sweep should warn and recompute instead of aborting.
+///
+/// [`Miss`]: CacheLookup::Miss
+/// [`Corrupt`]: CacheLookup::Corrupt
+#[derive(Clone, Debug, PartialEq)]
+pub enum CacheLookup {
+    /// A verified entry; the payload decodes from here.
+    Hit(Json),
+    /// No entry (or reads disabled, or a benign hash collision).
+    Miss,
+    /// An entry exists but is unusable; the string says why.
+    Corrupt(String),
+}
+
 /// A directory of content-keyed result files.
 ///
 /// Layout: one `<fnv64(key) as hex>.json` file per task, each holding
@@ -76,20 +95,55 @@ impl Cache {
     }
 
     /// Loads the value cached under `key`, if the mode allows reads and a
-    /// verified entry exists.
+    /// verified entry exists. Corrupt entries read as misses; use
+    /// [`Cache::lookup`] to tell the two apart.
     pub fn load(&self, key: &CacheKey) -> Option<Json> {
+        match self.lookup(key) {
+            CacheLookup::Hit(v) => Some(v),
+            CacheLookup::Miss | CacheLookup::Corrupt(_) => None,
+        }
+    }
+
+    /// Classified read: distinguishes a verified hit, a genuine miss, and a
+    /// corrupt entry (present but truncated/unreadable/stale-format).
+    ///
+    /// A key-text mismatch under a colliding hash is a [`CacheLookup::Miss`]
+    /// — the file is healthy, it just belongs to a different task.
+    pub fn lookup(&self, key: &CacheKey) -> CacheLookup {
         if self.mode != CacheMode::ReadWrite {
-            return None;
+            return CacheLookup::Miss;
         }
-        let text = std::fs::read_to_string(self.dir.join(key.file_name())).ok()?;
-        let doc = Json::parse(&text).ok()?;
-        if doc.get("v")?.as_u64()? != FORMAT {
-            return None;
+        let path = self.dir.join(key.file_name());
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CacheLookup::Miss,
+            Err(e) => return CacheLookup::Corrupt(format!("unreadable: {e}")),
+        };
+        let doc = match Json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => return CacheLookup::Corrupt(format!("unparseable: {e}")),
+        };
+        match doc.get("v").and_then(Json::as_u64) {
+            Some(v) if v == FORMAT => {}
+            Some(v) => return CacheLookup::Corrupt(format!("stale format version {v}")),
+            None => return CacheLookup::Corrupt("missing format version".to_string()),
         }
-        if doc.get("key")?.as_str()? != key.text() {
-            return None; // hash collision or stale format — treat as a miss
+        match (doc.get("key").and_then(Json::as_str), doc.get("value")) {
+            (Some(k), Some(v)) if k == key.text() => CacheLookup::Hit(v.clone()),
+            (Some(_), Some(_)) => CacheLookup::Miss, // hash collision — healthy file, other task
+            _ => CacheLookup::Corrupt("missing key/value fields".to_string()),
         }
-        doc.get("value").cloned()
+    }
+
+    /// Fault-injection helper: truncates the entry stored under `key` to
+    /// half its bytes, leaving exactly the torn-file shape
+    /// [`Cache::lookup`] must degrade gracefully on. No-op when the entry
+    /// does not exist.
+    pub fn truncate_entry(&self, key: &CacheKey) {
+        let path = self.dir.join(key.file_name());
+        if let Ok(bytes) = std::fs::read(&path) {
+            let _ = std::fs::write(&path, &bytes[..bytes.len() / 2]);
+        }
     }
 
     /// Stores `value` under `key` (no-op when the mode is `Off`).
@@ -172,6 +226,43 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join(k.file_name()), "{not json").unwrap();
         assert_eq!(c.load(&k), None);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn lookup_classifies_hit_miss_and_corrupt() {
+        let dir = tmp_dir("classify");
+        let c = Cache::new(dir.clone(), CacheMode::ReadWrite);
+        let k = CacheKey::new("t", 1).field("seed", 3u64);
+        assert_eq!(c.lookup(&k), CacheLookup::Miss, "absent file is a plain miss");
+
+        c.store(&k, &Json::from(42u64));
+        assert_eq!(c.lookup(&k), CacheLookup::Hit(Json::from(42u64)));
+
+        c.truncate_entry(&k);
+        match c.lookup(&k) {
+            CacheLookup::Corrupt(reason) => assert!(reason.contains("unparseable"), "{reason}"),
+            other => panic!("truncated entry must classify as corrupt, got {other:?}"),
+        }
+        assert_eq!(c.load(&k), None, "load degrades corrupt to a miss");
+
+        // A stale format version is corrupt, not silently wrong.
+        let stale = Json::obj([
+            ("v", Json::from(999u64)),
+            ("key", Json::Str(k.text().to_string())),
+            ("value", Json::from(1u64)),
+        ]);
+        std::fs::write(dir.join(k.file_name()), stale.render()).unwrap();
+        assert!(matches!(c.lookup(&k), CacheLookup::Corrupt(_)));
+
+        // A key-text mismatch (hash collision shape) stays a healthy miss.
+        let forged = Json::obj([
+            ("v", Json::from(FORMAT)),
+            ("key", Json::Str("experiment=other;schema=1".into())),
+            ("value", Json::from(2u64)),
+        ]);
+        std::fs::write(dir.join(k.file_name()), forged.render()).unwrap();
+        assert_eq!(c.lookup(&k), CacheLookup::Miss);
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -20,10 +20,12 @@ pub enum Subsystem {
     Net,
     /// The back-off violation monitor (`mg-detect`).
     Monitor,
+    /// Deterministic fault injection (`mg-fault`).
+    Fault,
 }
 
 /// Number of subsystems (size of the per-subsystem level table).
-pub const SUBSYSTEM_COUNT: usize = 5;
+pub const SUBSYSTEM_COUNT: usize = 6;
 
 impl Subsystem {
     /// Table index for per-subsystem level filtering.
@@ -39,6 +41,7 @@ impl Subsystem {
             Subsystem::Mac => "mac",
             Subsystem::Net => "net",
             Subsystem::Monitor => "monitor",
+            Subsystem::Fault => "fault",
         }
     }
 }
@@ -150,6 +153,22 @@ pub enum EventKind {
         /// Stable violation-kind tag (e.g. `"blatant_countdown"`).
         kind: &'static str,
     },
+    /// The monitor classified an anomalous observation as uncertain and
+    /// withheld a deterministic verdict (statistical path still runs).
+    MonitorUncertain {
+        /// The deterministic check the observation would have tripped.
+        kind: &'static str,
+    },
+    /// Fault injection ate a frame the monitor would have decoded.
+    FaultDrop {
+        /// Which fault ate it (e.g. `"loss"`, `"burst-loss"`, `"deaf"`).
+        cause: &'static str,
+    },
+    /// Fault injection flipped commitment bits in an observed tagged RTS.
+    FaultCorrupt {
+        /// Number of bits flipped.
+        bits: u32,
+    },
 }
 
 impl EventKind {
@@ -166,7 +185,9 @@ impl EventKind {
             EventKind::Enqueue { .. } | EventKind::PacketDone { .. } => Subsystem::Net,
             EventKind::MonitorSample { .. }
             | EventKind::MonitorTest { .. }
-            | EventKind::MonitorViolation { .. } => Subsystem::Monitor,
+            | EventKind::MonitorViolation { .. }
+            | EventKind::MonitorUncertain { .. } => Subsystem::Monitor,
+            EventKind::FaultDrop { .. } | EventKind::FaultCorrupt { .. } => Subsystem::Fault,
         }
     }
 
@@ -193,6 +214,9 @@ impl EventKind {
             EventKind::MonitorSample { .. } => "sample",
             EventKind::MonitorTest { .. } => "test",
             EventKind::MonitorViolation { .. } => "violation",
+            EventKind::MonitorUncertain { .. } => "uncertain",
+            EventKind::FaultDrop { .. } => "drop",
+            EventKind::FaultCorrupt { .. } => "corrupt",
         }
     }
 }
@@ -260,6 +284,15 @@ impl Event {
             EventKind::MonitorViolation { kind } => {
                 fields.push(("violation".into(), Json::from(kind)));
             }
+            EventKind::MonitorUncertain { kind } => {
+                fields.push(("check".into(), Json::from(kind)));
+            }
+            EventKind::FaultDrop { cause } => {
+                fields.push(("cause".into(), Json::from(cause)));
+            }
+            EventKind::FaultCorrupt { bits } => {
+                fields.push(("bits".into(), Json::from(bits as u64)));
+            }
         }
         Json::Obj(fields)
     }
@@ -282,6 +315,18 @@ mod tests {
         let e = EventKind::MonitorViolation { kind: "blatant_countdown" };
         assert_eq!(e.subsystem(), Subsystem::Monitor);
         assert_eq!(e.level(), Level::Info);
+
+        let e = EventKind::MonitorUncertain { kind: "attempt_mismatch" };
+        assert_eq!(e.subsystem(), Subsystem::Monitor);
+        assert_eq!(e.level(), Level::Info);
+
+        let e = EventKind::FaultDrop { cause: "deaf" };
+        assert_eq!(e.subsystem(), Subsystem::Fault);
+        assert_eq!(e.level(), Level::Info);
+
+        let e = EventKind::FaultCorrupt { bits: 3 };
+        assert_eq!(e.subsystem(), Subsystem::Fault);
+        assert_eq!(Subsystem::Fault.tag(), "fault");
     }
 
     #[test]
@@ -304,6 +349,16 @@ mod tests {
         assert_eq!(
             ev.to_json().render(),
             "{\"t\":0,\"sub\":\"monitor\",\"kind\":\"test\",\"p\":0.25,\"reject\":false}"
+        );
+
+        let ev = Event {
+            t_ns: 9,
+            node: Some(4),
+            kind: EventKind::FaultDrop { cause: "rts-drop" },
+        };
+        assert_eq!(
+            ev.to_json().render(),
+            "{\"t\":9,\"node\":4,\"sub\":\"fault\",\"kind\":\"drop\",\"cause\":\"rts-drop\"}"
         );
     }
 

@@ -62,6 +62,8 @@ pub struct TraceConfig {
     pub net: Level,
     /// Level for monitor sample/test/violation records.
     pub monitor: Level,
+    /// Level for fault-injection drop/corrupt records.
+    pub fault: Level,
 }
 
 impl Default for TraceConfig {
@@ -75,6 +77,7 @@ impl Default for TraceConfig {
             mac: Level::Info,
             net: Level::Info,
             monitor: Level::Info,
+            fault: Level::Info,
         }
     }
 }
@@ -89,11 +92,12 @@ impl TraceConfig {
             mac: Level::Debug,
             net: Level::Debug,
             monitor: Level::Debug,
+            fault: Level::Debug,
         }
     }
 
     fn levels(&self) -> [Level; SUBSYSTEM_COUNT] {
-        [self.sched, self.phy, self.mac, self.net, self.monitor]
+        [self.sched, self.phy, self.mac, self.net, self.monitor, self.fault]
     }
 }
 

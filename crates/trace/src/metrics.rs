@@ -38,10 +38,20 @@ pub enum Counter {
     CacheHits,
     /// Sweep-engine result-cache misses (trials actually simulated).
     CacheMisses,
+    /// Cache entries found corrupt/truncated and degraded to misses.
+    CacheCorrupt,
+    /// Sweep grid cells poisoned by a panic or watchdog timeout.
+    TrialErrors,
+    /// Frames eaten by injected observation faults.
+    FaultDrops,
+    /// Tagged RTS frames bit-flipped by injected faults.
+    FaultCorruptions,
+    /// Anomalous observations the monitor withheld a verdict on.
+    MonitorUncertain,
 }
 
 /// Number of counter kinds (size of a counter row).
-pub const COUNTER_COUNT: usize = 12;
+pub const COUNTER_COUNT: usize = 17;
 
 impl Counter {
     /// Row index of this counter.
@@ -63,6 +73,11 @@ impl Counter {
         Counter::MonitorViolations,
         Counter::CacheHits,
         Counter::CacheMisses,
+        Counter::CacheCorrupt,
+        Counter::TrialErrors,
+        Counter::FaultDrops,
+        Counter::FaultCorruptions,
+        Counter::MonitorUncertain,
     ];
 
     /// Stable snake_case name used in JSON output.
@@ -80,6 +95,11 @@ impl Counter {
             Counter::MonitorViolations => "monitor_violations",
             Counter::CacheHits => "cache_hits",
             Counter::CacheMisses => "cache_misses",
+            Counter::CacheCorrupt => "cache_corrupt",
+            Counter::TrialErrors => "trial_errors",
+            Counter::FaultDrops => "fault_drops",
+            Counter::FaultCorruptions => "fault_corruptions",
+            Counter::MonitorUncertain => "monitor_uncertain",
         }
     }
 }

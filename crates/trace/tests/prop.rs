@@ -24,7 +24,7 @@ fn arb_kind(g: &mut Gen) -> EventKind {
         2 => FrameLabel::Data,
         _ => FrameLabel::Ack,
     };
-    match g.u8_in(0..12) {
+    match g.u8_in(0..15) {
         0 => EventKind::SchedDispatch { seq: g.u64_in(0..1_000) },
         1 => EventKind::ChannelEdge { busy: g.bool() },
         2 => EventKind::TxStart {
@@ -39,7 +39,10 @@ fn arb_kind(g: &mut Gen) -> EventKind {
         8 => EventKind::PacketDone { sdu: g.u64_in(0..1_000), delivered: g.bool() },
         9 => EventKind::MonitorSample { dictated: g.f64_in(0.0..32.0), estimated: g.f64_in(0.0..64.0) },
         10 => EventKind::MonitorTest { p: g.f64_in(0.0..1.0), reject: g.bool() },
-        _ => EventKind::MonitorViolation { kind: "oversized_window" },
+        11 => EventKind::MonitorViolation { kind: "oversized_window" },
+        12 => EventKind::MonitorUncertain { kind: "attempt_mismatch" },
+        13 => EventKind::FaultDrop { cause: "loss" },
+        _ => EventKind::FaultCorrupt { bits: g.u64_in(1..16) as u32 },
     }
 }
 
@@ -102,6 +105,7 @@ fn level_filtering_is_exact() {
             mac: arb_level(g),
             net: arb_level(g),
             monitor: arb_level(g),
+            fault: arb_level(g),
         };
         let threshold = |s: Subsystem| match s {
             Subsystem::Sched => cfg.sched,
@@ -109,6 +113,7 @@ fn level_filtering_is_exact() {
             Subsystem::Mac => cfg.mac,
             Subsystem::Net => cfg.net,
             Subsystem::Monitor => cfg.monitor,
+            Subsystem::Fault => cfg.fault,
         };
         let tracer = Tracer::new(cfg);
         let mut expected: Vec<(u64, &'static str)> = Vec::new();

@@ -27,4 +27,5 @@ run ablation_alpha
 run ext_shadowing
 run ext_pause
 run ext_fairness
+run ext_faults
 echo "ALL EXPERIMENTS COMPLETE"

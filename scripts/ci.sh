@@ -70,6 +70,49 @@ if ! diff -r "$outdir/cold" "$outdir/warm" || ! diff "$outdir/cold.stdout" "$out
 fi
 echo "ok: cached replay reproduces the cold run byte-for-byte"
 
+echo "== chaos gate: fault-seeded sweeps are deterministic =="
+# Two identical fault-seeded mini-sweeps (cold — each against a fresh cache)
+# must produce byte-identical tables: the injector draws only from its own
+# seeded streams, never from wall-clock or thread scheduling.
+run_fig5_faulted() {
+    MG_TRIALS=1 MG_SIM_SECS=2 MG_CACHE_DIR="$outdir/chaos-cache-$1" \
+    MG_FAULT_PROFILE="light,deaf=250:25" MG_FAULT_SEED=7 \
+    MG_CSV_DIR="$outdir/$1" MG_JSON_DIR="$outdir/$1" \
+        cargo run -q --release --offline -p mg-bench --bin fig5 >"$outdir/$1.stdout"
+}
+run_fig5_faulted chaos-a
+run_fig5_faulted chaos-b
+if ! diff -r "$outdir/chaos-a" "$outdir/chaos-b" || ! diff "$outdir/chaos-a.stdout" "$outdir/chaos-b.stdout"; then
+    echo "error: equal fault seeds produced diverging sweep outputs" >&2
+    exit 1
+fi
+# The plan must actually have bitten (faulted ≠ clean output).
+if diff -q "$outdir/cold.stdout" "$outdir/chaos-a.stdout" >/dev/null; then
+    echo "error: the fault plan did not perturb the sweep output" >&2
+    exit 1
+fi
+echo "ok: fault-seeded sweeps replay byte-for-byte and differ from clean runs"
+
+echo "== chaos gate: a forced worker panic poisons only its cell =="
+# Task 0 panics; the sweep must still complete, name the errored cell on
+# stderr and exit nonzero instead of emitting tables.
+set +e
+MG_TRIALS=1 MG_SIM_SECS=2 MG_CACHE="off" MG_FAULT_PROFILE="panic=0" \
+    cargo run -q --release --offline -p mg-bench --bin fig5 \
+    >"$outdir/panic.stdout" 2>"$outdir/panic.stderr"
+panic_status=$?
+set -e
+if [ "$panic_status" -eq 0 ]; then
+    echo "error: a sweep with a panicked cell must exit nonzero" >&2
+    exit 1
+fi
+if ! grep -q "panicked" "$outdir/panic.stderr"; then
+    echo "error: the panicked cell was not reported on stderr" >&2
+    cat "$outdir/panic.stderr" >&2
+    exit 1
+fi
+echo "ok: panicked cell reported, exit code propagated"
+
 echo "== rustdoc: no warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
 

@@ -26,6 +26,7 @@
 //! | [`mac`] | `mg-dcf` | the 802.11 DCF MAC + misbehavior policies |
 //! | [`net`] | `mg-net` | the simulation world, traffic, mobility, AODV-lite |
 //! | [`trace`] | `mg-trace` | structured event journal, per-node metrics, spans |
+//! | [`fault`] | `mg-fault` | deterministic fault injection for chaos testing |
 //! | [`detect`] | `mg-detect` | **the detection framework** (the paper's contribution) |
 //!
 //! ## Quickstart
@@ -90,6 +91,7 @@
 pub use mg_crypto as crypto;
 pub use mg_dcf as mac;
 pub use mg_detect as detect;
+pub use mg_fault as fault;
 pub use mg_geom as geom;
 pub use mg_net as net;
 pub use mg_phy as phy;
@@ -101,8 +103,9 @@ pub use mg_trace as trace;
 pub mod prelude {
     pub use mg_dcf::{BackoffPolicy, Dest, Frame, FrameKind, MacSdu, MacTiming};
     pub use mg_detect::{
-        AnalyticModel, AttackerHandle, Diagnosis, Judge, Monitor, MonitorConfig, MonitorHandle,
-        MonitorPool, Monitors, NodeCounts, ScenarioBuilder, Violation, WorldMonitors, WorldProbe,
+        AnalyticModel, AttackerHandle, Diagnosis, FaultPlan, Judge, Monitor, MonitorConfig,
+        MonitorHandle, MonitorPool, Monitors, NodeCounts, ObsFaults, ScenarioBuilder, Violation,
+        WorldMonitors, WorldProbe,
     };
     pub use mg_geom::{PreclusionRule, RegionModel, Vec2};
     pub use mg_net::{

@@ -16,6 +16,8 @@
 //!   --random          random 112-node topology instead of the grid
 //!   --mobile          add random-waypoint mobility (implies --random)
 //!   --no-blatant      disable the deterministic timing check
+//!   --faults <spec>   inject observation faults at every monitor
+//!                     (e.g. "light", "heavy,seed=7", "loss=0.1,deaf=250:25")
 //!   --trace <file>    write the event journal as JSONL to <file>
 //!   --metrics         print stack-wide counters and histograms
 //! ```
@@ -55,7 +57,7 @@ usage:
   manet-guard demo
   manet-guard detect [--pm N] [--rate PPS] [--secs S] [--seed N]
                      [--samples N[,N..]] [--random] [--mobile] [--no-blatant]
-                     [--trace FILE] [--metrics]
+                     [--faults SPEC] [--trace FILE] [--metrics]
   manet-guard params
 ";
 
@@ -68,6 +70,7 @@ struct DetectOpts {
     random: bool,
     mobile: bool,
     no_blatant: bool,
+    faults: FaultPlan,
     trace: Option<String>,
     metrics: bool,
 }
@@ -84,6 +87,7 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
         random: false,
         mobile: false,
         no_blatant: false,
+        faults: FaultPlan::default(),
         trace: None,
         metrics: false,
     };
@@ -98,6 +102,11 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
             "--random" => o.random = true,
             "--mobile" => o.mobile = true,
             "--no-blatant" => o.no_blatant = true,
+            "--faults" => {
+                let spec = raw_value(&mut it, a)?;
+                o.faults = FaultPlan::parse(&spec)
+                    .map_err(|e| format!("invalid value for --faults: {e}"))?;
+            }
             "--trace" => o.trace = Some(raw_value(&mut it, a)?),
             "--metrics" => o.metrics = true,
             other => return Err(format!("unrecognized argument: {other}")),
@@ -215,6 +224,10 @@ fn detect(o: DetectOpts) {
         })
         .collect();
     builder.source(SourceCfg::saturated(attacker_node, vantage));
+    if !o.faults.is_noop() {
+        println!("faults   : {:?}", o.faults);
+        builder.fault(o.faults.clone());
+    }
     if o.trace.is_some() {
         builder.trace(TraceConfig::verbose());
     }
@@ -253,6 +266,12 @@ fn detect(o: DetectOpts) {
             "samples  : {} collected, {} discarded",
             diag.samples_collected, diag.samples_discarded
         );
+        if diag.uncertain > 0 {
+            println!(
+                "faults   : {} anomalous observation(s) held below the confirmation threshold",
+                diag.uncertain
+            );
+        }
         println!(
             "tests    : {} run, {} rejected H0 (last p = {})",
             diag.tests_run,
