@@ -4,42 +4,42 @@
 //! not very sensitive to α as long as α ≈ 1. This binary checks that claim:
 //! false-alarm and detection rates across α ∈ {0.5, 0.9, 0.99, 0.995, 0.999}.
 //!
+//! Replay-backed: α is a detector knob, not a world knob, so each
+//! `(PM, seed)` world is simulated **once** (its observation stream recorded
+//! to a cached [`mg_detect::ObsJournal`]) and replayed into the five α
+//! configurations — a 5× cut in simulated worlds.
+//!
 //! ```text
 //! cargo run --release -p mg-bench --bin ablation_alpha
 //! ```
 
-use mg_bench::sweep::{outcome_codec, SCHEMA};
+use mg_bench::sweep::{journal_codec, journal_key, outcome_codec, SCHEMA};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate, sweep_or_exit, BenchConfig, Load, TrialOutcome};
-use mg_dcf::BackoffPolicy;
-use mg_detect::{MonitorConfig, ScenarioBuilder, WorldMonitors};
-use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+use mg_bench::{
+    aggregate, record_detection_world, sweep_or_exit, BenchConfig, Load, TrialOutcome,
+};
+use mg_detect::{replay_pool, MonitorConfig, ObsJournal};
+use mg_net::ScenarioConfig;
 use mg_runner::CacheKey;
-use mg_sim::SimTime;
+use std::collections::HashMap;
 
-fn trial(seed: u64, pm: u8, arma_alpha: f64, secs: u64) -> TrialOutcome {
-    let cfg = ScenarioConfig {
+fn world_cfg(seed: u64, secs: u64) -> ScenarioConfig {
+    ScenarioConfig {
         sim_secs: secs,
         rate_pps: Load::Medium.rate_pps(),
         seed,
         ..ScenarioConfig::grid_paper(seed)
-    };
-    let scenario = Scenario::new(cfg);
-    let (s, r) = scenario.tagged_pair();
+    }
+}
+
+fn replay_trial(journal: &ObsJournal, arma_alpha: f64) -> TrialOutcome {
+    let meta = journal.meta();
+    let (s, r) = (meta.tagged, meta.vantages[0]);
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.sample_size = 25;
     mc.arma_alpha = arma_alpha;
     mc.blatant_check = false;
-    let mut b = ScenarioBuilder::new(scenario);
-    let attacker = b.attacker(s);
-    let watch = b.monitor(mc);
-    b.source(SourceCfg::saturated(s, r));
-    let mut world = b.build();
-    if pm > 0 {
-        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
-    }
-    world.run_until(SimTime::from_secs(secs));
-    let pool = world.monitors().pool(watch);
+    let pool = replay_pool(journal, mc);
     let d = pool.diagnosis();
     // The column of interest: the ARMA-smoothed *background* intensity, not
     // the overall busy fraction — it is the α-dependent estimate.
@@ -60,6 +60,24 @@ fn main() {
     let alphas = [0.5, 0.9, 0.99, 0.995, 0.999];
     let pms: [(u8, u64); 3] = [(0, 8000), (50, 8100), (90, 8200)];
 
+    // Sweep 1 — the worlds: one recorded journal per (PM, seed) cell.
+    let mut worlds = Vec::new();
+    for &(pm, base) in &pms {
+        for i in 0..bc.trials {
+            worlds.push((pm, base + i));
+        }
+    }
+    let journals: Vec<ObsJournal> = sweep_or_exit(
+        &runner,
+        &worlds,
+        |&(pm, seed)| journal_key(&world_cfg(seed, bc.sim_secs), pm),
+        journal_codec(),
+        |&(pm, seed)| record_detection_world(seed, world_cfg(seed, bc.sim_secs), pm),
+    );
+    let by_world: HashMap<(u8, u64), &ObsJournal> =
+        worlds.iter().copied().zip(journals.iter()).collect();
+
+    // Sweep 2 — the knob: replay every world into each α, no re-simulation.
     let mut tasks = Vec::new();
     for &alpha in &alphas {
         for &(pm, base) in &pms {
@@ -72,20 +90,14 @@ fn main() {
         &runner,
         &tasks,
         |&(alpha, pm, seed)| {
-            let cfg = ScenarioConfig {
-                sim_secs: bc.sim_secs,
-                rate_pps: Load::Medium.rate_pps(),
-                seed,
-                ..ScenarioConfig::grid_paper(seed)
-            };
             CacheKey::new("ablation-alpha", SCHEMA)
-                .field("cfg", cfg)
+                .field("cfg", world_cfg(seed, bc.sim_secs))
                 .field("pm", pm)
                 .field("alpha", alpha)
                 .field("sample_size", 25usize)
         },
         outcome_codec(),
-        |&(alpha, pm, seed)| trial(seed, pm, alpha, bc.sim_secs),
+        |&(alpha, pm, seed)| replay_trial(by_world[&(pm, seed)], alpha),
     );
 
     let mut t = Table::new(
@@ -113,5 +125,10 @@ fn main() {
     }
     t.emit_with("ablation_alpha", &bc);
     println!("(the paper's claim: performance is flat in alpha for alpha close to 1)");
+    eprintln!(
+        "{} worlds simulated, {} detector configurations replayed",
+        worlds.len(),
+        tasks.len()
+    );
     eprintln!("{}", runner.summary());
 }

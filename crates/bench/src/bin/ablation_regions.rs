@@ -4,46 +4,45 @@
 //! For each [`PreclusionRule`] the table reports the false-alarm rate
 //! (compliant tagged node) and detection rate at PM = 50, at medium load.
 //!
+//! Replay-backed: the region construction is a detector knob, so each
+//! `(PM, seed)` world is simulated **once** (journal cached) and replayed
+//! into the four region variants — a 4× cut in simulated worlds.
+//!
 //! ```text
 //! cargo run --release -p mg-bench --bin ablation_regions
 //! ```
 
-use mg_bench::sweep::{outcome_codec, SCHEMA};
+use mg_bench::sweep::{journal_codec, journal_key, outcome_codec, SCHEMA};
 use mg_bench::table::{p3, Table};
-use mg_bench::{aggregate, sweep_or_exit, BenchConfig, Load, TrialOutcome};
-use mg_dcf::BackoffPolicy;
-use mg_detect::{MonitorConfig, NodeCounts, ScenarioBuilder, WorldMonitors};
+use mg_bench::{
+    aggregate, record_detection_world, sweep_or_exit, BenchConfig, Load, TrialOutcome,
+};
+use mg_detect::{replay_pool, MonitorConfig, NodeCounts, ObsJournal};
 use mg_geom::PreclusionRule;
-use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+use mg_net::ScenarioConfig;
 use mg_runner::CacheKey;
-use mg_sim::SimTime;
+use std::collections::HashMap;
 
 const SS: usize = 25;
 
-fn trial(seed: u64, pm: u8, rule: PreclusionRule, counts: NodeCounts, secs: u64) -> TrialOutcome {
-    let cfg = ScenarioConfig {
+fn world_cfg(seed: u64, secs: u64) -> ScenarioConfig {
+    ScenarioConfig {
         sim_secs: secs,
         rate_pps: Load::Medium.rate_pps(),
         seed,
         ..ScenarioConfig::grid_paper(seed)
-    };
-    let scenario = Scenario::new(cfg);
-    let (s, r) = scenario.tagged_pair();
+    }
+}
+
+fn replay_trial(journal: &ObsJournal, rule: PreclusionRule, counts: NodeCounts) -> TrialOutcome {
+    let meta = journal.meta();
+    let (s, r) = (meta.tagged, meta.vantages[0]);
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.sample_size = SS;
     mc.preclusion = rule;
     mc.counts = counts;
     mc.blatant_check = false;
-    let mut b = ScenarioBuilder::new(scenario);
-    let attacker = b.attacker(s);
-    let watch = b.monitor(mc);
-    b.source(SourceCfg::saturated(s, r));
-    let mut world = b.build();
-    if pm > 0 {
-        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
-    }
-    world.run_until(SimTime::from_secs(secs));
-    let d = world.monitors().diagnosis(watch);
+    let d = replay_pool(journal, mc).diagnosis();
     TrialOutcome {
         tests: d.tests_run as u64,
         rejections: d.rejections as u64,
@@ -77,6 +76,24 @@ fn main() {
     ];
     let pms: [(u8, u64); 3] = [(0, 6000), (50, 6100), (90, 6200)];
 
+    // Sweep 1 — the worlds: one recorded journal per (PM, seed) cell.
+    let mut worlds = Vec::new();
+    for &(pm, base) in &pms {
+        for i in 0..bc.trials {
+            worlds.push((pm, base + i));
+        }
+    }
+    let journals: Vec<ObsJournal> = sweep_or_exit(
+        &runner,
+        &worlds,
+        |&(pm, seed)| journal_key(&world_cfg(seed, bc.sim_secs), pm),
+        journal_codec(),
+        |&(pm, seed)| record_detection_world(seed, world_cfg(seed, bc.sim_secs), pm),
+    );
+    let by_world: HashMap<(u8, u64), &ObsJournal> =
+        worlds.iter().copied().zip(journals.iter()).collect();
+
+    // Sweep 2 — the knob: replay every world into each region variant.
     let mut tasks = Vec::new();
     for (vi, _) in variants.iter().enumerate() {
         for &(pm, base) in &pms {
@@ -90,14 +107,8 @@ fn main() {
         &tasks,
         |&(vi, pm, seed)| {
             let (_, rule, counts) = variants[vi];
-            let cfg = ScenarioConfig {
-                sim_secs: bc.sim_secs,
-                rate_pps: Load::Medium.rate_pps(),
-                seed,
-                ..ScenarioConfig::grid_paper(seed)
-            };
             CacheKey::new("ablation-regions", SCHEMA)
-                .field("cfg", cfg)
+                .field("cfg", world_cfg(seed, bc.sim_secs))
                 .field("pm", pm)
                 .field("rule", rule)
                 .field("counts", counts)
@@ -106,7 +117,7 @@ fn main() {
         outcome_codec(),
         |&(vi, pm, seed)| {
             let (_, rule, counts) = variants[vi];
-            trial(seed, pm, rule, counts, bc.sim_secs)
+            replay_trial(by_world[&(pm, seed)], rule, counts)
         },
     );
 
@@ -133,5 +144,10 @@ fn main() {
     }
     t.emit_with("ablation_regions", &bc);
     println!("(a model mismatched to the physics inflates false alarms; see EXPERIMENTS.md)");
+    eprintln!(
+        "{} worlds simulated, {} detector configurations replayed",
+        worlds.len(),
+        tasks.len()
+    );
     eprintln!("{}", runner.summary());
 }

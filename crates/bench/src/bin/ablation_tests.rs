@@ -4,47 +4,45 @@
 //! samples are not Gaussian. This binary replays the *same* collected
 //! samples through both tests and compares false-alarm and detection rates.
 //!
+//! Replay-backed: each `(PM, seed)` world is simulated **once**, its
+//! observation stream recorded to a cached [`mg_detect::ObsJournal`], and
+//! the raw (dictated, estimated) samples are extracted by replaying the
+//! journal into an `auto_test = false` monitor. The journal is keyed on the
+//! world alone, so this binary shares cache entries with any other sweep
+//! over the same `(cfg, PM)` cells.
+//!
 //! ```text
 //! cargo run --release -p mg-bench --bin ablation_tests
 //! ```
 
-use mg_bench::sweep::SCHEMA;
+use mg_bench::sweep::{journal_codec, journal_key, SCHEMA};
 use mg_bench::table::{p3, Table};
-use mg_bench::{sweep_or_exit, BenchConfig, Load};
-use mg_dcf::BackoffPolicy;
-use mg_detect::{MonitorConfig, ScenarioBuilder, WorldMonitors};
-use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+use mg_bench::{record_detection_world, sweep_or_exit, BenchConfig, Load};
+use mg_detect::{replay_pool, MonitorConfig, ObsJournal};
+use mg_net::ScenarioConfig;
 use mg_runner::{CacheKey, Codec};
-use mg_sim::SimTime;
 use mg_stats::signed_rank::signed_rank_test;
 use mg_stats::ttest::welch_t_test;
 use mg_stats::wilcoxon::{rank_sum_test, Alternative};
 use mg_trace::json::Json;
+use std::collections::HashMap;
 
-/// Collects raw (dictated, estimated) samples from one run.
-fn collect(seed: u64, pm: u8, secs: u64) -> Vec<(f64, f64)> {
-    let cfg = ScenarioConfig {
+fn world_cfg(seed: u64, secs: u64) -> ScenarioConfig {
+    ScenarioConfig {
         sim_secs: secs,
         rate_pps: Load::Medium.rate_pps(),
         seed,
         ..ScenarioConfig::grid_paper(seed)
-    };
-    let scenario = Scenario::new(cfg);
-    let (s, r) = scenario.tagged_pair();
+    }
+}
+
+/// Extracts raw (dictated, estimated) samples by replaying one journal.
+fn collect(journal: &ObsJournal) -> Vec<(f64, f64)> {
+    let meta = journal.meta();
+    let (s, r) = (meta.tagged, meta.vantages[0]);
     let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
     mc.auto_test = false;
-    let mut b = ScenarioBuilder::new(scenario);
-    let attacker = b.attacker(s);
-    let watch = b.monitor(mc);
-    b.source(SourceCfg::saturated(s, r));
-    let mut world = b.build();
-    if pm > 0 {
-        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
-    }
-    world.run_until(SimTime::from_secs(secs));
-    world
-        .monitors()
-        .pool(watch)
+    replay_pool(journal, mc)
         .monitor(r)
         .expect("static vantage is always a member")
         .samples()
@@ -115,29 +113,36 @@ fn main() {
     let ss = 25;
     let pms: [u8; 5] = [0, 25, 50, 75, 90];
 
-    let mut tasks = Vec::new();
+    // Sweep 1 — the worlds: one recorded journal per (PM, seed) cell.
+    let mut worlds = Vec::new();
     for &pm in &pms {
         for i in 0..bc.trials {
-            tasks.push((pm, 7000 + pm as u64 + i));
+            worlds.push((pm, 7000 + pm as u64 + i));
         }
     }
+    let journals: Vec<ObsJournal> = sweep_or_exit(
+        &runner,
+        &worlds,
+        |&(pm, seed)| journal_key(&world_cfg(seed, bc.sim_secs), pm),
+        journal_codec(),
+        |&(pm, seed)| record_detection_world(seed, world_cfg(seed, bc.sim_secs), pm),
+    );
+    let by_world: HashMap<(u8, u64), &ObsJournal> =
+        worlds.iter().copied().zip(journals.iter()).collect();
+
+    // Sweep 2 — sample extraction: replay each journal once.
+    let tasks = worlds.clone();
     let all: Vec<Vec<(f64, f64)>> = sweep_or_exit(
         &runner,
         &tasks,
         |&(pm, seed)| {
-            let cfg = ScenarioConfig {
-                sim_secs: bc.sim_secs,
-                rate_pps: Load::Medium.rate_pps(),
-                seed,
-                ..ScenarioConfig::grid_paper(seed)
-            };
             CacheKey::new("ablation-tests", SCHEMA)
-                .field("cfg", cfg)
+                .field("cfg", world_cfg(seed, bc.sim_secs))
                 .field("pm", pm)
                 .field("collector", "raw-samples")
         },
         samples_codec(),
-        |&(pm, seed)| collect(seed, pm, bc.sim_secs),
+        |&(pm, seed)| collect(by_world[&(pm, seed)]),
     );
 
     let mut t = Table::new(
@@ -181,6 +186,11 @@ fn main() {
     t.emit_with("ablation_tests", &bc);
     println!(
         "(PM=0 row is the false-alarm rate; the paper prefers the rank-sum for its          distribution-freeness; the paired signed-rank is this repository's extension)"
+    );
+    eprintln!(
+        "{} worlds simulated, {} sample streams replayed",
+        worlds.len(),
+        tasks.len()
     );
     eprintln!("{}", runner.summary());
 }

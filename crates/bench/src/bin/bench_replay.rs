@@ -1,0 +1,158 @@
+//! Micro-benchmark: re-simulate vs. record-once/replay for the
+//! `ablation_alpha` workload.
+//!
+//! Runs the same `(α × PM × seed)` grid twice — once the pre-replay way
+//! (one full monitored simulation per cell) and once the replay-backed way
+//! (one recorded world per `(PM, seed)`, replayed into every α) — asserts
+//! the outcomes are identical, and writes the wall-clock comparison to
+//! `BENCH_replay.json` (override the path with `MG_BENCH_OUT`). The cache
+//! is bypassed so both paths are measured end to end.
+//!
+//! ```text
+//! MG_TRIALS=2 MG_SIM_SECS=20 cargo run --release -p mg-bench --bin bench_replay
+//! ```
+
+use mg_bench::{record_detection_world, BenchConfig, Load, TrialOutcome};
+use mg_dcf::BackoffPolicy;
+use mg_detect::{replay_pool, MonitorConfig, ObsJournal, ScenarioBuilder, WorldMonitors};
+use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+use mg_sim::SimTime;
+use mg_trace::json::Json;
+use std::time::Instant;
+
+fn world_cfg(seed: u64, secs: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        sim_secs: secs,
+        rate_pps: Load::Medium.rate_pps(),
+        seed,
+        ..ScenarioConfig::grid_paper(seed)
+    }
+}
+
+fn monitor_cfg(s: usize, r: usize, arma_alpha: f64) -> MonitorConfig {
+    let mut mc = MonitorConfig::grid_paper(s, r, 240.0);
+    mc.sample_size = 25;
+    mc.arma_alpha = arma_alpha;
+    mc.blatant_check = false;
+    mc
+}
+
+fn outcome(d: &mg_detect::Diagnosis) -> TrialOutcome {
+    TrialOutcome {
+        tests: d.tests_run as u64,
+        rejections: d.rejections as u64,
+        violations: d.violations as u64,
+        samples: d.samples_collected as u64,
+        rho: d.measured_rho,
+        ..TrialOutcome::default()
+    }
+}
+
+/// The pre-replay path: one full monitored simulation per grid cell.
+fn simulate_trial(seed: u64, pm: u8, arma_alpha: f64, secs: u64) -> TrialOutcome {
+    let scenario = Scenario::new(world_cfg(seed, secs));
+    let (s, r) = scenario.tagged_pair();
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    let watch = b.monitor(monitor_cfg(s, r, arma_alpha));
+    b.source(SourceCfg::saturated(s, r));
+    let mut world = b.build();
+    if pm > 0 {
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
+    }
+    world.run_until(SimTime::from_secs(secs));
+    outcome(&world.monitors().diagnosis(watch))
+}
+
+/// The replay path's per-α half: journal → fresh monitor → diagnosis.
+fn replay_trial(journal: &ObsJournal, arma_alpha: f64) -> TrialOutcome {
+    let meta = journal.meta();
+    let mc = monitor_cfg(meta.tagged, meta.vantages[0], arma_alpha);
+    outcome(&replay_pool(journal, mc).diagnosis())
+}
+
+fn main() {
+    let bc = BenchConfig::from_env_or_exit();
+    let alphas = [0.5, 0.9, 0.99, 0.995, 0.999];
+    let pms: [(u8, u64); 3] = [(0, 8000), (50, 8100), (90, 8200)];
+
+    let mut cells = Vec::new();
+    for &alpha in &alphas {
+        for &(pm, base) in &pms {
+            for i in 0..bc.trials {
+                cells.push((alpha, pm, base + i));
+            }
+        }
+    }
+
+    // Path A — re-simulate every cell.
+    let t0 = Instant::now();
+    let resimulated: Vec<TrialOutcome> = cells
+        .iter()
+        .map(|&(alpha, pm, seed)| simulate_trial(seed, pm, alpha, bc.sim_secs))
+        .collect();
+    let resimulate_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Path B — record each world once, replay it into every α.
+    let t1 = Instant::now();
+    let mut journals = Vec::new();
+    for &(pm, base) in &pms {
+        for i in 0..bc.trials {
+            let seed = base + i;
+            journals.push(((pm, seed), record_detection_world(seed, world_cfg(seed, bc.sim_secs), pm)));
+        }
+    }
+    let record_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let t2 = Instant::now();
+    let replayed: Vec<TrialOutcome> = cells
+        .iter()
+        .map(|&(alpha, pm, seed)| {
+            let (_, journal) = journals
+                .iter()
+                .find(|((p, s), _)| *p == pm && *s == seed)
+                .expect("every cell's world was recorded");
+            replay_trial(journal, alpha)
+        })
+        .collect();
+    let replay_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    // Both paths must land on identical outcomes — replay is a cache, not
+    // an approximation.
+    for (i, (a, b)) in resimulated.iter().zip(&replayed).enumerate() {
+        assert_eq!(a.tests, b.tests, "cell {i}: {:?}", cells[i]);
+        assert_eq!(a.rejections, b.rejections, "cell {i}: {:?}", cells[i]);
+        assert_eq!(a.violations, b.violations, "cell {i}: {:?}", cells[i]);
+        assert_eq!(a.samples, b.samples, "cell {i}: {:?}", cells[i]);
+        assert_eq!(a.rho.to_bits(), b.rho.to_bits(), "cell {i}: {:?}", cells[i]);
+    }
+
+    let replay_total_ms = record_ms + replay_ms;
+    let speedup = resimulate_ms / replay_total_ms.max(1e-9);
+    let json = Json::obj([
+        ("bench", Json::from("ablation_alpha: re-simulate vs record+replay")),
+        ("trials", Json::from(bc.trials)),
+        ("sim_secs", Json::from(bc.sim_secs)),
+        ("cells", Json::from(cells.len() as u64)),
+        ("worlds_resimulated", Json::from(cells.len() as u64)),
+        ("worlds_recorded", Json::from(journals.len() as u64)),
+        ("resimulate_ms", Json::Num((resimulate_ms * 10.0).round() / 10.0)),
+        ("record_ms", Json::Num((record_ms * 10.0).round() / 10.0)),
+        ("replay_ms", Json::Num((replay_ms * 10.0).round() / 10.0)),
+        ("speedup", Json::Num((speedup * 100.0).round() / 100.0)),
+    ]);
+    let path = std::env::var("MG_BENCH_OUT").unwrap_or_else(|_| "BENCH_replay.json".into());
+    std::fs::write(&path, format!("{}\n", json.render())).unwrap_or_else(|e| {
+        eprintln!("bench_replay: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "re-simulate {} cells: {:.1} ms | record {} worlds + replay {} cells: {:.1} ms | speedup {:.2}x",
+        cells.len(),
+        resimulate_ms,
+        journals.len(),
+        cells.len(),
+        replay_total_ms,
+        speedup
+    );
+    println!("wrote {path}");
+}

@@ -37,10 +37,10 @@
 
 use mg_dcf::BackoffPolicy;
 use mg_detect::{
-    JointTracker, MonitorConfig, NodeCounts, ScenarioBuilder, Violation, WorldMonitors, WorldProbe,
+    JointTracker, MonitorConfig, NodeCounts, ObsJournal, ObsMeta, ObsRecorder, ScenarioBuilder,
+    Violation, WorldMonitors, WorldProbe,
 };
 use mg_net::{NetObserver, Scenario, ScenarioConfig, SourceCfg, TrafficKind};
-use mg_phy::Medium;
 use mg_runner::{CacheKey, Codec, Runner};
 use mg_sim::{SimDuration, SimTime};
 use mg_trace::MetricsSnapshot;
@@ -416,6 +416,42 @@ pub fn mobile_detection_trial_fanout_faulted(
     mobile_detection_trial_multi(seed, load, pm, sample_sizes, secs, pause, faults)
 }
 
+/// Simulates the static detection world for `(seed, cfg, pm)` **once** and
+/// records the monitored pair's observation stream.
+///
+/// The exclusion set (`attacker` + `reserve`) matches what
+/// [`detection_trial_with_cfg`] derives from its monitor registration, so
+/// background sources land on the same nodes and the world evolves
+/// byte-identically to a monitored run — observers are strictly read-only.
+/// The returned journal can then be replayed into any number of detector
+/// configurations via [`mg_detect::replay_pool`]; together with
+/// [`sweep::journal_key`] this is the second cache tier the ablation
+/// binaries run on.
+pub fn record_detection_world(seed: u64, cfg: ScenarioConfig, pm: u8) -> ObsJournal {
+    let cfg = ScenarioConfig { seed, ..cfg };
+    let secs = cfg.sim_secs;
+    let scenario = Scenario::new(cfg);
+    let (s, r) = scenario.tagged_pair();
+    let d = scenario.positions()[s].distance(scenario.positions()[r]);
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    b.reserve(r);
+    b.source(SourceCfg::saturated(s, r));
+    let meta = ObsMeta {
+        tagged: s,
+        vantages: vec![r],
+        pair_distance: d,
+        seed,
+        params: vec![("pm".into(), pm.to_string())],
+    };
+    let mut world = b.probe(ObsRecorder::new(meta)).build();
+    if pm > 0 {
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
+    }
+    world.run_until(SimTime::from_secs(secs));
+    world.probe().journal().clone()
+}
+
 /// Runs a sweep through the [`mg_runner`] engine, degrading gracefully on
 /// trial failures: every poisoned cell (worker panic or watchdog timeout) is
 /// reported on stderr, and the process exits with status 1 *before* any
@@ -468,7 +504,7 @@ impl JointProbe {
 }
 
 impl NetObserver for JointProbe {
-    fn on_channel_edge(&mut self, _m: &Medium, node: usize, busy: bool, now: SimTime) {
+    fn on_channel_edge(&mut self, node: usize, busy: bool, now: SimTime) {
         if node == self.s {
             self.joint.on_s_edge(busy, now);
         }
@@ -476,14 +512,7 @@ impl NetObserver for JointProbe {
             self.joint.on_r_edge(busy, now);
         }
     }
-    fn on_tx_start(
-        &mut self,
-        _m: &Medium,
-        src: usize,
-        _f: &mg_dcf::Frame,
-        now: SimTime,
-        end: SimTime,
-    ) {
+    fn on_tx_start(&mut self, src: usize, _f: &mg_dcf::Frame, now: SimTime, end: SimTime) {
         if src == self.s {
             self.joint.on_s_tx(now, end);
         }
@@ -679,6 +708,35 @@ mod tests {
             fanned.iter().map(|o| o.samples).sum::<u64>()
                 < clean.iter().map(|o| o.samples).sum::<u64>(),
             "a 10% loss + deafness plan must suppress some observations"
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_a_simulated_trial() {
+        // The replay tier's contract at the bench level: recording the world
+        // once and replaying the journal yields the same outcome as the
+        // monitored simulation it stands in for.
+        let cfg = ScenarioConfig {
+            sim_secs: 10,
+            rate_pps: Load::Medium.rate_pps(),
+            seed: 42,
+            ..grid_base()
+        };
+        let live = detection_trial_with_cfg(42, cfg, 90, 25, false);
+        let journal = record_detection_world(42, cfg, 90);
+        let scenario = Scenario::new(ScenarioConfig { seed: 42, ..cfg });
+        let (s, r) = scenario.tagged_pair();
+        let d = scenario.positions()[s].distance(scenario.positions()[r]);
+        let mc = MonitorConfig::grid_paper(s, r, d).with_sample_size(25);
+        let diag = mg_detect::replay_pool(&journal, mc).diagnosis();
+        assert_eq!(diag.tests_run as u64, live.tests);
+        assert_eq!(diag.rejections as u64, live.rejections);
+        assert_eq!(diag.violations as u64, live.violations);
+        assert_eq!(diag.samples_collected as u64, live.samples);
+        assert_eq!(
+            diag.measured_rho.to_bits(),
+            live.rho.to_bits(),
+            "replayed rho must be bit-identical"
         );
     }
 

@@ -17,6 +17,7 @@
 //!   decode is recomputed, never trusted.
 
 use crate::{CondProbPoint, FaultPlan, TrialOutcome};
+use mg_detect::ObsJournal;
 use mg_net::ScenarioConfig;
 use mg_runner::{CacheKey, Codec};
 use mg_trace::json::Json;
@@ -25,8 +26,9 @@ use mg_trace::MetricsSnapshot;
 /// Result-schema version for every mg-bench cache key.
 ///
 /// v2: [`TrialOutcome`] gained the `uncertain` counter and detection keys
-/// gained the fault plan.
-pub const SCHEMA: u64 = 2;
+/// gained the fault plan. v3: the journal cache tier — ablation binaries
+/// record each world's observation stream once and replay it per knob.
+pub const SCHEMA: u64 = 3;
 
 /// Key for one detection trial (or one fanned-out trial when `sample_sizes`
 /// has several entries). `cfg` must be the fully resolved config — seed,
@@ -52,6 +54,25 @@ pub fn detection_key(
 /// Key for one Figure 3/4 conditional-probability run.
 pub fn cond_key(experiment: &str, cfg: &ScenarioConfig) -> CacheKey {
     CacheKey::new(experiment, SCHEMA).field("cfg", cfg)
+}
+
+/// Key for one recorded observation journal (the second cache tier).
+///
+/// Deliberately *not* named after the experiment: a journal depends only on
+/// the world — resolved config and cheating intensity — so every binary
+/// sweeping detector knobs over the same `(cfg, pm)` cell shares one entry.
+pub fn journal_key(cfg: &ScenarioConfig, pm: u8) -> CacheKey {
+    CacheKey::new("detection-world", SCHEMA)
+        .field("cfg", cfg)
+        .field("pm", pm)
+}
+
+/// Codec for a recorded [`ObsJournal`] (the `mg_obs` JSON form).
+pub fn journal_codec() -> Codec<ObsJournal> {
+    Codec {
+        encode: ObsJournal::to_json,
+        decode: ObsJournal::from_json,
+    }
 }
 
 fn outcome_to_json(o: &TrialOutcome) -> Json {

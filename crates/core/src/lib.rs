@@ -54,6 +54,7 @@ mod channel;
 mod density;
 mod monitor;
 mod pool;
+mod record;
 mod scenario;
 
 pub use analysis::AnalyticModel;
@@ -61,7 +62,9 @@ pub use channel::{ChannelTracker, JointTracker};
 pub use density::DensityEstimator;
 pub use monitor::{Diagnosis, Judge, Monitor, MonitorConfig, NodeCounts, Violation};
 pub use mg_fault::{FaultPlan, ObsFaults};
+pub use mg_obs::{Obs, ObsJournal, ObsMeta, ObsSink};
 pub use pool::MonitorPool;
+pub use record::{replay_pool, replay_pool_faulted, ObsRecorder};
 pub use scenario::{
     Assembly, AttackerHandle, MonitorHandle, Monitors, ScenarioBuilder, WorldMonitors, WorldProbe,
 };

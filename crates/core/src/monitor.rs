@@ -33,6 +33,7 @@ use mg_dcf::{Dest, Frame, FrameKind, MacTiming};
 use mg_crypto::VerifiableSequence;
 use mg_fault::{FrameFate, ObsFaults};
 use mg_net::NetObserver;
+use mg_obs::{Obs, ObsSink};
 use mg_phy::Medium;
 use mg_geom::PreclusionRule;
 use mg_sim::SimTime;
@@ -832,8 +833,29 @@ impl Monitor {
     }
 }
 
-impl NetObserver for Monitor {
-    fn on_channel_edge(&mut self, _medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
+impl ObsSink for Monitor {
+    /// The monitor's single entry point: every event it will ever learn
+    /// about arrives here as one serializable [`Obs`] — whether projected
+    /// live from a [`NetObserver`] callback or replayed from a journal.
+    /// Events for other vantages are ignored, so a shared stream can be fed
+    /// to many monitors unchanged.
+    fn ingest(&mut self, obs: &Obs) {
+        match obs {
+            Obs::ChannelEdge { node, busy, at } => self.obs_channel_edge(*node, *busy, *at),
+            Obs::TxStart { src, at, end, .. } => self.obs_own_tx(*src, *at, *end),
+            Obs::Decoded { at, frame, start, end } => {
+                self.obs_decoded(*at, frame, *start, *end)
+            }
+            Obs::Garbled { at, .. } => self.obs_garbled(*at),
+            // Geometry is a pool-level concern (hand-off); a solo monitor's
+            // pair distance is fixed at construction.
+            Obs::Ranging { .. } => {}
+        }
+    }
+}
+
+impl Monitor {
+    fn obs_channel_edge(&mut self, node: NodeId, busy: bool, now: SimTime) {
         if node != self.cfg.vantage {
             return;
         }
@@ -843,14 +865,7 @@ impl NetObserver for Monitor {
         }
     }
 
-    fn on_tx_start(
-        &mut self,
-        _medium: &Medium,
-        src: NodeId,
-        _frame: &Frame,
-        now: SimTime,
-        end: SimTime,
-    ) {
+    fn obs_own_tx(&mut self, src: NodeId, now: SimTime, end: SimTime) {
         if src != self.cfg.vantage {
             return;
         }
@@ -860,14 +875,7 @@ impl NetObserver for Monitor {
         }
     }
 
-    fn on_frame_decoded(
-        &mut self,
-        _medium: &Medium,
-        at: NodeId,
-        frame: &Frame,
-        start: SimTime,
-        end: SimTime,
-    ) {
+    fn obs_decoded(&mut self, at: NodeId, frame: &Frame, start: SimTime, end: SimTime) {
         if at != self.cfg.vantage {
             return;
         }
@@ -926,11 +934,39 @@ impl NetObserver for Monitor {
         }
     }
 
-    fn on_frame_garbled(&mut self, _medium: &Medium, at: NodeId, _now: SimTime) {
+    fn obs_garbled(&mut self, at: NodeId) {
         if at == self.cfg.vantage {
             self.density.on_collision();
             self.garbles_total += 1;
         }
+    }
+}
+
+/// Thin world→[`Obs`] projection: live callbacks are translated into the
+/// serializable alphabet and funneled through [`ObsSink::ingest`], so a live
+/// monitor and a journal replay traverse exactly the same code.
+impl NetObserver for Monitor {
+    fn on_channel_edge(&mut self, node: NodeId, busy: bool, now: SimTime) {
+        self.ingest(&Obs::ChannelEdge { node, busy, at: now });
+    }
+
+    fn on_tx_start(&mut self, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
+        self.ingest(&Obs::TxStart { src, frame: frame.clone(), at: now, end });
+    }
+
+    fn on_frame_decoded(
+        &mut self,
+        _medium: &Medium,
+        at: NodeId,
+        frame: &Frame,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.ingest(&Obs::Decoded { at, frame: frame.clone(), start, end });
+    }
+
+    fn on_frame_garbled(&mut self, at: NodeId, now: SimTime) {
+        self.ingest(&Obs::Garbled { at, now });
     }
 }
 
@@ -984,10 +1020,6 @@ pub(crate) mod tests {
         }
     }
 
-    pub(super) fn synthetic_run_pub(factor: f64, count: usize, cfg: MonitorConfig) -> Monitor {
-        synthetic_run(factor, count, cfg)
-    }
-
     /// Drives a synthetic fully-observable timeline: S is saturated, the
     /// channel contains only S's exchanges, and each back-off takes exactly
     /// `factor × dictated` slots (factor < 1 ⇒ misbehavior).
@@ -999,11 +1031,11 @@ pub(crate) mod tests {
         let t = MacTiming::paper_default();
         let prs = VerifiableSequence::new(S as u64);
         let mut now = SimTime::ZERO;
-        let mut seq = 0u64;
 
         // Initial exchange so the monitor gets an anchor: S sends RTS 0.
         let slot_ns = t.slot.as_nanos();
         for i in 0..=count {
+            let seq = i as u64;
             let dictated = prs.backoff(seq, 1, t.cw_min, t.cw_max).slots;
             let counted = (f64::from(dictated) * factor).floor() as u64;
             // Idle DIFS + counted slots.
@@ -1011,16 +1043,16 @@ pub(crate) mod tests {
             // RTS on air.
             let rts_start = now;
             let rts_end = rts_start + t.rts_airtime();
-            m.on_channel_edge(&med, R, true, rts_start);
+            m.on_channel_edge(R, true, rts_start);
             m.on_frame_decoded(&med, R, &rts_frame(seq, 1, i as u64), rts_start, rts_end);
-            m.on_channel_edge(&med, R, false, rts_end);
+            m.on_channel_edge(R, false, rts_end);
             // CTS (from R itself — own tx), DATA from S, ACK from R.
             let cts_start = rts_end + t.sifs;
             let cts_end = cts_start + t.cts_airtime();
-            m.on_tx_start(&med, R, &rts_frame(seq, 1, 0), cts_start, cts_end);
+            m.on_tx_start(R, &rts_frame(seq, 1, 0), cts_start, cts_end);
             let data_start = cts_end + t.sifs;
             let data_end = data_start + t.data_airtime(512);
-            m.on_channel_edge(&med, R, true, data_start);
+            m.on_channel_edge(R, true, data_start);
             let data = Frame {
                 src: S,
                 dst: Dest::Unicast(R),
@@ -1034,12 +1066,11 @@ pub(crate) mod tests {
                 },
             };
             m.on_frame_decoded(&med, R, &data, data_start, data_end);
-            m.on_channel_edge(&med, R, false, data_end);
+            m.on_channel_edge(R, false, data_end);
             let ack_start = data_end + t.sifs;
             let ack_end = ack_start + t.ack_airtime();
-            m.on_tx_start(&med, R, &rts_frame(seq, 1, 0), ack_start, ack_end);
+            m.on_tx_start(R, &rts_frame(seq, 1, 0), ack_start, ack_end);
             now = ack_end;
-            seq += 1;
         }
         m
     }

@@ -12,6 +12,7 @@ use crate::NodeId;
 use mg_dcf::Frame;
 use mg_fault::FaultPlan;
 use mg_net::NetObserver;
+use mg_obs::{Obs, ObsSink};
 use mg_phy::Medium;
 use mg_sim::SimTime;
 use mg_stats::signed_rank::signed_rank_test;
@@ -36,6 +37,11 @@ pub struct MonitorPool {
     contributed: HashMap<NodeId, usize>,
     /// Last tagged-RTS end seen (virtual timestamp for shared-test records).
     last_seen: SimTime,
+    /// Latest geometry snapshot ([`Obs::Ranging`]), applied at the next
+    /// tagged-RTS decode — *after* the member consumed the frame, so the
+    /// sample extracted for that RTS still uses the pre-hand-off distance
+    /// (matching the callback order of a live world).
+    last_ranging: Option<Vec<(NodeId, f64)>>,
     tracer: Tracer,
     metrics: Metrics,
 }
@@ -80,6 +86,7 @@ impl MonitorPool {
             rejections: 0,
             contributed: HashMap::new(),
             last_seen: SimTime::ZERO,
+            last_ranging: None,
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
         }
@@ -153,7 +160,7 @@ impl MonitorPool {
             rejections: self.rejections,
             violations,
             samples_collected: self.samples.len()
-                + self.tests.len() * self.sample_size.min(usize::MAX),
+                + self.tests.len() * self.sample_size,
             samples_discarded: self
                 .monitors
                 .values()
@@ -191,23 +198,44 @@ impl MonitorPool {
         &self.contributed
     }
 
-    /// Recomputes the active vantage from current positions: the in-range
-    /// vantage closest to the tagged node.
-    fn reelect(&mut self, medium: &Medium) {
+    /// Recomputes the active vantage from a geometry snapshot: the in-range
+    /// vantage closest to the tagged node. Exact-distance ties go to the
+    /// lowest node id (snapshots are ascending by id), so the election is
+    /// deterministic regardless of member hash order.
+    fn reelect_from(&mut self, ranging: &[(NodeId, f64)]) {
+        let mut best: Option<(NodeId, f64)> = None;
+        for &(v, d) in ranging {
+            if d > self.tx_range || !self.monitors.contains_key(&v) {
+                continue;
+            }
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((v, d));
+            }
+        }
+        self.active = best.map(|(v, _)| v);
+        // Keep the elected monitor's region model honest about the distance.
+        if let Some((v, d)) = best {
+            if let Some(m) = self.monitors.get_mut(&v) {
+                m.set_pair_distance(d.max(1.0));
+            }
+        }
+    }
+
+    /// The current tagged→member distances as an [`Obs::Ranging`] event,
+    /// ascending by node id — the projection a live adapter records or
+    /// feeds before each tagged RTS.
+    fn ranging_snapshot(&self, medium: &Medium, at: SimTime) -> Obs {
         let tp = medium.position(self.tagged);
-        self.active = self
+        let mut to: Vec<(NodeId, f64)> = self
             .monitors
             .keys()
             .map(|&v| (v, tp.distance(medium.position(v))))
-            .filter(|&(_, d)| d <= self.tx_range)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances"))
-            .map(|(v, _)| v);
-        // Keep the elected monitor's region model honest about the distance.
-        if let Some(v) = self.active {
-            let d = tp.distance(medium.position(v)).max(1.0);
-            if let Some(m) = self.monitors.get_mut(&v) {
-                m.set_pair_distance(d);
-            }
+            .collect();
+        to.sort_by_key(|a| a.0);
+        Obs::Ranging {
+            from: self.tagged,
+            to,
+            at,
         }
     }
 
@@ -264,24 +292,62 @@ impl MonitorPool {
     }
 }
 
-impl NetObserver for MonitorPool {
-    fn on_channel_edge(&mut self, medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
-        if let Some(m) = self.monitors.get_mut(&node) {
-            m.on_channel_edge(medium, node, busy, now);
+impl ObsSink for MonitorPool {
+    /// The pool's single entry point. Vantage-specific events route to the
+    /// member stationed there; [`Obs::Ranging`] snapshots are stored and
+    /// applied at the next tagged-RTS decode, *after* the member consumed
+    /// the frame — the same order a live world's callbacks produce — so the
+    /// sample extracted for that RTS uses the pre-hand-off distance.
+    fn ingest(&mut self, obs: &Obs) {
+        match obs {
+            Obs::Ranging { from, to, .. } => {
+                if *from == self.tagged {
+                    self.last_ranging = Some(to.clone());
+                }
+            }
+            Obs::ChannelEdge { node, .. } => {
+                if let Some(m) = self.monitors.get_mut(node) {
+                    m.ingest(obs);
+                }
+            }
+            Obs::TxStart { src, .. } => {
+                if let Some(m) = self.monitors.get_mut(src) {
+                    m.ingest(obs);
+                }
+            }
+            Obs::Decoded { at, frame, end, .. } => {
+                if let Some(m) = self.monitors.get_mut(at) {
+                    m.ingest(obs);
+                }
+                if frame.src == self.tagged && frame.is_rts() {
+                    self.last_seen = *end;
+                    if let Some(r) = self.last_ranging.take() {
+                        self.reelect_from(&r);
+                        self.last_ranging = Some(r);
+                    }
+                    self.harvest();
+                }
+            }
+            Obs::Garbled { at, .. } => {
+                if let Some(m) = self.monitors.get_mut(at) {
+                    m.ingest(obs);
+                }
+            }
         }
     }
+}
 
-    fn on_tx_start(
-        &mut self,
-        medium: &Medium,
-        src: NodeId,
-        frame: &Frame,
-        now: SimTime,
-        end: SimTime,
-    ) {
-        if let Some(m) = self.monitors.get_mut(&src) {
-            m.on_tx_start(medium, src, frame, now, end);
-        }
+/// Thin world→[`Obs`] projection. The only medium access left in the
+/// detection layer lives here: a geometry snapshot taken right before each
+/// tagged RTS is handed down, which is also exactly what a recorder writes
+/// to a journal — live and replayed pools traverse the same `ingest` path.
+impl NetObserver for MonitorPool {
+    fn on_channel_edge(&mut self, node: NodeId, busy: bool, now: SimTime) {
+        self.ingest(&Obs::ChannelEdge { node, busy, at: now });
+    }
+
+    fn on_tx_start(&mut self, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
+        self.ingest(&Obs::TxStart { src, frame: frame.clone(), at: now, end });
     }
 
     fn on_frame_decoded(
@@ -292,20 +358,15 @@ impl NetObserver for MonitorPool {
         start: SimTime,
         end: SimTime,
     ) {
-        if let Some(m) = self.monitors.get_mut(&at) {
-            m.on_frame_decoded(medium, at, frame, start, end);
-        }
         if frame.src == self.tagged && frame.is_rts() {
-            self.last_seen = end;
-            self.reelect(medium);
-            self.harvest();
+            let ranging = self.ranging_snapshot(medium, start);
+            self.ingest(&ranging);
         }
+        self.ingest(&Obs::Decoded { at, frame: frame.clone(), start, end });
     }
 
-    fn on_frame_garbled(&mut self, medium: &Medium, at: NodeId, now: SimTime) {
-        if let Some(m) = self.monitors.get_mut(&at) {
-            m.on_frame_garbled(medium, at, now);
-        }
+    fn on_frame_garbled(&mut self, at: NodeId, now: SimTime) {
+        self.ingest(&Obs::Garbled { at, now });
     }
 }
 
@@ -323,13 +384,6 @@ impl std::fmt::Debug for MonitorPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mg_geom::Vec2;
-    use mg_phy::{PropagationModel, RadioParams};
-
-    fn medium(positions: Vec<Vec2>) -> Medium {
-        let prop = PropagationModel::free_space();
-        Medium::new(prop, RadioParams::paper_default(&prop), positions)
-    }
 
     fn template() -> MonitorConfig {
         MonitorConfig {
@@ -340,31 +394,41 @@ mod tests {
 
     #[test]
     fn elects_closest_in_range_vantage() {
-        let med = medium(vec![
-            Vec2::new(0.0, 0.0),   // tagged
-            Vec2::new(100.0, 0.0), // close vantage
-            Vec2::new(240.0, 0.0), // far vantage
-        ]);
         let mut pool = MonitorPool::new(0, &[1, 2], template());
-        pool.reelect(&med);
+        pool.reelect_from(&[(1, 100.0), (2, 240.0)]);
         assert_eq!(pool.active_vantage(), Some(1));
     }
 
     #[test]
     fn hands_off_when_closest_leaves_range() {
-        let mut med = medium(vec![
-            Vec2::new(0.0, 0.0),
-            Vec2::new(100.0, 0.0),
-            Vec2::new(240.0, 0.0),
-        ]);
         let mut pool = MonitorPool::new(0, &[1, 2], template());
-        pool.reelect(&med);
+        pool.reelect_from(&[(1, 100.0), (2, 240.0)]);
         assert_eq!(pool.active_vantage(), Some(1));
-        med.set_position(1, Vec2::new(800.0, 0.0));
-        pool.reelect(&med);
+        // Vantage 1 wanders out of range.
+        pool.reelect_from(&[(1, 800.0), (2, 240.0)]);
         assert_eq!(pool.active_vantage(), Some(2));
-        med.set_position(2, Vec2::new(0.0, 900.0));
-        pool.reelect(&med);
+        // Everyone out of range: no active vantage.
+        pool.reelect_from(&[(1, 800.0), (2, 900.0)]);
+        assert_eq!(pool.active_vantage(), None);
+    }
+
+    #[test]
+    fn exact_distance_ties_elect_the_lowest_id() {
+        let mut pool = MonitorPool::new(0, &[5, 2, 9], template());
+        pool.reelect_from(&[(2, 150.0), (5, 150.0), (9, 150.0)]);
+        assert_eq!(pool.active_vantage(), Some(2));
+    }
+
+    #[test]
+    fn ranging_without_a_decode_does_not_reelect() {
+        let mut pool = MonitorPool::new(0, &[1], template());
+        pool.ingest(&Obs::Ranging {
+            from: 0,
+            to: vec![(1, 100.0)],
+            at: SimTime::ZERO,
+        });
+        // The election is deferred to the next tagged-RTS decode, matching
+        // live callback order.
         assert_eq!(pool.active_vantage(), None);
     }
 

@@ -156,22 +156,15 @@ impl Monitors {
 }
 
 impl NetObserver for Monitors {
-    fn on_channel_edge(&mut self, medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
+    fn on_channel_edge(&mut self, node: NodeId, busy: bool, now: SimTime) {
         for p in &mut self.pools {
-            p.on_channel_edge(medium, node, busy, now);
+            p.on_channel_edge(node, busy, now);
         }
     }
 
-    fn on_tx_start(
-        &mut self,
-        medium: &Medium,
-        src: NodeId,
-        frame: &Frame,
-        now: SimTime,
-        end: SimTime,
-    ) {
+    fn on_tx_start(&mut self, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
         for p in &mut self.pools {
-            p.on_tx_start(medium, src, frame, now, end);
+            p.on_tx_start(src, frame, now, end);
         }
     }
 
@@ -188,9 +181,9 @@ impl NetObserver for Monitors {
         }
     }
 
-    fn on_frame_garbled(&mut self, medium: &Medium, at: NodeId, now: SimTime) {
+    fn on_frame_garbled(&mut self, at: NodeId, now: SimTime) {
         for p in &mut self.pools {
-            p.on_frame_garbled(medium, at, now);
+            p.on_frame_garbled(at, now);
         }
     }
 }
@@ -221,21 +214,14 @@ impl<P: NetObserver> Assembly<P> {
 }
 
 impl<P: NetObserver> NetObserver for Assembly<P> {
-    fn on_channel_edge(&mut self, medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
-        self.monitors.on_channel_edge(medium, node, busy, now);
-        self.probe.on_channel_edge(medium, node, busy, now);
+    fn on_channel_edge(&mut self, node: NodeId, busy: bool, now: SimTime) {
+        self.monitors.on_channel_edge(node, busy, now);
+        self.probe.on_channel_edge(node, busy, now);
     }
 
-    fn on_tx_start(
-        &mut self,
-        medium: &Medium,
-        src: NodeId,
-        frame: &Frame,
-        now: SimTime,
-        end: SimTime,
-    ) {
-        self.monitors.on_tx_start(medium, src, frame, now, end);
-        self.probe.on_tx_start(medium, src, frame, now, end);
+    fn on_tx_start(&mut self, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
+        self.monitors.on_tx_start(src, frame, now, end);
+        self.probe.on_tx_start(src, frame, now, end);
     }
 
     fn on_frame_decoded(
@@ -250,9 +236,9 @@ impl<P: NetObserver> NetObserver for Assembly<P> {
         self.probe.on_frame_decoded(medium, at, frame, start, end);
     }
 
-    fn on_frame_garbled(&mut self, medium: &Medium, at: NodeId, now: SimTime) {
-        self.monitors.on_frame_garbled(medium, at, now);
-        self.probe.on_frame_garbled(medium, at, now);
+    fn on_frame_garbled(&mut self, at: NodeId, now: SimTime) {
+        self.monitors.on_frame_garbled(at, now);
+        self.probe.on_frame_garbled(at, now);
     }
 }
 

@@ -116,8 +116,8 @@ fn joint_tracker_valid() {
             t += gap;
             let now = SimTime::from_micros(t);
             match kind {
-                0 => j.on_s_edge(t % 2 == 0, now),
-                1 => j.on_r_edge(t % 3 == 0, now),
+                0 => j.on_s_edge(t.is_multiple_of(2), now),
+                1 => j.on_r_edge(t.is_multiple_of(3), now),
                 2 => j.on_s_tx(now, SimTime::from_micros(t + dur)),
                 _ => j.on_r_tx(now, SimTime::from_micros(t + dur)),
             }
@@ -148,4 +148,179 @@ fn density_estimator_monotone() {
         }
         Ok(())
     });
+}
+
+// ---------------------------------------------------------------------
+// Record/replay equivalence — the observation-boundary contract: a pool
+// fed a recorded journal is byte-indistinguishable from the live pool
+// that watched the world directly.
+
+mod replay {
+    use mg_detect::{
+        replay_pool, replay_pool_faulted, FaultPlan, MonitorConfig, MonitorPool, ObsJournal,
+        ObsMeta, ObsRecorder, ScenarioBuilder, WorldMonitors, WorldProbe,
+    };
+    use mg_dcf::BackoffPolicy;
+    use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+    use mg_sim::SimTime;
+    use mg_testkit::prop::{check_with, Config, Gen, TkResult};
+    use mg_testkit::{tk_assert, tk_assert_eq, TkError};
+    use mg_trace::{Level, Metrics, TraceConfig, Tracer};
+
+    /// A journal tracing only the detector subsystems: both the live and
+    /// the replayed tracer then hold exactly the same event population, so
+    /// the JSONL exports can be compared byte-for-byte without the live
+    /// run's high-rate sched/phy/mac records evicting monitor lines from
+    /// the ring.
+    fn detector_trace() -> TraceConfig {
+        TraceConfig {
+            sched: Level::Off,
+            phy: Level::Off,
+            mac: Level::Off,
+            net: Level::Off,
+            ..TraceConfig::default()
+        }
+    }
+
+    struct LiveRun {
+        mc: MonitorConfig,
+        vantage: usize,
+        journal: ObsJournal,
+        diagnosis: mg_detect::Diagnosis,
+        samples: Option<Vec<(f64, f64)>>,
+        tests: usize,
+        violations: Vec<mg_detect::Violation>,
+        trace: String,
+    }
+
+    /// Simulates one grid world with a live monitor and a recorder probe
+    /// side by side; the journal is pushed through the JSONL codec so the
+    /// replay below exercises serialization, not just the in-memory path.
+    fn live_run(seed: u64, pm: u8, ss: usize, plan: Option<&FaultPlan>) -> Result<LiveRun, TkError> {
+        const SECS: u64 = 2;
+        let scenario = Scenario::new(ScenarioConfig {
+            sim_secs: SECS,
+            rate_pps: 2.0,
+            ..ScenarioConfig::grid_paper(seed)
+        });
+        let (s, r) = scenario.tagged_pair();
+        let mc = MonitorConfig::grid_paper(s, r, 240.0).with_sample_size(ss);
+        let mut b = ScenarioBuilder::new(scenario);
+        let a = b.attacker(s);
+        let watch = b.monitor(mc);
+        b.source(SourceCfg::saturated(s, r));
+        b.trace(detector_trace());
+        if let Some(p) = plan {
+            b.fault(p.clone());
+        }
+        let meta = ObsMeta {
+            tagged: s,
+            vantages: vec![r],
+            pair_distance: 240.0,
+            seed,
+            params: vec![("pm".into(), pm.to_string())],
+        };
+        let mut world = b.probe(ObsRecorder::new(meta)).build();
+        world.set_policy(a.id(), BackoffPolicy::Scaled { pm });
+        world.run_until(SimTime::from_secs(SECS));
+
+        let journal = ObsJournal::from_jsonl(&world.probe().journal().to_jsonl())
+            .map_err(TkError::Fail)?;
+        let pool = world.monitors().pool(watch);
+        Ok(LiveRun {
+            mc,
+            vantage: r,
+            journal,
+            diagnosis: pool.diagnosis(),
+            samples: pool.monitor(r).map(|m| m.samples().to_vec()),
+            tests: pool.tests().len(),
+            violations: pool.violations(),
+            trace: world.tracer().to_jsonl(),
+        })
+    }
+
+    /// Replays `journal` into an instrumented pool (mirroring the build
+    /// order of `ScenarioBuilder::build`: instrumentation first, then the
+    /// fault plan) and returns the pool plus its trace journal.
+    fn traced_replay(
+        journal: &ObsJournal,
+        mc: MonitorConfig,
+        plan: Option<&FaultPlan>,
+    ) -> (MonitorPool, String) {
+        let meta = journal.meta();
+        let tracer = Tracer::new(detector_trace());
+        let mut pool = MonitorPool::new(meta.tagged, &meta.vantages, mc);
+        pool.set_instrumentation(tracer.clone(), Metrics::disabled());
+        if let Some(p) = plan {
+            pool.apply_fault_plan(p);
+        }
+        journal.replay(&mut pool);
+        (pool, tracer.to_jsonl())
+    }
+
+    fn assert_replay_matches(live: &LiveRun, replayed: &MonitorPool, trace: &str) -> TkResult {
+        tk_assert_eq!(live.diagnosis, replayed.diagnosis());
+        tk_assert_eq!(live.samples, replayed.monitor(live.vantage).map(|m| m.samples().to_vec()));
+        tk_assert_eq!(live.tests, replayed.tests().len());
+        tk_assert!(
+            live.violations == replayed.violations(),
+            "live {:?} vs replay {:?}",
+            live.violations,
+            replayed.violations()
+        );
+        tk_assert_eq!(live.trace, trace);
+        Ok(())
+    }
+
+    /// Same seed ⇒ a pool replaying the recorded journal reproduces the
+    /// live pool byte-for-byte: `Diagnosis`, paired samples, test count,
+    /// violations and the monitor-subsystem trace journal.
+    #[test]
+    fn replay_equals_live() {
+        let cfg = Config {
+            cases: 4,
+            ..Config::default()
+        };
+        check_with(cfg, "replay_equals_live", |g: &mut Gen| -> TkResult {
+            let seed = g.u64_in(1..1_000_000);
+            let pm = [0u8, 50, 90][g.usize_in(0..3)];
+            let ss = g.usize_in(5..30);
+            let live = live_run(seed, pm, ss, None)?;
+            tk_assert!(!live.journal.is_empty(), "a saturated run must record");
+
+            let (replayed, trace) = traced_replay(&live.journal, live.mc, None);
+            assert_replay_matches(&live, &replayed, &trace)?;
+
+            // The plain (untraced) API lands on the same diagnosis.
+            let plain = replay_pool(&live.journal, live.mc);
+            tk_assert_eq!(live.diagnosis, plain.diagnosis());
+            Ok(())
+        });
+    }
+
+    /// The fault composition contract: journals record the *pre-fault*
+    /// stream, and replaying a clean journal with the plan injected at the
+    /// replayed monitors reproduces a faulted live run byte-for-byte.
+    #[test]
+    fn faulted_replay_equals_faulted_live() {
+        let cfg = Config {
+            cases: 3,
+            ..Config::default()
+        };
+        check_with(cfg, "faulted_replay_equals_faulted_live", |g: &mut Gen| -> TkResult {
+            let seed = g.u64_in(1..1_000_000);
+            let pm = [0u8, 90][g.usize_in(0..2)];
+            let fault_seed = g.u64_in(1..10_000);
+            let plan = FaultPlan::parse(&format!("seed={fault_seed},light"))
+                .map_err(|e| TkError::Fail(format!("plan: {e}")))?;
+
+            let live = live_run(seed, pm, 25, Some(&plan))?;
+            let (replayed, trace) = traced_replay(&live.journal, live.mc, Some(&plan));
+            assert_replay_matches(&live, &replayed, &trace)?;
+
+            let api = replay_pool_faulted(&live.journal, live.mc, &plan);
+            tk_assert_eq!(live.diagnosis, api.diagnosis());
+            Ok(())
+        });
+    }
 }

@@ -92,7 +92,7 @@ impl PhyFaults {
     pub fn is_noop(&self) -> bool {
         self.loss <= 0.0
             && self.burst.is_none()
-            && self.deaf.map_or(true, |d| d.period_ns == 0 || d.deaf_ns == 0)
+            && self.deaf.is_none_or(|d| d.period_ns == 0 || d.deaf_ns == 0)
     }
 }
 

@@ -1103,7 +1103,7 @@ mod tests {
                 actions = m.on_timer(Timer::Countdown, now);
             }
             if tx_frame(&actions).is_some() {
-                now = now + m.timing.rts_airtime();
+                now += m.timing.rts_airtime();
                 actions = m.on_tx_end(now);
             }
             if let Some(at) = arm_deadline(&actions, Timer::CtsTimeout) {

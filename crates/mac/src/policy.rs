@@ -13,9 +13,10 @@ use mg_sim::rng::Rng;
 /// [`BackoffPolicy::AttemptCheat`], which lies about the attempt number to
 /// keep its contention window narrow and is caught by the MD/attempt
 /// deterministic check instead.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub enum BackoffPolicy {
     /// Count down exactly the dictated value.
+    #[default]
     Compliant,
     /// The paper's misbehavior knob: with "percentage of misbehavior"
     /// `pm` ∈ [0, 100], count down only `(100 − pm)%` of the dictated value
@@ -75,12 +76,6 @@ impl BackoffPolicy {
             BackoffPolicy::Scaled { pm } => pm > 0,
             _ => true,
         }
-    }
-}
-
-impl Default for BackoffPolicy {
-    fn default() -> Self {
-        BackoffPolicy::Compliant
     }
 }
 

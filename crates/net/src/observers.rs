@@ -182,7 +182,7 @@ impl TraceObserver {
 }
 
 impl NetObserver for TraceObserver {
-    fn on_tx_start(&mut self, _m: &Medium, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
+    fn on_tx_start(&mut self, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
         if self.entries.len() == self.cap {
             return; // keep the prefix; early protocol behaviour matters most
         }
@@ -221,21 +221,21 @@ impl NetObserver for TraceObserver {
 pub struct Fanout<A, B>(pub A, pub B);
 
 impl<A: NetObserver, B: NetObserver> NetObserver for Fanout<A, B> {
-    fn on_channel_edge(&mut self, medium: &Medium, node: NodeId, busy: bool, now: SimTime) {
-        self.0.on_channel_edge(medium, node, busy, now);
-        self.1.on_channel_edge(medium, node, busy, now);
+    fn on_channel_edge(&mut self, node: NodeId, busy: bool, now: SimTime) {
+        self.0.on_channel_edge(node, busy, now);
+        self.1.on_channel_edge(node, busy, now);
     }
-    fn on_tx_start(&mut self, medium: &Medium, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
-        self.0.on_tx_start(medium, src, frame, now, end);
-        self.1.on_tx_start(medium, src, frame, now, end);
+    fn on_tx_start(&mut self, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {
+        self.0.on_tx_start(src, frame, now, end);
+        self.1.on_tx_start(src, frame, now, end);
     }
     fn on_frame_decoded(&mut self, medium: &Medium, at: NodeId, frame: &Frame, start: SimTime, end: SimTime) {
         self.0.on_frame_decoded(medium, at, frame, start, end);
         self.1.on_frame_decoded(medium, at, frame, start, end);
     }
-    fn on_frame_garbled(&mut self, medium: &Medium, at: NodeId, now: SimTime) {
-        self.0.on_frame_garbled(medium, at, now);
-        self.1.on_frame_garbled(medium, at, now);
+    fn on_frame_garbled(&mut self, at: NodeId, now: SimTime) {
+        self.0.on_frame_garbled(at, now);
+        self.1.on_frame_garbled(at, now);
     }
     fn on_enqueue(&mut self, node: NodeId, sdu: &MacSdu, now: SimTime) {
         self.0.on_enqueue(node, sdu, now);

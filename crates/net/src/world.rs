@@ -24,18 +24,23 @@ const SATURATION_DEPTH: usize = 2;
 /// Hooks for everything observable in the network — the attachment point of
 /// the detection framework (`mg-detect`) and of measurement probes.
 ///
-/// All methods have empty defaults; implement only what you need. The
-/// `medium` reference gives access to node positions and radio parameters.
+/// All methods have empty defaults; implement only what you need. Events
+/// carry exactly what a co-located process could observe at the node in
+/// question; only `on_frame_decoded` also exposes the `medium`, so that
+/// projection adapters (which translate world callbacks into the detection
+/// layer's serializable `Obs` alphabet) can read node positions at the one
+/// instant the hand-off scheme needs geometry. Detectors themselves never
+/// see the medium.
 #[allow(unused_variables)]
 pub trait NetObserver {
     /// `node`'s physical carrier-sense state changed at `now`.
-    fn on_channel_edge(&mut self, medium: &Medium, node: NodeId, busy: bool, now: SimTime) {}
+    fn on_channel_edge(&mut self, node: NodeId, busy: bool, now: SimTime) {}
     /// `src` put `frame` on the air at `now`; it will end at `end`.
-    fn on_tx_start(&mut self, medium: &Medium, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {}
+    fn on_tx_start(&mut self, src: NodeId, frame: &Frame, now: SimTime, end: SimTime) {}
     /// `at` decoded `frame` (on air from `start` to `end`).
     fn on_frame_decoded(&mut self, medium: &Medium, at: NodeId, frame: &Frame, start: SimTime, end: SimTime) {}
     /// `at` perceived a corrupted frame ending at `now`.
-    fn on_frame_garbled(&mut self, medium: &Medium, at: NodeId, now: SimTime) {}
+    fn on_frame_garbled(&mut self, at: NodeId, now: SimTime) {}
     /// `node` accepted a packet into its MAC queue.
     fn on_enqueue(&mut self, node: NodeId, sdu: &MacSdu, now: SimTime) {}
     /// `node`'s MAC finished with a packet (ACKed or dropped).
@@ -349,7 +354,7 @@ impl<O: NetObserver> World<O> {
                     self.apply(v, actions);
                 }
                 RxOutcome::Collided => {
-                    self.observer.on_frame_garbled(&self.medium, v, now);
+                    self.observer.on_frame_garbled(v, now);
                     let actions = self.macs[v].on_frame_garbled(now);
                     self.apply(v, actions);
                 }
@@ -360,7 +365,7 @@ impl<O: NetObserver> World<O> {
         // 3. Idle edges.
         for e in ended.edges {
             self.observer
-                .on_channel_edge(&self.medium, e.node, e.busy, now);
+                .on_channel_edge(e.node, e.busy, now);
             let actions = self.macs[e.node].on_channel_edge(e.busy, now);
             self.apply(e.node, actions);
         }
@@ -486,11 +491,11 @@ impl<O: NetObserver> World<O> {
                     let (tx, edges) = self.medium.begin_tx(n, now, &mut self.phy_rng);
                     let end = now + airtime;
                     self.sched.schedule_at(end, Ev::TxEnd { node: n, tx });
-                    self.observer.on_tx_start(&self.medium, n, &frame, now, end);
+                    self.observer.on_tx_start(n, &frame, now, end);
                     self.in_flight.insert(tx, frame);
                     for e in edges {
                         self.observer
-                            .on_channel_edge(&self.medium, e.node, e.busy, now);
+                            .on_channel_edge(e.node, e.busy, now);
                         for a in self.macs[e.node].on_channel_edge(e.busy, now) {
                             work.push_back((e.node, a));
                         }

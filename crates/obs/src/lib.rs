@@ -1,0 +1,495 @@
+//! # mg-obs — the monitor's input alphabet
+//!
+//! The detection framework of the paper consumes *only* what a co-located
+//! process could physically observe at its vantage node: carrier-sense
+//! edges, frames it decoded, garbles it perceived, plus the geometry
+//! scalars (pair distances) the Section 5 hand-off scheme reads. This crate
+//! makes that alphabet first-class:
+//!
+//! * [`Obs`] — one observable event, free of any reference to the live
+//!   simulation (`Medium`, `World`). Anything a [`Monitor`] ever learns
+//!   arrives as one of these.
+//! * [`ObsSink`] — the single `ingest(&Obs)` entry point detectors expose.
+//! * [`ObsJournal`] — a serializable recording of an entire run's `Obs`
+//!   stream (deterministic JSONL codec, atomic tmp+rename writes), so one
+//!   simulated world can be **replayed** into arbitrarily many detector
+//!   configurations with zero re-simulation.
+//!
+//! The codec follows `mg_trace::json` conventions: insertion-ordered
+//! objects, shortest-round-trip `f64` rendering, so `encode ∘ decode ≡ id`
+//! byte-for-byte and journals diff cleanly.
+//!
+//! [`Monitor`]: https://docs.rs/mg-detect
+
+#![warn(missing_docs)]
+
+use mg_dcf::{Dest, Frame, FrameKind, MacSdu, RtsFields};
+use mg_sim::{SimDuration, SimTime};
+use mg_trace::json::Json;
+use std::path::Path;
+
+/// Index of a node in the simulation.
+pub type NodeId = usize;
+
+/// One event observable at a vantage node — the complete input alphabet of
+/// the detection framework.
+///
+/// Times are absolute virtual instants; frames are carried by value so a
+/// replayed detector sees bit-identical contents to a live one.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Obs {
+    /// `node`'s physical carrier-sense state changed at `at`.
+    ChannelEdge {
+        /// The vantage whose carrier sense toggled.
+        node: NodeId,
+        /// New state: true = busy.
+        busy: bool,
+        /// When the edge occurred.
+        at: SimTime,
+    },
+    /// `src` put `frame` on the air at `at`; it will end at `end`.
+    TxStart {
+        /// The transmitting node.
+        src: NodeId,
+        /// The frame on the air.
+        frame: Frame,
+        /// Transmission start.
+        at: SimTime,
+        /// Transmission end.
+        end: SimTime,
+    },
+    /// `at` decoded `frame` (on air from `start` to `end`).
+    Decoded {
+        /// The receiving vantage.
+        at: NodeId,
+        /// The decoded frame.
+        frame: Frame,
+        /// When the frame's transmission started.
+        start: SimTime,
+        /// When the frame's transmission ended.
+        end: SimTime,
+    },
+    /// `at` perceived a corrupted (undecodable) frame ending at `now`.
+    Garbled {
+        /// The vantage that heard the collision.
+        at: NodeId,
+        /// When the garbled reception ended.
+        now: SimTime,
+    },
+    /// Geometry snapshot: distances from the tagged node `from` to candidate
+    /// vantages, sorted by node id. This is the only medium-derived scalar
+    /// the detection layer reads — the Section 5 hand-off scheme re-elects
+    /// the closest in-range vantage on every tagged RTS.
+    Ranging {
+        /// The tagged node the distances are measured from.
+        from: NodeId,
+        /// `(vantage, distance)` pairs, ascending by node id.
+        to: Vec<(NodeId, f64)>,
+        /// When the snapshot was taken.
+        at: SimTime,
+    },
+}
+
+/// A consumer of [`Obs`] events — the boundary detectors live behind.
+pub trait ObsSink {
+    /// Feed one observation. Order must follow virtual time.
+    fn ingest(&mut self, obs: &Obs);
+}
+
+/// Identity and provenance of a recorded run, stored in the journal header.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ObsMeta {
+    /// The tagged (monitored) node.
+    pub tagged: NodeId,
+    /// Vantage nodes whose observations were recorded, ascending.
+    pub vantages: Vec<NodeId>,
+    /// Tagged→vantage distance at recording time (static topologies; under
+    /// mobility the per-RTS [`Obs::Ranging`] events are authoritative).
+    pub pair_distance: f64,
+    /// The world seed the run was simulated with.
+    pub seed: u64,
+    /// Free-form `(key, value)` provenance: topology kind, PM, duration,
+    /// rate — whatever the recorder wants future replays to know.
+    pub params: Vec<(String, String)>,
+}
+
+impl ObsMeta {
+    /// Looks up a provenance parameter by key.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tagged", Json::from(self.tagged as u64)),
+            (
+                "vantages",
+                Json::Arr(self.vantages.iter().map(|&v| Json::from(v as u64)).collect()),
+            ),
+            ("pair_distance", Json::Num(self.pair_distance)),
+            // Decimal string: a full-range u64 seed does not fit a JSON
+            // number (f64 loses precision past 2^53).
+            ("seed", Json::Str(self.seed.to_string())),
+            (
+                "params",
+                Json::Arr(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| {
+                            Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<ObsMeta> {
+        let vantages = v
+            .get("vantages")?
+            .as_arr()?
+            .iter()
+            .map(|n| Some(n.as_u64()? as NodeId))
+            .collect::<Option<Vec<_>>>()?;
+        let params = v
+            .get("params")?
+            .as_arr()?
+            .iter()
+            .map(|p| match p.as_arr()? {
+                [k, val] => Some((k.as_str()?.to_string(), val.as_str()?.to_string())),
+                _ => None,
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(ObsMeta {
+            tagged: v.get("tagged")?.as_u64()? as NodeId,
+            vantages,
+            pair_distance: v.get("pair_distance")?.as_f64()?,
+            seed: v.get("seed")?.as_str()?.parse().ok()?,
+            params,
+        })
+    }
+}
+
+/// A recorded `Obs` stream: header + chronological events.
+///
+/// The on-disk format is JSONL — line 1 is the [`ObsMeta`] header, each
+/// further line one compact event — rendered deterministically so equal
+/// journals are byte-identical. Writes go through a temporary file and an
+/// atomic rename (the same discipline as mg-runner's cache), so a crashed
+/// recorder never leaves a half-written journal behind.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ObsJournal {
+    meta: ObsMeta,
+    events: Vec<Obs>,
+}
+
+impl ObsJournal {
+    /// An empty journal for the given run identity.
+    pub fn new(meta: ObsMeta) -> ObsJournal {
+        ObsJournal {
+            meta,
+            events: Vec::new(),
+        }
+    }
+
+    /// The journal header.
+    pub fn meta(&self) -> &ObsMeta {
+        &self.meta
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Obs] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends one event (must be pushed in virtual-time order).
+    pub fn push(&mut self, obs: Obs) {
+        self.events.push(obs);
+    }
+
+    /// The per-vantage stream: events observable at vantage `v`.
+    /// [`Obs::Ranging`] events are shared — every vantage's monitor pool
+    /// needs the geometry — so they appear in every stream.
+    pub fn for_vantage(&self, v: NodeId) -> impl Iterator<Item = &Obs> {
+        self.events.iter().filter(move |o| match o {
+            Obs::ChannelEdge { node, .. } => *node == v,
+            Obs::TxStart { src, .. } => *src == v,
+            Obs::Decoded { at, .. } => *at == v,
+            Obs::Garbled { at, .. } => *at == v,
+            Obs::Ranging { .. } => true,
+        })
+    }
+
+    /// Feeds every recorded event, in order, into `sink`.
+    pub fn replay(&self, sink: &mut impl ObsSink) {
+        for o in &self.events {
+            sink.ingest(o);
+        }
+    }
+
+    /// The whole journal as a single JSON value (for cache codecs).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("meta", self.meta.to_json()),
+            ("events", Json::Arr(self.events.iter().map(obs_to_json).collect())),
+        ])
+    }
+
+    /// Decodes [`ObsJournal::to_json`] output; `None` on any mismatch.
+    pub fn from_json(v: &Json) -> Option<ObsJournal> {
+        let meta = ObsMeta::from_json(v.get("meta")?)?;
+        let events = v
+            .get("events")?
+            .as_arr()?
+            .iter()
+            .map(obs_from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(ObsJournal { meta, events })
+    }
+
+    /// Deterministic JSONL rendering: meta line, then one event per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.meta.to_json().render());
+        out.push('\n');
+        for o in &self.events {
+            out.push_str(&obs_to_json(o).render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses [`ObsJournal::to_jsonl`] output.
+    pub fn from_jsonl(text: &str) -> Result<ObsJournal, String> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, head) = lines.next().ok_or("empty journal")?;
+        let meta_json =
+            Json::parse(head).map_err(|e| format!("journal line 1: {e:?}"))?;
+        let meta = ObsMeta::from_json(&meta_json).ok_or("journal line 1: not a meta header")?;
+        let mut events = Vec::new();
+        for (i, line) in lines {
+            let v = Json::parse(line).map_err(|e| format!("journal line {}: {e:?}", i + 1))?;
+            events.push(
+                obs_from_json(&v).ok_or_else(|| format!("journal line {}: bad event", i + 1))?,
+            );
+        }
+        Ok(ObsJournal { meta, events })
+    }
+
+    /// Writes the journal atomically: render to `<path>.tmp.<pid>`, then
+    /// rename over `path`. Parent directories are created as needed.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.to_jsonl())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads a journal written by [`ObsJournal::save`].
+    pub fn load(path: &Path) -> Result<ObsJournal, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        ObsJournal::from_jsonl(&text)
+    }
+}
+
+fn dest_to_json(d: Dest) -> Json {
+    match d {
+        Dest::Unicast(n) => Json::from(n as u64),
+        Dest::Broadcast => Json::Null,
+    }
+}
+
+fn dest_from_json(v: &Json) -> Option<Dest> {
+    match v {
+        Json::Null => Some(Dest::Broadcast),
+        _ => Some(Dest::Unicast(v.as_u64()? as NodeId)),
+    }
+}
+
+fn md_to_hex(md: &[u8; 16]) -> String {
+    let mut s = String::with_capacity(32);
+    for b in md {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn md_from_hex(s: &str) -> Option<[u8; 16]> {
+    if s.len() != 32 || !s.is_ascii() {
+        return None;
+    }
+    let mut md = [0u8; 16];
+    for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+        md[i] = u8::from_str_radix(std::str::from_utf8(chunk).ok()?, 16).ok()?;
+    }
+    Some(md)
+}
+
+/// Serializes one frame (wire-visible fields only, which is all a frame
+/// has) following `mg_trace::json` conventions.
+pub fn frame_to_json(f: &Frame) -> Json {
+    let kind = match &f.kind {
+        FrameKind::Rts(r) => Json::obj([(
+            "rts",
+            Json::obj([
+                ("seq", Json::from(u64::from(r.seq_off_wire))),
+                ("att", Json::from(u64::from(r.attempt))),
+                ("md", Json::Str(md_to_hex(&r.md))),
+            ]),
+        )]),
+        FrameKind::Cts => Json::Str("cts".into()),
+        FrameKind::Data { sdu } => Json::obj([(
+            "data",
+            Json::obj([
+                ("id", Json::from(sdu.id)),
+                ("dst", dest_to_json(sdu.dst)),
+                ("len", Json::from(u64::from(sdu.payload_len))),
+            ]),
+        )]),
+        FrameKind::Ack => Json::Str("ack".into()),
+    };
+    Json::obj([
+        ("src", Json::from(f.src as u64)),
+        ("dst", dest_to_json(f.dst)),
+        ("dur", Json::from(f.duration.as_nanos())),
+        ("kind", kind),
+    ])
+}
+
+/// Decodes [`frame_to_json`] output; `None` on any mismatch.
+pub fn frame_from_json(v: &Json) -> Option<Frame> {
+    let kind_json = v.get("kind")?;
+    let kind = match kind_json.as_str() {
+        Some("cts") => FrameKind::Cts,
+        Some("ack") => FrameKind::Ack,
+        Some(_) => return None,
+        None => {
+            if let Some(r) = kind_json.get("rts") {
+                FrameKind::Rts(RtsFields {
+                    seq_off_wire: u16::try_from(r.get("seq")?.as_u64()?).ok()?,
+                    attempt: u8::try_from(r.get("att")?.as_u64()?).ok()?,
+                    md: md_from_hex(r.get("md")?.as_str()?)?,
+                })
+            } else if let Some(d) = kind_json.get("data") {
+                FrameKind::Data {
+                    sdu: MacSdu {
+                        id: d.get("id")?.as_u64()?,
+                        dst: dest_from_json(d.get("dst")?)?,
+                        payload_len: u16::try_from(d.get("len")?.as_u64()?).ok()?,
+                    },
+                }
+            } else {
+                return None;
+            }
+        }
+    };
+    Some(Frame {
+        src: v.get("src")?.as_u64()? as NodeId,
+        dst: dest_from_json(v.get("dst")?)?,
+        duration: SimDuration::from_nanos(v.get("dur")?.as_u64()?),
+        kind,
+    })
+}
+
+/// Serializes one event as a compact tagged array. Virtual instants are
+/// u64 nanoseconds (all < 2⁵³, so exact in a JSON number); distances use
+/// the shortest-round-trip `f64` rendering.
+pub fn obs_to_json(o: &Obs) -> Json {
+    match o {
+        Obs::ChannelEdge { node, busy, at } => Json::Arr(vec![
+            Json::Str("edge".into()),
+            Json::from(*node as u64),
+            Json::Bool(*busy),
+            Json::from(at.as_nanos()),
+        ]),
+        Obs::TxStart { src, frame, at, end } => Json::Arr(vec![
+            Json::Str("tx".into()),
+            Json::from(*src as u64),
+            Json::from(at.as_nanos()),
+            Json::from(end.as_nanos()),
+            frame_to_json(frame),
+        ]),
+        Obs::Decoded { at, frame, start, end } => Json::Arr(vec![
+            Json::Str("rx".into()),
+            Json::from(*at as u64),
+            Json::from(start.as_nanos()),
+            Json::from(end.as_nanos()),
+            frame_to_json(frame),
+        ]),
+        Obs::Garbled { at, now } => Json::Arr(vec![
+            Json::Str("garble".into()),
+            Json::from(*at as u64),
+            Json::from(now.as_nanos()),
+        ]),
+        Obs::Ranging { from, to, at } => Json::Arr(vec![
+            Json::Str("rng".into()),
+            Json::from(*from as u64),
+            Json::from(at.as_nanos()),
+            Json::Arr(
+                to.iter()
+                    .map(|&(v, d)| Json::Arr(vec![Json::from(v as u64), Json::Num(d)]))
+                    .collect(),
+            ),
+        ]),
+    }
+}
+
+/// Decodes [`obs_to_json`] output; `None` on any mismatch.
+pub fn obs_from_json(v: &Json) -> Option<Obs> {
+    let arr = v.as_arr()?;
+    let tag = arr.first()?.as_str()?;
+    match (tag, arr) {
+        ("edge", [_, node, busy, at]) => Some(Obs::ChannelEdge {
+            node: node.as_u64()? as NodeId,
+            busy: busy.as_bool()?,
+            at: SimTime::from_nanos(at.as_u64()?),
+        }),
+        ("tx", [_, src, at, end, frame]) => Some(Obs::TxStart {
+            src: src.as_u64()? as NodeId,
+            frame: frame_from_json(frame)?,
+            at: SimTime::from_nanos(at.as_u64()?),
+            end: SimTime::from_nanos(end.as_u64()?),
+        }),
+        ("rx", [_, at, start, end, frame]) => Some(Obs::Decoded {
+            at: at.as_u64()? as NodeId,
+            frame: frame_from_json(frame)?,
+            start: SimTime::from_nanos(start.as_u64()?),
+            end: SimTime::from_nanos(end.as_u64()?),
+        }),
+        ("garble", [_, at, now]) => Some(Obs::Garbled {
+            at: at.as_u64()? as NodeId,
+            now: SimTime::from_nanos(now.as_u64()?),
+        }),
+        ("rng", [_, from, at, to]) => Some(Obs::Ranging {
+            from: from.as_u64()? as NodeId,
+            to: to
+                .as_arr()?
+                .iter()
+                .map(|p| match p.as_arr()? {
+                    [n, d] => Some((n.as_u64()? as NodeId, d.as_f64()?)),
+                    _ => None,
+                })
+                .collect::<Option<Vec<_>>>()?,
+            at: SimTime::from_nanos(at.as_u64()?),
+        }),
+        _ => None,
+    }
+}

@@ -215,8 +215,8 @@ impl Medium {
 
         // Update aggregate power and refresh every active frame's
         // worst-case interference (the new frame raises it).
-        for v in 0..n {
-            self.agg_mw[v] += power_mw[v];
+        for (agg, p) in self.agg_mw.iter_mut().zip(&power_mw) {
+            *agg += p;
         }
         let mut overlapped_own_tx = vec![false; n];
         for a in &mut self.active {

@@ -12,9 +12,10 @@ const D0: f64 = 1.0;
 /// A large-scale path-loss model: mean received power as a function of
 /// distance, plus (for the shadowing model) a log-normal random component
 /// drawn per transmission per receiver.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub enum PropagationModel {
     /// Friis free-space propagation (path-loss exponent 2).
+    #[default]
     FreeSpace,
     /// Two-ray ground reflection: free space up to the crossover distance
     /// `4π·ht·hr/λ`, then a fourth-power law. Antenna heights in meters.
@@ -89,12 +90,6 @@ impl PropagationModel {
             }
             _ => mean,
         }
-    }
-}
-
-impl Default for PropagationModel {
-    fn default() -> Self {
-        PropagationModel::FreeSpace
     }
 }
 

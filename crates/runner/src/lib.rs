@@ -338,7 +338,7 @@ impl Runner {
                 loop {
                     attempts += 1;
                     let (tx, rx) = mpsc::channel();
-                    let this_attempt = attempt.clone();
+                    let this_attempt = attempt;
                     scope.spawn(move || {
                         let _ = tx.send(catch_unwind(AssertUnwindSafe(this_attempt)));
                     });

@@ -114,7 +114,11 @@ impl SplitMix64 {
     }
 
     /// The next 64-bit output.
+    ///
+    /// Deliberately named like the generator literature (not an
+    /// `Iterator`: the stream is infinite and never yields `None`).
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;

@@ -218,15 +218,15 @@ mod tests {
         let mut a = Arma::new(0.9, 7);
         let mut b = Arma::new(0.9, 7);
         for i in 0..100u64 {
-            let v = if i % 3 == 0 { 1.0 } else { 0.0 };
+            let v = if i.is_multiple_of(3) { 1.0 } else { 0.0 };
             a.push(v);
         }
         // Same stream delivered in runs.
         let mut i = 0u64;
         while i < 100 {
-            let v = if i % 3 == 0 { 1.0 } else { 0.0 };
+            let v = if i.is_multiple_of(3) { 1.0 } else { 0.0 };
             let mut run = 1;
-            while i + run < 100 && ((i + run) % 3 == 0) == (i % 3 == 0) {
+            while i + run < 100 && (i + run).is_multiple_of(3) == i.is_multiple_of(3) {
                 run += 1;
             }
             b.push_n(v, run);

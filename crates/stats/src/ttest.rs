@@ -185,6 +185,8 @@ fn betacf(a: f64, b: f64, x: f64) -> f64 {
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires positive argument, got {x}");
     const G: f64 = 7.0;
+    // Published Lanczos coefficients, transcribed digit-for-digit.
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,

@@ -43,6 +43,9 @@ echo "ok: dependency tree is workspace-only"
 echo "== build (release, offline) =="
 cargo build --release --offline
 
+echo "== clippy: no warnings =="
+cargo clippy --workspace --all-targets --offline -q -- -D warnings
+
 echo "== tests (offline) =="
 cargo test -q --workspace --offline
 
@@ -112,6 +115,30 @@ if ! grep -q "panicked" "$outdir/panic.stderr"; then
     exit 1
 fi
 echo "ok: panicked cell reported, exit code propagated"
+
+echo "== replay gate: a replayed journal reproduces the live detection byte-for-byte =="
+# Record a small two-sample-size detection run, replay the journal into
+# fresh monitors, and require the detection report lines to be identical.
+cargo run -q --release --offline -- detect --pm 60 --secs 2 --seed 5 \
+    --samples 10,25 --record "$outdir/replay.jsonl" >"$outdir/replay-live.out"
+cargo run -q --release --offline -- detect --replay "$outdir/replay.jsonl" \
+    --samples 10,25 >"$outdir/replay-replayed.out"
+if ! diff <(grep -E '^(samples|tests|checks|verdict)' "$outdir/replay-live.out") \
+          <(grep -E '^(samples|tests|checks|verdict)' "$outdir/replay-replayed.out"); then
+    echo "error: replayed detection diverged from the live run" >&2
+    exit 1
+fi
+# Conflicting flags must be rejected with the usage text (exit 2).
+set +e
+cargo run -q --release --offline -- detect --replay "$outdir/replay.jsonl" --pm 50 \
+    >/dev/null 2>"$outdir/replay-conflict.err"
+conflict_status=$?
+set -e
+if [ "$conflict_status" -ne 2 ] || ! grep -q -- "--replay conflicts with --pm" "$outdir/replay-conflict.err"; then
+    echo "error: --replay --pm must exit 2 with a conflict message" >&2
+    exit 1
+fi
+echo "ok: replay reproduces live detection; world flags are rejected"
 
 echo "== rustdoc: no warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q

@@ -25,6 +25,7 @@
 //! | [`phy`] | `mg-phy` | propagation models, radio thresholds, shared medium |
 //! | [`mac`] | `mg-dcf` | the 802.11 DCF MAC + misbehavior policies |
 //! | [`net`] | `mg-net` | the simulation world, traffic, mobility, AODV-lite |
+//! | [`obs`] | `mg-obs` | the monitor's typed observation alphabet + record/replay journals |
 //! | [`trace`] | `mg-trace` | structured event journal, per-node metrics, spans |
 //! | [`fault`] | `mg-fault` | deterministic fault injection for chaos testing |
 //! | [`detect`] | `mg-detect` | **the detection framework** (the paper's contribution) |
@@ -94,6 +95,7 @@ pub use mg_detect as detect;
 pub use mg_fault as fault;
 pub use mg_geom as geom;
 pub use mg_net as net;
+pub use mg_obs as obs;
 pub use mg_phy as phy;
 pub use mg_sim as sim;
 pub use mg_stats as stats;
@@ -103,9 +105,10 @@ pub use mg_trace as trace;
 pub mod prelude {
     pub use mg_dcf::{BackoffPolicy, Dest, Frame, FrameKind, MacSdu, MacTiming};
     pub use mg_detect::{
-        AnalyticModel, AttackerHandle, Diagnosis, FaultPlan, Judge, Monitor, MonitorConfig,
-        MonitorHandle, MonitorPool, Monitors, NodeCounts, ObsFaults, ScenarioBuilder, Violation,
-        WorldMonitors, WorldProbe,
+        replay_pool, replay_pool_faulted, AnalyticModel, Assembly, AttackerHandle, Diagnosis,
+        FaultPlan, Judge, Monitor, MonitorConfig, MonitorHandle, MonitorPool, Monitors,
+        NodeCounts, Obs, ObsFaults, ObsJournal, ObsMeta, ObsRecorder, ObsSink, ScenarioBuilder,
+        Violation, WorldMonitors, WorldProbe,
     };
     pub use mg_geom::{PreclusionRule, RegionModel, Vec2};
     pub use mg_net::{

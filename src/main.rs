@@ -20,6 +20,14 @@
 //!                     (e.g. "light", "heavy,seed=7", "loss=0.1,deaf=250:25")
 //!   --trace <file>    write the event journal as JSONL to <file>
 //!   --metrics         print stack-wide counters and histograms
+//!   --record <file>   also record the monitors' observation stream as an
+//!                     ObsJournal (JSONL) for later --replay
+//!   --replay <file>   skip simulation: replay a recorded journal into
+//!                     fresh monitors. The journal fixes the world, so
+//!                     --replay rejects every world knob (--pm, --rate,
+//!                     --secs, --seed, --random, --mobile, --record,
+//!                     --trace, --metrics); it composes with --samples,
+//!                     --no-blatant and --faults
 //! ```
 //!
 //! Unrecognized arguments are an error (exit code 2), never silently
@@ -58,6 +66,9 @@ usage:
   manet-guard detect [--pm N] [--rate PPS] [--secs S] [--seed N]
                      [--samples N[,N..]] [--random] [--mobile] [--no-blatant]
                      [--faults SPEC] [--trace FILE] [--metrics]
+                     [--record FILE]
+  manet-guard detect --replay FILE [--samples N[,N..]] [--no-blatant]
+                     [--faults SPEC]
   manet-guard params
 ";
 
@@ -73,10 +84,14 @@ struct DetectOpts {
     faults: FaultPlan,
     trace: Option<String>,
     metrics: bool,
+    record: Option<String>,
+    replay: Option<String>,
 }
 
 /// Strict parser for `detect` arguments: every flag must be recognized and
 /// every value must parse, otherwise the whole invocation is rejected.
+/// `--replay` additionally rejects any flag that would contradict the
+/// recorded world.
 fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
     let mut o = DetectOpts {
         pm: 50,
@@ -90,26 +105,83 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
         faults: FaultPlan::default(),
         trace: None,
         metrics: false,
+        record: None,
+        replay: None,
     };
+    let mut seen: Vec<&'static str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        match a.as_str() {
-            "--pm" => o.pm = value(&mut it, a)?,
-            "--rate" => o.rate = value(&mut it, a)?,
-            "--secs" => o.secs = value(&mut it, a)?,
-            "--seed" => o.seed = value(&mut it, a)?,
-            "--samples" => o.samples = samples_list(&raw_value(&mut it, a)?)?,
-            "--random" => o.random = true,
-            "--mobile" => o.mobile = true,
-            "--no-blatant" => o.no_blatant = true,
+        let flag: &'static str = match a.as_str() {
+            "--pm" => {
+                o.pm = value(&mut it, a)?;
+                "--pm"
+            }
+            "--rate" => {
+                o.rate = value(&mut it, a)?;
+                "--rate"
+            }
+            "--secs" => {
+                o.secs = value(&mut it, a)?;
+                "--secs"
+            }
+            "--seed" => {
+                o.seed = value(&mut it, a)?;
+                "--seed"
+            }
+            "--samples" => {
+                o.samples = samples_list(&raw_value(&mut it, a)?)?;
+                "--samples"
+            }
+            "--random" => {
+                o.random = true;
+                "--random"
+            }
+            "--mobile" => {
+                o.mobile = true;
+                "--mobile"
+            }
+            "--no-blatant" => {
+                o.no_blatant = true;
+                "--no-blatant"
+            }
             "--faults" => {
                 let spec = raw_value(&mut it, a)?;
                 o.faults = FaultPlan::parse(&spec)
                     .map_err(|e| format!("invalid value for --faults: {e}"))?;
+                "--faults"
             }
-            "--trace" => o.trace = Some(raw_value(&mut it, a)?),
-            "--metrics" => o.metrics = true,
+            "--trace" => {
+                o.trace = Some(raw_value(&mut it, a)?);
+                "--trace"
+            }
+            "--metrics" => {
+                o.metrics = true;
+                "--metrics"
+            }
+            "--record" => {
+                o.record = Some(raw_value(&mut it, a)?);
+                "--record"
+            }
+            "--replay" => {
+                o.replay = Some(raw_value(&mut it, a)?);
+                "--replay"
+            }
             other => return Err(format!("unrecognized argument: {other}")),
+        };
+        seen.push(flag);
+    }
+    if seen.contains(&"--replay") {
+        // The journal fixes the world; only detector-side knobs compose.
+        const WORLD_FLAGS: [&str; 9] = [
+            "--record", "--pm", "--rate", "--secs", "--seed", "--random", "--mobile", "--trace",
+            "--metrics",
+        ];
+        for c in WORLD_FLAGS {
+            if seen.contains(&c) {
+                return Err(format!(
+                    "--replay conflicts with {c}: the recorded journal fixes the world"
+                ));
+            }
         }
     }
     Ok(o)
@@ -161,7 +233,175 @@ fn params() {
     }
 }
 
+/// The per-monitor result block, shared verbatim by the live and replay
+/// paths — the ci.sh replay gate diffs these lines byte-for-byte.
+fn report_diagnosis(attacker_node: usize, sample_size: usize, multi: bool, diag: &Diagnosis) {
+    if multi {
+        println!("monitor  : sample size {sample_size}");
+    }
+    println!(
+        "samples  : {} collected, {} discarded",
+        diag.samples_collected, diag.samples_discarded
+    );
+    if diag.uncertain > 0 {
+        println!(
+            "faults   : {} anomalous observation(s) held below the confirmation threshold",
+            diag.uncertain
+        );
+    }
+    println!(
+        "tests    : {} run, {} rejected H0 (last p = {})",
+        diag.tests_run,
+        diag.rejections,
+        diag.last_p
+            .map(|p| format!("{p:.4}"))
+            .unwrap_or_else(|| "-".into())
+    );
+    println!("checks   : {} deterministic violations", diag.violations);
+    println!(
+        "verdict  : node {attacker_node} is {}",
+        if diag.is_flagged() {
+            "MISBEHAVING"
+        } else {
+            "apparently well-behaved"
+        }
+    );
+}
+
+/// Runs the built world and prints the detection report. Generic over the
+/// probe so the `--record` path (recorder installed) shares it with the
+/// plain one.
+fn run_and_report<P: NetObserver>(
+    world: &mut World<Assembly<P>>,
+    o: &DetectOpts,
+    attacker: AttackerHandle,
+    attacker_node: usize,
+    watches: &[(usize, MonitorHandle)],
+) {
+    if o.pm > 0 {
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: o.pm });
+    }
+
+    let t0 = std::time::Instant::now();
+    {
+        let handle = world.metrics().clone();
+        let _span = Span::enter(&handle, "detect.run");
+        world.run_until(SimTime::from_secs(o.secs));
+    }
+    let wall = t0.elapsed();
+
+    println!(
+        "run      : {}s virtual in {wall:.2?} ({} events)",
+        o.secs,
+        world.events_fired()
+    );
+    println!(
+        "load     : measured rho = {:.2}",
+        world.monitors().diagnosis(watches[0].1).measured_rho
+    );
+    for &(n, watch) in watches {
+        let diag = world.monitors().diagnosis(watch);
+        report_diagnosis(attacker_node, n, watches.len() > 1, &diag);
+    }
+
+    if let Some(path) = &o.trace {
+        let tracer = world.tracer();
+        match std::fs::write(path, tracer.to_jsonl()) {
+            Ok(()) => println!(
+                "trace    : {} events written to {path} ({} dropped by ring)",
+                tracer.len(),
+                tracer.dropped()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if o.metrics {
+        println!("metrics  : {}", world.metrics().snapshot().to_json().render());
+        for (name, ns) in world.metrics().spans() {
+            println!("span     : {name} = {:.2?}", std::time::Duration::from_nanos(ns));
+        }
+    }
+}
+
+/// `detect --replay`: no simulation — load the journal, build one fresh
+/// monitor (pool) per requested sample size, and stream the recorded
+/// observations through each.
+fn replay_detect(o: &DetectOpts, path: &str) {
+    let journal = match ObsJournal::load(std::path::Path::new(path)) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: cannot load journal from {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let meta = journal.meta().clone();
+    if meta.vantages.is_empty() {
+        eprintln!("error: journal {path} declares no vantages");
+        std::process::exit(1);
+    }
+    let attacker_node = meta.tagged;
+    let primary = meta.vantages[0];
+    let kind = meta.param("kind").unwrap_or("grid").to_string();
+    let pm: u8 = meta.param("pm").and_then(|v| v.parse().ok()).unwrap_or(0);
+
+    let mut mc = if kind == "grid" {
+        MonitorConfig::grid_paper(attacker_node, primary, meta.pair_distance)
+    } else {
+        MonitorConfig::random_paper(attacker_node, primary, meta.pair_distance)
+    };
+    if kind == "mobile" {
+        mc.eifs_weight = 0.0;
+        mc.counts = NodeCounts::SimCalibrated;
+    }
+    if o.no_blatant {
+        mc.blatant_check = false;
+    }
+
+    println!(
+        "replay   : {path} ({} events, {} vantage(s), world seed {})",
+        journal.len(),
+        meta.vantages.len(),
+        meta.seed
+    );
+    println!("attacker : node {attacker_node} (PM = {pm}%), monitor: node {primary}");
+    if !o.faults.is_noop() {
+        println!("faults   : {:?}", o.faults);
+    }
+
+    let t0 = std::time::Instant::now();
+    let pools: Vec<(usize, MonitorPool)> = o
+        .samples
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                replay_pool_faulted(&journal, mc.with_sample_size(n), &o.faults),
+            )
+        })
+        .collect();
+    println!(
+        "run      : {} events replayed into {} monitor(s) in {:.2?}",
+        journal.len(),
+        pools.len(),
+        t0.elapsed()
+    );
+    println!(
+        "load     : measured rho = {:.2}",
+        pools[0].1.diagnosis().measured_rho
+    );
+    for (n, pool) in &pools {
+        report_diagnosis(attacker_node, *n, pools.len() > 1, &pool.diagnosis());
+    }
+}
+
 fn detect(o: DetectOpts) {
+    if let Some(path) = o.replay.clone() {
+        replay_detect(&o, &path);
+        return;
+    }
     let random = o.random || o.mobile;
     let mut cfg = if o.mobile {
         ScenarioConfig::mobile_paper(o.seed, SimDuration::ZERO)
@@ -235,80 +475,44 @@ fn detect(o: DetectOpts) {
         builder.metrics();
     }
 
-    let mut world = builder.build();
-    if o.pm > 0 {
-        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: o.pm });
-    }
-
-    let t0 = std::time::Instant::now();
-    {
-        let handle = world.metrics().clone();
-        let _span = Span::enter(&handle, "detect.run");
-        world.run_until(SimTime::from_secs(o.secs));
-    }
-    let wall = t0.elapsed();
-
-    println!(
-        "run      : {}s virtual in {wall:.2?} ({} events)",
-        o.secs,
-        world.events_fired()
-    );
-    println!(
-        "load     : measured rho = {:.2}",
-        world.monitors().diagnosis(watches[0].1).measured_rho
-    );
-    for &(n, watch) in &watches {
-        let diag = world.monitors().diagnosis(watch);
-        if watches.len() > 1 {
-            println!("monitor  : sample size {n}");
-        }
-        println!(
-            "samples  : {} collected, {} discarded",
-            diag.samples_collected, diag.samples_discarded
-        );
-        if diag.uncertain > 0 {
-            println!(
-                "faults   : {} anomalous observation(s) held below the confirmation threshold",
-                diag.uncertain
-            );
-        }
-        println!(
-            "tests    : {} run, {} rejected H0 (last p = {})",
-            diag.tests_run,
-            diag.rejections,
-            diag.last_p
-                .map(|p| format!("{p:.4}"))
-                .unwrap_or_else(|| "-".into())
-        );
-        println!("checks   : {} deterministic violations", diag.violations);
-        println!(
-            "verdict  : node {attacker_node} is {}",
-            if diag.is_flagged() {
-                "MISBEHAVING"
-            } else {
-                "apparently well-behaved"
-            }
-        );
-    }
-
-    if let Some(path) = &o.trace {
-        let tracer = world.tracer();
-        match std::fs::write(path, tracer.to_jsonl()) {
+    if let Some(path) = o.record.clone() {
+        // The recorder watches the same vantage set as the monitors; the
+        // journal header carries the world facts a --replay needs to
+        // rebuild an equivalent monitor template.
+        let kind = if o.mobile {
+            "mobile"
+        } else if random {
+            "random"
+        } else {
+            "grid"
+        };
+        let meta = ObsMeta {
+            tagged: attacker_node,
+            vantages: if o.mobile { vantages.clone() } else { vec![vantage] },
+            pair_distance: d,
+            seed: o.seed,
+            params: vec![
+                ("kind".into(), kind.into()),
+                ("pm".into(), o.pm.to_string()),
+                ("rate".into(), o.rate.to_string()),
+                ("secs".into(), o.secs.to_string()),
+            ],
+        };
+        let mut world = builder.probe(ObsRecorder::new(meta)).build();
+        run_and_report(&mut world, &o, attacker, attacker_node, &watches);
+        let journal = world.probe().journal();
+        match journal.save(std::path::Path::new(&path)) {
             Ok(()) => println!(
-                "trace    : {} events written to {path} ({} dropped by ring)",
-                tracer.len(),
-                tracer.dropped()
+                "record   : {} observations written to {path}",
+                journal.len()
             ),
             Err(e) => {
-                eprintln!("error: cannot write trace to {path}: {e}");
+                eprintln!("error: cannot write journal to {path}: {e}");
                 std::process::exit(1);
             }
         }
-    }
-    if o.metrics {
-        println!("metrics  : {}", world.metrics().snapshot().to_json().render());
-        for (name, ns) in world.metrics().spans() {
-            println!("span     : {name} = {:.2?}", std::time::Duration::from_nanos(ns));
-        }
+    } else {
+        let mut world = builder.build();
+        run_and_report(&mut world, &o, attacker, attacker_node, &watches);
     }
 }

@@ -13,7 +13,7 @@ fn measure(cfg: ScenarioConfig, secs: u64) -> (f64, f64, f64) {
         joint: JointTracker,
     }
     impl NetObserver for Probe {
-        fn on_channel_edge(&mut self, _m: &Medium, node: usize, busy: bool, now: SimTime) {
+        fn on_channel_edge(&mut self, node: usize, busy: bool, now: SimTime) {
             if node == self.s {
                 self.joint.on_s_edge(busy, now);
             }
@@ -21,7 +21,7 @@ fn measure(cfg: ScenarioConfig, secs: u64) -> (f64, f64, f64) {
                 self.joint.on_r_edge(busy, now);
             }
         }
-        fn on_tx_start(&mut self, _m: &Medium, src: usize, _f: &Frame, now: SimTime, end: SimTime) {
+        fn on_tx_start(&mut self, src: usize, _f: &Frame, now: SimTime, end: SimTime) {
             if src == self.s {
                 self.joint.on_s_tx(now, end);
             }
