@@ -7,6 +7,7 @@
 //! default trial count.
 
 use crate::FaultPlan;
+use mg_phy::MediumIndex;
 use mg_runner::{Cache, CacheMode, Runner};
 use std::path::PathBuf;
 
@@ -28,6 +29,10 @@ pub struct BenchConfig {
     /// Fault-injection plan (`MG_FAULT_PROFILE` spec string, default no-op,
     /// with `MG_FAULT_SEED` overriding the plan's seed).
     pub fault: FaultPlan,
+    /// Medium spatial-index strategy (`MG_MEDIUM_INDEX`: `naive`/`grid`,
+    /// default grid). Results are byte-identical either way; the knob
+    /// exists so CI can cross-check sweeps against the reference scan.
+    pub medium_index: MediumIndex,
 }
 
 impl Default for BenchConfig {
@@ -40,6 +45,7 @@ impl Default for BenchConfig {
             cache_mode: CacheMode::ReadWrite,
             cache_dir: PathBuf::from("results/.cache"),
             fault: FaultPlan::default(),
+            medium_index: MediumIndex::default(),
         }
     }
 }
@@ -70,6 +76,10 @@ impl BenchConfig {
         if let Ok(spec) = std::env::var("MG_FAULT_PROFILE") {
             cfg.fault = FaultPlan::parse(&spec)
                 .map_err(|e| format!("invalid MG_FAULT_PROFILE value {spec:?}: {e}"))?;
+        }
+        if let Ok(raw) = std::env::var("MG_MEDIUM_INDEX") {
+            cfg.medium_index = MediumIndex::parse(&raw)
+                .map_err(|e| format!("invalid MG_MEDIUM_INDEX value: {e}"))?;
         }
         if let Ok(raw) = std::env::var("MG_FAULT_SEED") {
             let seed: u64 = raw.trim().parse().map_err(|_| {
@@ -129,6 +139,7 @@ mod tests {
             "MG_CACHE_DIR",
             "MG_FAULT_PROFILE",
             "MG_FAULT_SEED",
+            "MG_MEDIUM_INDEX",
         ];
         let saved: Vec<_> = vars.iter().map(|v| (*v, std::env::var_os(v))).collect();
         for v in vars {
@@ -177,6 +188,14 @@ mod tests {
         std::env::set_var("MG_FAULT_SEED", "8x");
         let err = BenchConfig::from_env().unwrap_err();
         assert!(err.contains("MG_FAULT_SEED") && err.contains("8x"), "{err}");
+        std::env::set_var("MG_FAULT_SEED", "99");
+
+        std::env::set_var("MG_MEDIUM_INDEX", "Naive");
+        let cfg = BenchConfig::from_env().expect("case-insensitive index parses");
+        assert_eq!(cfg.medium_index, MediumIndex::Naive);
+        std::env::set_var("MG_MEDIUM_INDEX", "quadtree");
+        let err = BenchConfig::from_env().unwrap_err();
+        assert!(err.contains("MG_MEDIUM_INDEX") && err.contains("quadtree"), "{err}");
 
         for (name, value) in saved {
             match value {

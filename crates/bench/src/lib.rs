@@ -32,6 +32,7 @@
 //! | `MG_JSON_DIR` | unset | when set, each binary also writes JSON here |
 //! | `MG_CACHE` | `on` | result cache: `on`, `off` or `refresh` |
 //! | `MG_CACHE_DIR` | `results/.cache` | where cached results live |
+//! | `MG_MEDIUM_INDEX` | `grid` | medium spatial index: `grid` or `naive` |
 
 #![warn(missing_docs)]
 
@@ -41,6 +42,7 @@ use mg_detect::{
     Violation, WorldMonitors, WorldProbe,
 };
 use mg_net::{NetObserver, Scenario, ScenarioConfig, SourceCfg, TrafficKind};
+use mg_phy::MediumIndex;
 use mg_runner::{CacheKey, Codec, Runner};
 use mg_sim::{SimDuration, SimTime};
 use mg_trace::MetricsSnapshot;
@@ -594,15 +596,32 @@ pub fn aggregate(outcomes: &[TrialOutcome]) -> TrialOutcome {
     total
 }
 
+/// The `MG_MEDIUM_INDEX` override (default [`MediumIndex::Grid`]), so a CI
+/// lane can rerun any sweep against the reference naive scan. Malformed
+/// values abort like every other knob.
+fn env_medium_index() -> MediumIndex {
+    match std::env::var("MG_MEDIUM_INDEX") {
+        Err(_) => MediumIndex::default(),
+        Ok(raw) => MediumIndex::parse(&raw).unwrap_or_else(|e| {
+            eprintln!("mg-bench: invalid MG_MEDIUM_INDEX value: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 /// The scenario base for the paper's grid experiments.
 pub fn grid_base() -> ScenarioConfig {
-    ScenarioConfig::grid_paper(0)
+    ScenarioConfig {
+        medium_index: env_medium_index(),
+        ..ScenarioConfig::grid_paper(0)
+    }
 }
 
 /// The scenario base for the paper's random-topology experiments.
 pub fn random_base() -> ScenarioConfig {
     ScenarioConfig {
         traffic: TrafficKind::Cbr,
+        medium_index: env_medium_index(),
         ..ScenarioConfig::random_paper(0)
     }
 }

@@ -337,6 +337,59 @@ impl<P: NetObserver> ScenarioBuilder<P> {
         AttackerHandle { node }
     }
 
+    /// Registers `count` attackers spread deterministically across the node
+    /// id space (evenly strided picks — no RNG draw, so adding attackers
+    /// never perturbs placement or source streams). The many-attacker knob
+    /// of the scale studies: apply policies to the returned handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the node count.
+    pub fn attackers(&mut self, count: usize) -> Vec<AttackerHandle> {
+        let n = self.scenario.positions().len();
+        assert!(count <= n, "cannot place {count} attackers on {n} nodes");
+        (0..count)
+            .map(|i| self.attacker(i * n / count.max(1)))
+            .collect()
+    }
+
+    /// Registers a monitor watching each node in `tagged` from its nearest
+    /// one-hop neighbor (the natural vantage: closest node inside the
+    /// transmission range). Tagged nodes with no in-range neighbor are
+    /// skipped — the returned handles tell which got a monitor. The monitor
+    /// configuration follows the scenario (grid topologies use the paper's
+    /// fixed-counts analytic model, random/clustered ones the density
+    /// estimate), with the scenario's own tx/cs ranges.
+    pub fn monitor_mesh(&mut self, tagged: &[NodeId]) -> Vec<MonitorHandle> {
+        use mg_geom::placement;
+        use mg_net::TopologyCfg;
+        let cfg = *self.scenario.config();
+        let positions = self.scenario.positions().to_vec();
+        let mut handles = Vec::new();
+        for &t in tagged {
+            let Some(v) = placement::neighbors_within(&positions, t, cfg.tx_range)
+                .into_iter()
+                .min_by(|&a, &b| {
+                    positions[t]
+                        .distance_sq(positions[a])
+                        .partial_cmp(&positions[t].distance_sq(positions[b]))
+                        .expect("no NaN positions")
+                })
+            else {
+                continue; // isolated node: nothing can watch it
+            };
+            let d = positions[t].distance(positions[v]);
+            let mut mc = match cfg.topology {
+                TopologyCfg::Grid { .. } => MonitorConfig::grid_paper(t, v, d),
+                _ => MonitorConfig::random_paper(t, v, d),
+            };
+            mc.tx_range = cfg.tx_range;
+            mc.cs_range = cfg.cs_range;
+            handles.push(self.monitor(mc));
+        }
+        handles
+    }
+
     /// Registers a single monitor watching `cfg.tagged` from `cfg.vantage`.
     ///
     /// Both nodes are excluded from background sources, matching the old
@@ -507,6 +560,38 @@ mod tests {
         let world = b.build();
         assert_eq!(world.monitors().len(), 1);
         assert!(world.monitors().primary().is_some());
+    }
+
+    #[test]
+    fn attackers_are_strided_and_deduplicated_with_roles() {
+        let scenario = paper_scenario(1, 5);
+        let mut b = ScenarioBuilder::new(scenario);
+        let hs = b.attackers(4);
+        assert_eq!(hs.len(), 4);
+        let ids: Vec<NodeId> = hs.iter().map(|h| h.id()).collect();
+        assert_eq!(ids, vec![0, 14, 28, 42], "56 nodes, stride 14");
+        // Deterministic: a rebuilt identical scenario yields the same picks.
+        let mut b2 = ScenarioBuilder::new(paper_scenario(1, 5));
+        let ids2: Vec<NodeId> = b2.attackers(4).iter().map(|h| h.id()).collect();
+        assert_eq!(ids, ids2);
+    }
+
+    #[test]
+    fn monitor_mesh_picks_nearest_vantage_and_skips_isolated() {
+        let scenario = paper_scenario(2, 5);
+        let (s, _) = scenario.tagged_pair();
+        let mut b = ScenarioBuilder::new(scenario);
+        let hs = b.monitor_mesh(&[s, s + 1]);
+        assert_eq!(hs.len(), 2, "grid nodes always have neighbors");
+        assert_eq!(hs[0].tagged(), s);
+        assert_eq!(hs[1].tagged(), s + 1);
+        let world = b.build();
+        assert_eq!(world.monitors().len(), 2);
+        // Grid neighbors sit 240 m apart: the mesh must have found one.
+        for (h, t) in [(hs[0], s), (hs[1], s + 1)] {
+            let pool = world.monitors().pool(h);
+            assert_eq!(pool.tagged(), t);
+        }
     }
 
     #[test]

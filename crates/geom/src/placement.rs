@@ -61,6 +61,38 @@ pub fn uniform_random<R: Uniform01>(
         .collect()
 }
 
+/// `clusters × per_cluster` positions in clumps: cluster centers are drawn
+/// uniformly in the field (margin `radius` from the edges where possible),
+/// members uniformly in the disk of `radius` meters around their center,
+/// clamped to the field. Models the dense multi-hop neighborhoods
+/// (hot-spots around gateways) that stress carrier-sense accounting far
+/// more than a uniform scatter of the same node count.
+pub fn clustered<R: Uniform01>(
+    clusters: usize,
+    per_cluster: usize,
+    radius: f64,
+    field_w: f64,
+    field_h: f64,
+    rng: &mut R,
+) -> Vec<Vec2> {
+    let margin_w = if field_w > 2.0 * radius { radius } else { 0.0 };
+    let margin_h = if field_h > 2.0 * radius { radius } else { 0.0 };
+    let mut out = Vec::with_capacity(clusters * per_cluster);
+    for _ in 0..clusters {
+        let cx = margin_w + rng.uniform01() * (field_w - 2.0 * margin_w);
+        let cy = margin_h + rng.uniform01() * (field_h - 2.0 * margin_h);
+        for _ in 0..per_cluster {
+            // Uniform in the disk: r = R·sqrt(u) corrects the area bias.
+            let r = radius * rng.uniform01().sqrt();
+            let theta = rng.uniform01() * std::f64::consts::TAU;
+            let x = (cx + r * theta.cos()).clamp(0.0, field_w);
+            let y = (cy + r * theta.sin()).clamp(0.0, field_h);
+            out.push(Vec2::new(x, y));
+        }
+    }
+    out
+}
+
 /// Index of the node closest to the field center — the paper places the
 /// monitored pair "in the center of the grid so that the computations take
 /// into consideration the interference effects from their two-hop neighbors".
@@ -138,6 +170,25 @@ mod tests {
         for p in &pts {
             assert!((0.0..=3000.0).contains(&p.x));
             assert!((0.0..=2000.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn clustered_stays_in_field_and_clumps() {
+        let mut r = lcg(11);
+        let pts = clustered(5, 40, 300.0, 3000.0, 3000.0, &mut r);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            assert!((0.0..=3000.0).contains(&p.x) && (0.0..=3000.0).contains(&p.y));
+        }
+        // Members stay within their cluster radius: diameter ≤ 600 m.
+        for c in 0..5 {
+            let members = &pts[c * 40..(c + 1) * 40];
+            for a in members {
+                for b in members {
+                    assert!(a.distance(*b) <= 600.0 + 1e-9);
+                }
+            }
         }
     }
 

@@ -1,6 +1,6 @@
 //! Serializable experiment configuration — the paper's Table 1 as a struct.
 
-use mg_phy::PropagationModel;
+use mg_phy::{MediumIndex, PropagationModel};
 use mg_sim::SimDuration;
 
 /// Node layout.
@@ -20,6 +20,17 @@ pub enum TopologyCfg {
         /// Number of nodes.
         nodes: usize,
     },
+    /// Clustered placement: dense clumps of nodes around random centers —
+    /// the hot-spot regime (many contenders in one sensing disk) that
+    /// scale studies of 802.11 backoff behavior evaluate.
+    Clustered {
+        /// Number of clusters.
+        clusters: usize,
+        /// Nodes per cluster.
+        per_cluster: usize,
+        /// Cluster radius, m.
+        radius: f64,
+    },
 }
 
 impl TopologyCfg {
@@ -28,6 +39,7 @@ impl TopologyCfg {
         match *self {
             TopologyCfg::Grid { rows, cols, .. } => rows * cols,
             TopologyCfg::Random { nodes } => nodes,
+            TopologyCfg::Clustered { clusters, per_cluster, .. } => clusters * per_cluster,
         }
     }
 }
@@ -93,6 +105,9 @@ pub struct ScenarioConfig {
     pub sim_secs: u64,
     /// Run seed — every random draw in the run derives from it.
     pub seed: u64,
+    /// Spatial-index strategy of the medium. Byte-identical results either
+    /// way; `Grid` makes big worlds affordable (see `bench_world_scale`).
+    pub medium_index: MediumIndex,
 }
 
 impl ScenarioConfig {
@@ -118,6 +133,7 @@ impl ScenarioConfig {
             mobility: None,
             sim_secs: 300,
             seed,
+            medium_index: MediumIndex::default(),
         }
     }
 
@@ -142,6 +158,22 @@ impl ScenarioConfig {
         }
     }
 
+    /// A thousand-node world at the paper's node density: `nodes` random
+    /// nodes on a field scaled so the per-disk population matches the
+    /// paper's 112-node 3000 m × 3000 m layout. Source pairs scale with
+    /// the node count (the paper's 30 pairs ≈ 27% of nodes). This is the
+    /// regime the spatial index exists for.
+    pub fn large_world(seed: u64, nodes: usize) -> Self {
+        let side = 3000.0 * (nodes as f64 / 112.0).sqrt();
+        ScenarioConfig {
+            topology: TopologyCfg::Random { nodes },
+            field_w: side,
+            field_h: side,
+            source_count: (nodes * 30).div_ceil(112),
+            ..Self::random_paper(seed)
+        }
+    }
+
     /// Table 1 as printable rows (parameter, value).
     pub fn table1_rows(&self) -> Vec<(String, String)> {
         let topo = match self.topology {
@@ -149,6 +181,9 @@ impl ScenarioConfig {
                 format!("Grid {rows}x{cols}, {spacing} m spacing")
             }
             TopologyCfg::Random { nodes } => format!("Random, {nodes} nodes"),
+            TopologyCfg::Clustered { clusters, per_cluster, radius } => {
+                format!("Clustered, {clusters} x {per_cluster} nodes, r = {radius} m")
+            }
         };
         vec![
             ("Topology".into(), topo),
@@ -204,6 +239,31 @@ mod tests {
         let r = ScenarioConfig::random_paper(1);
         assert_eq!(r.topology.node_count(), 112);
         assert_eq!(r.traffic, TrafficKind::Cbr);
+    }
+
+    #[test]
+    fn large_world_preserves_density() {
+        let small = ScenarioConfig::random_paper(1);
+        let big = ScenarioConfig::large_world(1, 2000);
+        assert_eq!(big.topology.node_count(), 2000);
+        let density = |c: &ScenarioConfig| {
+            c.topology.node_count() as f64 / (c.field_w * c.field_h)
+        };
+        assert!(
+            (density(&small) - density(&big)).abs() / density(&small) < 0.01,
+            "density drifts: {} vs {}",
+            density(&small),
+            density(&big)
+        );
+        // Sources scale proportionally (paper: 30 of 112).
+        assert_eq!(big.source_count, 536);
+        assert_eq!(big.medium_index, MediumIndex::Grid);
+    }
+
+    #[test]
+    fn clustered_topology_counts_nodes() {
+        let t = TopologyCfg::Clustered { clusters: 8, per_cluster: 60, radius: 300.0 };
+        assert_eq!(t.node_count(), 480);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use crate::traffic::{DstPolicy, SourceCfg, TrafficModel};
 use crate::NodeId;
 use mg_dcf::{BackoffPolicy, DcfMac, Dest, Frame, MacAction, MacSdu, MacTiming, Timer};
 use mg_geom::{placement, Vec2};
-use mg_phy::{Medium, PropagationModel, RadioParams, RxOutcome, TxId};
+use mg_phy::{Medium, MediumIndex, PropagationModel, RadioParams, RxOutcome, TxId};
 use mg_sim::rng::{Rng, RngDirectory, Xoshiro256};
 use mg_sim::{EventHandle, Scheduler, SimDuration, SimTime};
 use mg_trace::{Counter, EventKind, Metrics, Tracer};
@@ -237,6 +237,12 @@ impl<O: NetObserver> World<O> {
         self.macs[node].set_rts_threshold(bytes);
     }
 
+    /// Switches the medium's spatial-index strategy (results are
+    /// byte-identical either way; `Grid` is the default and the fast one).
+    pub fn set_medium_index(&mut self, index: MediumIndex) {
+        self.medium.set_index(index);
+    }
+
     /// Registers a traffic source and schedules its first arrival.
     pub fn add_source(&mut self, cfg: SourceCfg) {
         let idx = self.sources.len();
@@ -345,8 +351,10 @@ impl<O: NetObserver> World<O> {
         self.apply(node, actions);
 
         // 2. Reception outcomes — strictly before the idle edges (contract).
-        for v in 0..self.node_count() {
-            match ended.outcomes[v] {
+        // Receptions are sparse (covered nodes only, ascending id), which
+        // keeps this loop O(footprint) instead of O(world).
+        for &(v, outcome) in &ended.receptions {
+            match outcome {
                 RxOutcome::Decoded => {
                     self.observer
                         .on_frame_decoded(&self.medium, v, &frame, ended.start, now);
@@ -433,9 +441,10 @@ impl<O: NetObserver> World<O> {
 
     fn random_neighbor(&mut self, src: usize, node: NodeId) -> Option<NodeId> {
         let p = self.medium.position(node);
-        let neighbors: Vec<NodeId> = (0..self.node_count())
-            .filter(|&v| v != node && p.distance(self.medium.position(v)) <= self.tx_range)
-            .collect();
+        // Index-served and ascending, so the RNG pick lands on the same
+        // neighbor under either MediumIndex.
+        let mut neighbors = self.medium.nodes_within(p, self.tx_range);
+        neighbors.retain(|&v| v != node);
         if neighbors.is_empty() {
             return None;
         }
@@ -614,6 +623,18 @@ impl Scenario {
                 let mut draw = || rng.uniform01();
                 placement::uniform_random(nodes, cfg.field_w, cfg.field_h, &mut draw)
             }
+            TopologyCfg::Clustered { clusters, per_cluster, radius } => {
+                let mut rng = dir.stream("placement", 0);
+                let mut draw = || rng.uniform01();
+                placement::clustered(
+                    clusters,
+                    per_cluster,
+                    radius,
+                    cfg.field_w,
+                    cfg.field_h,
+                    &mut draw,
+                )
+            }
         };
         Scenario { cfg, positions }
     }
@@ -678,6 +699,7 @@ impl Scenario {
             cfg.seed,
             observer,
         );
+        world.set_medium_index(cfg.medium_index);
         // Pick distinct source nodes.
         let dir = RngDirectory::new(cfg.seed);
         let mut rng = dir.stream("source-pick", 0);

@@ -15,7 +15,10 @@
 //!   answers per-node carrier-sense queries, reports busy/idle **edges**
 //!   (which drive both the MAC back-off freeze logic and the monitor's slot
 //!   statistics), and adjudicates per-receiver reception outcomes
-//!   (decoded / collided / sensed-only) using SINR capture.
+//!   (decoded / collided / sensed-only) using SINR capture. Transmission
+//!   footprints are discovered through a [`MediumIndex`] — a cell-grid
+//!   spatial index by default, with the naive full scan kept compiled and
+//!   byte-identical for differential testing.
 //!
 //! # Example
 //!
@@ -33,16 +36,17 @@
 //! let (tx, edges) = medium.begin_tx(0, SimTime::ZERO, &mut rng);
 //! assert!(edges.iter().any(|e| e.node == 1 && e.busy)); // neighbor senses it
 //! let ended = medium.end_tx(tx, SimTime::from_micros(272));
-//! assert!(ended.outcomes[1].is_decoded()); // and decodes it (240 m < 250 m)
+//! assert!(ended.outcome_of(1).is_decoded()); // and decodes it (240 m < 250 m)
 //! ```
 
 #![warn(missing_docs)]
 
+mod index;
 mod medium;
 mod propagation;
 mod radio;
 
-pub use medium::{EdgeChange, EndedTx, Medium, RxOutcome, TxId};
+pub use medium::{EdgeChange, EndedTx, Medium, MediumIndex, RxOutcome, TxId};
 pub use propagation::PropagationModel;
 pub use radio::{dbm_to_mw, mw_to_dbm, RadioParams};
 

@@ -80,6 +80,41 @@ impl PropagationModel {
         }
     }
 
+    /// `true` when path loss is a pure function of distance — no
+    /// per-receiver random draw. Shadowing with `σ > 0` is the only
+    /// stochastic model; everything else (including `σ = 0` shadowing, the
+    /// paper's channel) is deterministic.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(*self, PropagationModel::Shadowing { sigma_db, .. } if sigma_db > 0.0)
+    }
+
+    /// The largest distance whose *mean* path loss stays within `budget_db`,
+    /// over-approximated to the safe side (the returned distance is ≥ the
+    /// exact boundary) and capped at 100 000 km. With a deterministic model
+    /// this bounds the sensing footprint: no receiver farther than
+    /// `max_distance_for_loss(tx_power − cs_thresh)` can perceive the
+    /// transmission, which is what lets a spatial index skip it entirely.
+    pub fn max_distance_for_loss(&self, budget_db: f64) -> f64 {
+        const CAP: f64 = 1e8;
+        if self.mean_path_loss_db(CAP) <= budget_db {
+            return CAP;
+        }
+        // Path loss is constant below the 1 m reference distance.
+        let (mut lo, mut hi) = (1.0_f64, CAP);
+        if self.mean_path_loss_db(lo) > budget_db {
+            return lo;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.mean_path_loss_db(mid) <= budget_db {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
     /// Path loss for one concrete transmission, including the shadowing draw
     /// when the model has one.
     pub fn sample_path_loss_db<R: Rng>(&self, d: f64, rng: &mut R) -> f64 {
@@ -175,5 +210,38 @@ mod tests {
     #[should_panic(expected = "exponent must be positive")]
     fn bad_beta_rejected() {
         PropagationModel::shadowing(0.0, 1.0);
+    }
+
+    #[test]
+    fn determinism_classification() {
+        assert!(PropagationModel::free_space().is_deterministic());
+        assert!(PropagationModel::TwoRayGround { ht: 1.5, hr: 1.5 }.is_deterministic());
+        assert!(PropagationModel::shadowing(2.0, 0.0).is_deterministic());
+        assert!(!PropagationModel::shadowing(2.0, 4.0).is_deterministic());
+    }
+
+    #[test]
+    fn max_distance_brackets_the_loss_boundary() {
+        for model in [
+            PropagationModel::free_space(),
+            PropagationModel::TwoRayGround { ht: 1.5, hr: 1.5 },
+            PropagationModel::shadowing(2.7, 0.0),
+        ] {
+            for budget in [60.0, 86.0, 110.0] {
+                let d = model.max_distance_for_loss(budget);
+                // Safe side: just beyond d the loss exceeds the budget,
+                // and d itself is within (or a hair past) the boundary.
+                assert!(model.mean_path_loss_db(d * 1.001) > budget, "{model:?}");
+                assert!(model.mean_path_loss_db(d * 0.999) <= budget, "{model:?}");
+            }
+        }
+        // The paper's radio: 550 m sensing disk ⇒ the horizon brackets it.
+        let prop = PropagationModel::free_space();
+        let budget = prop.mean_path_loss_db(550.0);
+        let d = prop.max_distance_for_loss(budget);
+        assert!((d - 550.0).abs() < 0.1, "horizon {d} should sit at 550 m");
+        // Unreachable budgets clamp to the reference distance / the cap.
+        assert_eq!(prop.max_distance_for_loss(-1.0), 1.0);
+        assert_eq!(prop.max_distance_for_loss(1e9), 1e8);
     }
 }

@@ -52,6 +52,24 @@ cargo test -q --workspace --offline
 echo "== trace determinism: equal seeds, byte-identical journals =="
 cargo test -q --offline --test trace_determinism
 
+echo "== differential index suite: naive vs grid medium, byte-identical =="
+# Random event tapes drive both index strategies in lockstep (clean,
+# shadowed, hotspot); the large-world cross-index gate above covers the
+# end-to-end diagnosis, this covers the medium in isolation.
+cargo test -q --offline -p mg-phy --test diff_index
+
+echo "== world-scale smoke: bench_world_scale on a tiny grid =="
+# One small cell end to end: asserts events-fired and flagged-diagnosis
+# equality across index modes and exercises the JSON emitter. The real
+# perf sweep (and its ≥10x pin) lives in BENCH_world_scale.json.
+smokedir=$(mktemp -d)
+MG_TRIALS=1 MG_SIM_SECS=1 MG_WORLD_NODES=64 MG_WORLD_ATTACKERS=1 \
+MG_BENCH_OUT="$smokedir/world_scale.json" \
+    cargo run -q --release --offline -p mg-bench --bin bench_world_scale
+grep -q '"speedup_at_max_nodes"' "$smokedir/world_scale.json"
+rm -rf "$smokedir"
+echo "ok: cross-index smoke cell agrees and reports"
+
 echo "== microbench: tracing overhead gate (<5% with tracing disabled) =="
 # The bench binary asserts the gate itself; a failed gate panics the run.
 MG_BENCH_MS="${MG_BENCH_MS:-40}" cargo bench --offline -p mg-bench
@@ -95,6 +113,22 @@ if diff -q "$outdir/cold.stdout" "$outdir/chaos-a.stdout" >/dev/null; then
     exit 1
 fi
 echo "ok: fault-seeded sweeps replay byte-for-byte and differ from clean runs"
+
+echo "== chaos gate: fault injection is index-agnostic =="
+# The same fault-seeded sweep under the naive reference index must match
+# the grid-index chaos run byte-for-byte: injector and detector sit above
+# the spatial index, which may not leak into any observable.
+MG_TRIALS=1 MG_SIM_SECS=2 MG_CACHE_DIR="$outdir/chaos-cache-naive" \
+MG_MEDIUM_INDEX=naive \
+MG_FAULT_PROFILE="light,deaf=250:25" MG_FAULT_SEED=7 \
+MG_CSV_DIR="$outdir/chaos-naive" MG_JSON_DIR="$outdir/chaos-naive" \
+    cargo run -q --release --offline -p mg-bench --bin fig5 >"$outdir/chaos-naive.stdout"
+if ! diff -r "$outdir/chaos-a" "$outdir/chaos-naive" \
+    || ! diff "$outdir/chaos-a.stdout" "$outdir/chaos-naive.stdout"; then
+    echo "error: naive-index chaos run diverged from the grid-index run" >&2
+    exit 1
+fi
+echo "ok: fault-seeded sweep is byte-identical under naive and grid indexes"
 
 echo "== chaos gate: a forced worker panic poisons only its cell =="
 # Task 0 panics; the sweep must still complete, name the errored cell on

@@ -115,7 +115,7 @@ pub mod prelude {
         MobilityCfg, NetObserver, Scenario, ScenarioConfig, SourceCfg, TopologyCfg, TrafficKind,
         TrafficModel, World,
     };
-    pub use mg_phy::{Medium, PropagationModel, RadioParams};
+    pub use mg_phy::{Medium, MediumIndex, PropagationModel, RadioParams};
     pub use mg_sim::{SimDuration, SimTime};
     pub use mg_stats::wilcoxon::{rank_sum_test, Alternative};
     pub use mg_trace::{

@@ -73,6 +73,58 @@ fn different_seeds_diverge() {
     assert_ne!(ja, jc, "different seeds should not produce the same journal");
 }
 
+/// A 500-node world with one cheater, observed by a monitor mesh; returns
+/// the full journal, the primary pool's diagnosis, and the counters.
+fn large_world_run(
+    seed: u64,
+    index: MediumIndex,
+    faults: Option<&FaultPlan>,
+) -> (String, Diagnosis, MetricsSnapshot) {
+    let scenario = Scenario::new(ScenarioConfig {
+        sim_secs: 2,
+        rate_pps: 1.0,
+        medium_index: index,
+        ..ScenarioConfig::large_world(seed, 500)
+    });
+    let (s, r) = scenario.tagged_pair();
+    let mut builder = ScenarioBuilder::new(scenario);
+    let attacker = builder.attacker(s);
+    let watch = builder.monitor_mesh(&[s]);
+    assert!(!watch.is_empty(), "tagged node always has a vantage in range");
+    builder.source(SourceCfg::saturated(s, r));
+    builder.trace(TraceConfig::verbose());
+    builder.metrics();
+    if let Some(plan) = faults {
+        builder.fault(plan.clone());
+    }
+    let mut world = builder.build();
+    world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: 70 });
+    world.run_until(SimTime::from_secs(2));
+    let diagnosis = world.monitors().diagnosis(watch[0]);
+    (world.tracer().to_jsonl(), diagnosis, world.metrics().snapshot())
+}
+
+#[test]
+fn index_modes_are_byte_identical_in_a_large_world() {
+    // The spatial index is an execution detail: in a 500-node world the
+    // naive scan and the cell grid must agree on every journaled byte and
+    // on the end-to-end diagnosis — clean and under fault injection — and
+    // equal-seed Grid runs must replay byte-identically.
+    let plan = FaultPlan::parse("seed=23,loss=0.1,drop=0.1").expect("valid plan");
+    for faults in [None, Some(&plan)] {
+        let tag = if faults.is_some() { "faulted" } else { "clean" };
+        let (jn, dn, sn) = large_world_run(5, MediumIndex::Naive, faults);
+        let (jg, dg, sg) = large_world_run(5, MediumIndex::Grid, faults);
+        assert!(!jn.is_empty(), "{tag}: a verbose 2 s run must journal events");
+        assert_eq!(jn, jg, "{tag}: cross-index journals must be byte-identical");
+        assert_eq!(dn, dg, "{tag}: cross-index diagnoses must agree");
+        assert_eq!(sn.totals, sg.totals, "{tag}: cross-index counters must agree");
+        let (jg2, dg2, _) = large_world_run(5, MediumIndex::Grid, faults);
+        assert_eq!(jg, jg2, "{tag}: equal-seed Grid journals must be byte-identical");
+        assert_eq!(dg, dg2, "{tag}: equal-seed Grid diagnoses must agree");
+    }
+}
+
 #[test]
 fn journal_lines_are_json_objects_in_time_order() {
     let (jsonl, snap) = traced_run(11);
