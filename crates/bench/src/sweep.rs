@@ -17,7 +17,7 @@
 //!   decode is recomputed, never trusted.
 
 use crate::{CondProbPoint, FaultPlan, TrialOutcome};
-use mg_detect::ObsJournal;
+use mg_detect::{base64_to_bytes, bytes_to_base64, JournalFormat, JournalReader, ObsJournal};
 use mg_net::ScenarioConfig;
 use mg_runner::{CacheKey, Codec};
 use mg_trace::json::Json;
@@ -28,7 +28,9 @@ use mg_trace::MetricsSnapshot;
 /// v2: [`TrialOutcome`] gained the `uncertain` counter and detection keys
 /// gained the fault plan. v3: the journal cache tier — ablation binaries
 /// record each world's observation stream once and replay it per knob.
-pub const SCHEMA: u64 = 3;
+/// v4: journal entries switched from the JSON tree to the framed binary v1
+/// codec (base64-wrapped inside the JSON cache carrier).
+pub const SCHEMA: u64 = 4;
 
 /// Key for one detection trial (or one fanned-out trial when `sample_sizes`
 /// has several entries). `cfg` must be the fully resolved config — seed,
@@ -67,11 +69,17 @@ pub fn journal_key(cfg: &ScenarioConfig, pm: u8) -> CacheKey {
         .field("pm", pm)
 }
 
-/// Codec for a recorded [`ObsJournal`] (the `mg_obs` JSON form).
+/// Codec for a recorded [`ObsJournal`]: framed binary v1, base64-wrapped
+/// because the mg-runner cache stores JSON documents. The binary layer's
+/// own checksum rides inside the entry, so a corrupted cache file fails
+/// decode (→ counted miss, recompute) instead of being trusted.
 pub fn journal_codec() -> Codec<ObsJournal> {
     Codec {
-        encode: ObsJournal::to_json,
-        decode: ObsJournal::from_json,
+        encode: |j| Json::Str(bytes_to_base64(&j.encode(JournalFormat::Binary))),
+        decode: |v| {
+            let bytes = base64_to_bytes(v.as_str()?)?;
+            JournalReader::from_bytes(bytes).and_then(|r| r.read_journal()).ok()
+        },
     }
 }
 

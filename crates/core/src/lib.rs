@@ -62,9 +62,12 @@ pub use channel::{ChannelTracker, JointTracker};
 pub use density::DensityEstimator;
 pub use monitor::{Diagnosis, Judge, Monitor, MonitorConfig, NodeCounts, Violation};
 pub use mg_fault::{FaultPlan, ObsFaults};
-pub use mg_obs::{Obs, ObsJournal, ObsMeta, ObsSink};
+pub use mg_obs::{
+    base64_to_bytes, bytes_to_base64, JournalCodec, JournalError, JournalFormat, JournalReader,
+    JournalWriter, Obs, ObsJournal, ObsMeta, ObsSink,
+};
 pub use pool::MonitorPool;
-pub use record::{replay_pool, replay_pool_faulted, ObsRecorder};
+pub use record::{replay_pool, replay_pool_faulted, replay_reader, replay_reader_faulted, ObsRecorder};
 pub use scenario::{
     Assembly, AttackerHandle, MonitorHandle, Monitors, ScenarioBuilder, WorldMonitors, WorldProbe,
 };

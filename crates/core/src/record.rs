@@ -24,7 +24,7 @@ use crate::NodeId;
 use mg_dcf::Frame;
 use mg_fault::FaultPlan;
 use mg_net::NetObserver;
-use mg_obs::{Obs, ObsJournal, ObsMeta};
+use mg_obs::{JournalError, JournalReader, Obs, ObsJournal, ObsMeta, ObsSink};
 use mg_phy::Medium;
 use mg_sim::SimTime;
 
@@ -162,4 +162,33 @@ pub fn replay_pool_faulted(
     }
     journal.replay(&mut pool);
     pool
+}
+
+/// Streaming [`replay_pool`]: feeds a validated [`JournalReader`] straight
+/// into a fresh pool, decoding one event at a time — the journal is never
+/// materialized as an in-memory [`ObsJournal`]. A decode error (truncation,
+/// bit rot, bad line) aborts the replay with the typed cause.
+pub fn replay_reader(
+    reader: &JournalReader,
+    template: MonitorConfig,
+) -> Result<MonitorPool, JournalError> {
+    replay_reader_faulted(reader, template, &FaultPlan::default())
+}
+
+/// [`replay_reader`], with deterministic observation faults injected at the
+/// replayed monitors.
+pub fn replay_reader_faulted(
+    reader: &JournalReader,
+    template: MonitorConfig,
+    plan: &FaultPlan,
+) -> Result<MonitorPool, JournalError> {
+    let meta = reader.meta();
+    let mut pool = MonitorPool::new(meta.tagged, &meta.vantages, template);
+    if !plan.is_noop() {
+        pool.apply_fault_plan(plan);
+    }
+    for r in reader.events() {
+        pool.ingest(&r?);
+    }
+    Ok(pool)
 }

@@ -157,8 +157,9 @@ fn density_estimator_monotone() {
 
 mod replay {
     use mg_detect::{
-        replay_pool, replay_pool_faulted, FaultPlan, MonitorConfig, MonitorPool, ObsJournal,
-        ObsMeta, ObsRecorder, ScenarioBuilder, WorldMonitors, WorldProbe,
+        replay_pool, replay_pool_faulted, replay_reader, replay_reader_faulted, FaultPlan,
+        JournalFormat, JournalReader, MonitorConfig, MonitorPool, ObsJournal, ObsMeta,
+        ObsRecorder, ScenarioBuilder, WorldMonitors, WorldProbe,
     };
     use mg_dcf::BackoffPolicy;
     use mg_net::{Scenario, ScenarioConfig, SourceCfg};
@@ -294,6 +295,54 @@ mod replay {
             // The plain (untraced) API lands on the same diagnosis.
             let plain = replay_pool(&live.journal, live.mc);
             tk_assert_eq!(live.diagnosis, plain.diagnosis());
+            Ok(())
+        });
+    }
+
+    /// The journal format is invisible to diagnosis: streaming the same
+    /// recorded run through the JSONL and binary codecs (fresh readers,
+    /// `replay_reader`) lands on byte-identical detector state — the
+    /// non-negotiable invariant of the codec layer. Faulted replays agree
+    /// across formats too, and the binary encoding is strictly smaller.
+    #[test]
+    fn cross_format_replay_is_byte_identical() {
+        let cfg = Config {
+            cases: 3,
+            ..Config::default()
+        };
+        check_with(cfg, "cross_format_replay", |g: &mut Gen| -> TkResult {
+            let seed = g.u64_in(1..1_000_000);
+            let pm = [0u8, 50, 90][g.usize_in(0..3)];
+            let live = live_run(seed, pm, g.usize_in(5..30), None)?;
+            tk_assert!(!live.journal.is_empty(), "a saturated run must record");
+
+            let jsonl = live.journal.encode(JournalFormat::Jsonl);
+            let bin = live.journal.encode(JournalFormat::Binary);
+            tk_assert!(
+                bin.len() < jsonl.len(),
+                "binary ({}) must be smaller than jsonl ({})",
+                bin.len(),
+                jsonl.len()
+            );
+            for bytes in [jsonl, bin] {
+                let reader = JournalReader::from_bytes(bytes)
+                    .map_err(|e| TkError::Fail(format!("open: {e}")))?;
+                let pool = replay_reader(&reader, live.mc)
+                    .map_err(|e| TkError::Fail(format!("replay: {e}")))?;
+                tk_assert_eq!(live.diagnosis, pool.diagnosis());
+                tk_assert_eq!(
+                    live.samples,
+                    pool.monitor(live.vantage).map(|m| m.samples().to_vec())
+                );
+                tk_assert_eq!(live.tests, pool.tests().len());
+
+                let plan = FaultPlan::parse("seed=11,light")
+                    .map_err(|e| TkError::Fail(format!("plan: {e}")))?;
+                let faulted = replay_reader_faulted(&reader, live.mc, &plan)
+                    .map_err(|e| TkError::Fail(format!("faulted replay: {e}")))?;
+                let reference = replay_pool_faulted(&live.journal, live.mc, &plan);
+                tk_assert_eq!(reference.diagnosis(), faulted.diagnosis());
+            }
             Ok(())
         });
     }

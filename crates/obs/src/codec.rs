@@ -1,0 +1,1338 @@
+//! Journal I/O: formats, streaming readers/writers, and the binary codec.
+//!
+//! The observation journal is the currency of the whole pipeline — the
+//! replay cache tier, the CLI's `--record`/`--replay` files, the wire
+//! format a future streaming daemon would speak. This module makes the
+//! *format* a first-class, swappable concern instead of a method baked into
+//! [`ObsJournal`]:
+//!
+//! * [`JournalFormat`] — the two on-disk codecs ([`Jsonl`] for debugging and
+//!   export, [`Binary`] for production), with magic-based auto-detection.
+//! * [`JournalCodec`] — whole-journal encode/decode behind one trait, so
+//!   both formats are interchangeable at every call site.
+//! * [`JournalWriter`] — streaming, event-at-a-time encoding (it is an
+//!   [`ObsSink`], so a recorder can write straight through it), finished by
+//!   an atomic tmp+rename [`JournalWriter::save`].
+//! * [`JournalReader`] — sniffs the format, validates the container, then
+//!   decodes lazily: [`JournalReader::events`] streams one event at a time
+//!   and [`JournalReader::vantage_events`] uses the binary index block to
+//!   decode *only* one vantage's events, without a full scan.
+//!
+//! # Binary format v1
+//!
+//! Following the `dot15d4-frame` idiom — fixed headers plus in-place field
+//! views over one buffer, no intermediate frame structs — the binary layout
+//! is a single contiguous buffer of five sections:
+//!
+//! ```text
+//! header   magic "MGOBSJ" | version u16 | ObsMeta (seed as a real u64)
+//! events   per event: tag byte, varint node ids, zigzag-varint timestamp
+//!          deltas, varint refs into the two tables below
+//! frames   interned frame table (each distinct frame encoded once)
+//! ranging  interned ranging-vector table (distances as raw f64 bits)
+//! index    per-vantage event offsets + delta bases, plus the shared
+//!          Ranging list — the O(1) `for_vantage` projection
+//! trailer  events_end u64 | index_off u64 | total_len u64 | fnv64 | "MGE1"
+//! ```
+//!
+//! Timestamps are encoded as zigzag varint deltas against the previous
+//! event's primary instant (wrapping 64-bit arithmetic, so the round trip
+//! is exact for *any* `u64` pair). Frames and ranging vectors are interned:
+//! a tagged RTS decoded at thirty nodes costs one table entry plus thirty
+//! 2-byte references, which is where the ≥5× size win over JSONL comes
+//! from. The trailer pins the total length and an FNV-1a 64 checksum over
+//! everything before it, so truncation and bit rot are *detected* — a
+//! damaged journal yields a typed [`JournalError`], never a silent partial
+//! read.
+//!
+//! Versioning: the `version` field is bumped on any layout change; readers
+//! reject versions they do not know ([`JournalError::Version`]) instead of
+//! guessing. JSONL journals carry no version — their schema is the
+//! `mg_trace::json` rendering of [`ObsMeta`] and [`Obs`], kept stable as
+//! the debug/export format (including the seed-as-decimal-string quirk).
+//!
+//! [`Jsonl`]: JournalFormat::Jsonl
+//! [`Binary`]: JournalFormat::Binary
+
+use crate::{obs_from_json, obs_to_json, NodeId, Obs, ObsJournal, ObsMeta, ObsSink};
+use mg_dcf::{Dest, Frame, FrameKind, MacSdu, RtsFields};
+use mg_sim::{SimDuration, SimTime};
+use mg_trace::json::Json;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// First bytes of every binary journal.
+const MAGIC: &[u8; 6] = b"MGOBSJ";
+/// Last bytes of every binary journal (part of the fixed-width trailer).
+const END_MAGIC: &[u8; 4] = b"MGE1";
+/// Current binary layout version.
+const VERSION: u16 = 1;
+/// Trailer size: three u64 section fields + fnv64 checksum + end magic.
+const TRAILER: usize = 8 * 4 + END_MAGIC.len();
+
+/// Event tag bytes (the carrier-sense edge state is folded into the tag).
+const TAG_EDGE_IDLE: u8 = 0;
+const TAG_EDGE_BUSY: u8 = 1;
+const TAG_TX: u8 = 2;
+const TAG_RX: u8 = 3;
+const TAG_GARBLE: u8 = 4;
+const TAG_RNG: u8 = 5;
+
+/// Frame flag byte: kind in bits 0-1, destination modes in bits 2-3.
+const KIND_RTS: u8 = 0;
+const KIND_CTS: u8 = 1;
+const KIND_DATA: u8 = 2;
+const KIND_ACK: u8 = 3;
+const FLAG_DST_BCAST: u8 = 1 << 2;
+const FLAG_SDU_BCAST: u8 = 1 << 3;
+
+/// An on-disk journal encoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JournalFormat {
+    /// Line-oriented JSON: meta header line, one event per line. The
+    /// human-readable debug/export codec; diffs cleanly.
+    Jsonl,
+    /// Framed binary v1: compact, checksummed, with a per-vantage index.
+    /// The production codec.
+    Binary,
+}
+
+impl JournalFormat {
+    /// Parses a CLI/user-facing format name (`"jsonl"` or `"bin"`).
+    pub fn parse(s: &str) -> Option<JournalFormat> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "jsonl" => Some(JournalFormat::Jsonl),
+            "bin" | "binary" => Some(JournalFormat::Binary),
+            _ => None,
+        }
+    }
+
+    /// The user-facing name (`"jsonl"` / `"bin"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            JournalFormat::Jsonl => "jsonl",
+            JournalFormat::Binary => "bin",
+        }
+    }
+
+    /// Detects the format of raw journal bytes by magic sniffing: anything
+    /// starting with the binary magic is [`Binary`], everything else is
+    /// treated as (and then validated as) [`Jsonl`].
+    ///
+    /// [`Binary`]: JournalFormat::Binary
+    /// [`Jsonl`]: JournalFormat::Jsonl
+    pub fn sniff(bytes: &[u8]) -> JournalFormat {
+        if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] == MAGIC {
+            JournalFormat::Binary
+        } else {
+            JournalFormat::Jsonl
+        }
+    }
+
+    /// The whole-journal codec for this format.
+    pub fn codec(self) -> &'static dyn JournalCodec {
+        match self {
+            JournalFormat::Jsonl => &JsonlCodec,
+            JournalFormat::Binary => &BinaryCodec,
+        }
+    }
+}
+
+impl std::fmt::Display for JournalFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a journal could not be read. Every decode failure is typed — a
+/// damaged journal is reported, never silently truncated or misparsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalError {
+    /// The underlying file could not be read.
+    Io(String),
+    /// The byte length disagrees with the length pinned in the trailer
+    /// (or the buffer is too short to hold a journal at all).
+    Truncated {
+        /// Length the trailer (or the minimum layout) requires.
+        expected: u64,
+        /// Length actually present.
+        actual: u64,
+    },
+    /// The FNV-1a 64 checksum over the body does not match the trailer.
+    Checksum {
+        /// Checksum stored in the trailer.
+        expected: u64,
+        /// Checksum recomputed from the bytes.
+        actual: u64,
+    },
+    /// The binary layout version is newer than this reader understands.
+    Version {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// Structurally invalid binary content at `offset`.
+    Corrupt {
+        /// Byte offset where decoding failed.
+        offset: usize,
+        /// What went wrong.
+        what: String,
+    },
+    /// Invalid JSONL content on `line` (1-based).
+    Syntax {
+        /// Line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Truncated { expected, actual } => {
+                write!(f, "journal truncated: {actual} bytes, expected {expected}")
+            }
+            JournalError::Checksum { expected, actual } => write!(
+                f,
+                "journal checksum mismatch: stored {expected:#018x}, computed {actual:#018x}"
+            ),
+            JournalError::Version { found } => {
+                write!(f, "unsupported binary journal version {found} (reader knows {VERSION})")
+            }
+            JournalError::Corrupt { offset, what } => {
+                write!(f, "corrupt journal at byte {offset}: {what}")
+            }
+            JournalError::Syntax { line, what } => {
+                write!(f, "journal line {line}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Whole-journal encode/decode for one [`JournalFormat`]. The streaming
+/// layer ([`JournalWriter`]/[`JournalReader`]) is built on the same frame
+/// encoders; this trait is the convenient in-memory face of it.
+pub trait JournalCodec {
+    /// The format this codec implements.
+    fn format(&self) -> JournalFormat;
+
+    /// Serializes the journal (deterministic: equal journals encode to
+    /// byte-identical buffers).
+    fn encode(&self, journal: &ObsJournal) -> Vec<u8>;
+
+    /// Decodes a journal, strictly: any structural damage is an error.
+    fn decode(&self, bytes: &[u8]) -> Result<ObsJournal, JournalError>;
+}
+
+/// The JSONL debug/export codec (meta line + one event per line).
+pub struct JsonlCodec;
+
+impl JournalCodec for JsonlCodec {
+    fn format(&self) -> JournalFormat {
+        JournalFormat::Jsonl
+    }
+
+    fn encode(&self, journal: &ObsJournal) -> Vec<u8> {
+        journal.to_jsonl().into_bytes()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<ObsJournal, JournalError> {
+        JournalReader::from_bytes(bytes.to_vec())?.read_journal()
+    }
+}
+
+/// The framed binary v1 production codec.
+pub struct BinaryCodec;
+
+impl JournalCodec for BinaryCodec {
+    fn format(&self) -> JournalFormat {
+        JournalFormat::Binary
+    }
+
+    fn encode(&self, journal: &ObsJournal) -> Vec<u8> {
+        let mut w = JournalWriter::new(JournalFormat::Binary, journal.meta());
+        for o in journal.events() {
+            w.push(o);
+        }
+        w.finish()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<ObsJournal, JournalError> {
+        let reader = JournalReader::from_bytes(bytes.to_vec())?;
+        if reader.format() != JournalFormat::Binary {
+            return Err(JournalError::Corrupt {
+                offset: 0,
+                what: "not a binary journal (magic missing)".into(),
+            });
+        }
+        reader.read_journal()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoders
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag over a *wrapping* u64 difference: exact for any pair of `u64`
+/// instants, short for small forward or backward steps.
+fn put_time_delta(out: &mut Vec<u8>, prev: u64, t: u64) {
+    let d = t.wrapping_sub(prev) as i64;
+    put_varint(out, ((d << 1) ^ (d >> 63)) as u64);
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Hard stop for this cursor (section end), so a corrupt varint can
+    /// never read into a neighboring section.
+    end: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], pos: usize, end: usize) -> Cursor<'a> {
+        Cursor { bytes, pos, end }
+    }
+
+    fn corrupt(&self, what: impl Into<String>) -> JournalError {
+        JournalError::Corrupt { offset: self.pos, what: what.into() }
+    }
+
+    fn u8(&mut self) -> Result<u8, JournalError> {
+        if self.pos >= self.end {
+            return Err(self.corrupt("unexpected end of section"));
+        }
+        let b = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JournalError> {
+        if self.end - self.pos < n {
+            return Err(self.corrupt(format!("{n} bytes needed, section ends")));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, JournalError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.corrupt("varint longer than 64 bits"))
+    }
+
+    fn time_delta(&mut self, prev: u64) -> Result<u64, JournalError> {
+        let z = self.varint()?;
+        let d = ((z >> 1) as i64) ^ -((z & 1) as i64);
+        Ok(prev.wrapping_add(d as u64))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, JournalError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn f64_le(&mut self) -> Result<f64, JournalError> {
+        Ok(f64::from_bits(self.u64_le()?))
+    }
+
+    fn string(&mut self) -> Result<String, JournalError> {
+        let n = self.varint()? as usize;
+        let pos = self.pos;
+        let s = self.take(n)?;
+        std::str::from_utf8(s)
+            .map(str::to_string)
+            .map_err(|e| JournalError::Corrupt { offset: pos, what: format!("bad utf-8: {e}") })
+    }
+}
+
+/// FNV-1a 64 (same constants as mg-runner's key hash; reimplemented here so
+/// mg-obs stays dependency-light).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Frame / ranging-vector encoders (table entry payloads)
+// ---------------------------------------------------------------------------
+
+fn encode_frame(out: &mut Vec<u8>, f: &Frame) {
+    let mut flags = match &f.kind {
+        FrameKind::Rts(_) => KIND_RTS,
+        FrameKind::Cts => KIND_CTS,
+        FrameKind::Data { .. } => KIND_DATA,
+        FrameKind::Ack => KIND_ACK,
+    };
+    if f.dst == Dest::Broadcast {
+        flags |= FLAG_DST_BCAST;
+    }
+    if let FrameKind::Data { sdu } = &f.kind {
+        if sdu.dst == Dest::Broadcast {
+            flags |= FLAG_SDU_BCAST;
+        }
+    }
+    out.push(flags);
+    put_varint(out, f.src as u64);
+    if let Dest::Unicast(n) = f.dst {
+        put_varint(out, n as u64);
+    }
+    put_varint(out, f.duration.as_nanos());
+    match &f.kind {
+        FrameKind::Rts(r) => {
+            put_varint(out, u64::from(r.seq_off_wire));
+            out.push(r.attempt);
+            out.extend_from_slice(&r.md);
+        }
+        FrameKind::Data { sdu } => {
+            put_varint(out, sdu.id);
+            put_varint(out, u64::from(sdu.payload_len));
+            if let Dest::Unicast(n) = sdu.dst {
+                put_varint(out, n as u64);
+            }
+        }
+        FrameKind::Cts | FrameKind::Ack => {}
+    }
+}
+
+fn decode_frame(c: &mut Cursor<'_>) -> Result<Frame, JournalError> {
+    let flags = c.u8()?;
+    let src = c.varint()? as NodeId;
+    let dst = if flags & FLAG_DST_BCAST != 0 {
+        Dest::Broadcast
+    } else {
+        Dest::Unicast(c.varint()? as NodeId)
+    };
+    let duration = SimDuration::from_nanos(c.varint()?);
+    let kind = match flags & 0x3 {
+        KIND_RTS => {
+            let seq = c.varint()?;
+            let seq_off_wire = u16::try_from(seq)
+                .map_err(|_| c.corrupt(format!("rts seq {seq} exceeds u16")))?;
+            let attempt = c.u8()?;
+            let md: [u8; 16] = c.take(16)?.try_into().expect("16 bytes");
+            FrameKind::Rts(RtsFields { seq_off_wire, attempt, md })
+        }
+        KIND_CTS => FrameKind::Cts,
+        KIND_DATA => {
+            let id = c.varint()?;
+            let len = c.varint()?;
+            let payload_len = u16::try_from(len)
+                .map_err(|_| c.corrupt(format!("payload length {len} exceeds u16")))?;
+            let sdu_dst = if flags & FLAG_SDU_BCAST != 0 {
+                Dest::Broadcast
+            } else {
+                Dest::Unicast(c.varint()? as NodeId)
+            };
+            FrameKind::Data { sdu: MacSdu { id, dst: sdu_dst, payload_len } }
+        }
+        _ => FrameKind::Ack,
+    };
+    Ok(Frame { src, dst, duration, kind })
+}
+
+fn encode_ranging_vec(out: &mut Vec<u8>, to: &[(NodeId, f64)]) {
+    put_varint(out, to.len() as u64);
+    for &(v, d) in to {
+        put_varint(out, v as u64);
+        out.extend_from_slice(&d.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_ranging_vec(c: &mut Cursor<'_>) -> Result<Vec<(NodeId, f64)>, JournalError> {
+    let n = c.varint()? as usize;
+    if n > (c.end - c.pos) / 9 {
+        // Each pair is at least 9 bytes; reject absurd counts before
+        // allocating.
+        return Err(c.corrupt(format!("ranging vector claims {n} pairs")));
+    }
+    let mut to = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = c.varint()? as NodeId;
+        let d = c.f64_le()?;
+        to.push((v, d));
+    }
+    Ok(to)
+}
+
+/// The node an event belongs to for per-vantage projection, or `None` for
+/// shared [`Obs::Ranging`] events. Must agree with
+/// [`ObsJournal::for_vantage`].
+fn projection_node(o: &Obs) -> Option<NodeId> {
+    match o {
+        Obs::ChannelEdge { node, .. } => Some(*node),
+        Obs::TxStart { src, .. } => Some(*src),
+        Obs::Decoded { at, .. } => Some(*at),
+        Obs::Garbled { at, .. } => Some(*at),
+        Obs::Ranging { .. } => None,
+    }
+}
+
+/// The primary instant of an event — the running delta base of the stream.
+fn primary_time(o: &Obs) -> u64 {
+    match o {
+        Obs::ChannelEdge { at, .. } => at.as_nanos(),
+        Obs::TxStart { at, .. } => at.as_nanos(),
+        Obs::Decoded { start, .. } => start.as_nanos(),
+        Obs::Garbled { now, .. } => now.as_nanos(),
+        Obs::Ranging { at, .. } => at.as_nanos(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// A streaming, format-agnostic journal encoder.
+///
+/// Events are encoded as they are pushed — the writer never materializes an
+/// [`ObsJournal`] — and [`JournalWriter::finish`] appends the format's
+/// closing sections (for binary: the interned tables, the per-vantage
+/// index, and the checksummed trailer). It implements [`ObsSink`], so any
+/// observation producer can write a journal directly.
+pub struct JournalWriter {
+    meta: ObsMeta,
+    inner: WriterInner,
+    n_events: u64,
+}
+
+enum WriterInner {
+    Jsonl(String),
+    Binary(Box<BinWriter>),
+}
+
+struct BinWriter {
+    buf: Vec<u8>,
+    events_start: usize,
+    prev_time: u64,
+    /// Interned encodings → table id, plus the table in insertion order.
+    frames: HashMap<Vec<u8>, u64>,
+    frame_order: Vec<Vec<u8>>,
+    rangings: HashMap<Vec<u8>, u64>,
+    ranging_order: Vec<Vec<u8>>,
+    /// Index entries: (offset into the events section, delta base at that
+    /// offset). `shared` holds the Ranging events every vantage projection
+    /// includes; `per_vantage[i]` follows `meta.vantages[i]`.
+    shared: Vec<(u64, u64)>,
+    per_vantage: Vec<Vec<(u64, u64)>>,
+}
+
+impl JournalWriter {
+    /// A writer for the given format and run identity.
+    pub fn new(format: JournalFormat, meta: &ObsMeta) -> JournalWriter {
+        let inner = match format {
+            JournalFormat::Jsonl => {
+                let mut text = meta.to_json().render();
+                text.push('\n');
+                WriterInner::Jsonl(text)
+            }
+            JournalFormat::Binary => {
+                let mut buf = Vec::with_capacity(4096);
+                buf.extend_from_slice(MAGIC);
+                buf.extend_from_slice(&VERSION.to_le_bytes());
+                put_varint(&mut buf, meta.tagged as u64);
+                put_varint(&mut buf, meta.vantages.len() as u64);
+                for &v in &meta.vantages {
+                    put_varint(&mut buf, v as u64);
+                }
+                buf.extend_from_slice(&meta.pair_distance.to_bits().to_le_bytes());
+                // The one place the seed is stored as what it is: a u64.
+                buf.extend_from_slice(&meta.seed.to_le_bytes());
+                put_varint(&mut buf, meta.params.len() as u64);
+                for (k, v) in &meta.params {
+                    put_varint(&mut buf, k.len() as u64);
+                    buf.extend_from_slice(k.as_bytes());
+                    put_varint(&mut buf, v.len() as u64);
+                    buf.extend_from_slice(v.as_bytes());
+                }
+                let events_start = buf.len();
+                WriterInner::Binary(Box::new(BinWriter {
+                    buf,
+                    events_start,
+                    prev_time: 0,
+                    frames: HashMap::new(),
+                    frame_order: Vec::new(),
+                    rangings: HashMap::new(),
+                    ranging_order: Vec::new(),
+                    shared: Vec::new(),
+                    per_vantage: vec![Vec::new(); meta.vantages.len()],
+                }))
+            }
+        };
+        JournalWriter { meta: meta.clone(), inner, n_events: 0 }
+    }
+
+    /// The journal header this writer was opened with.
+    pub fn meta(&self) -> &ObsMeta {
+        &self.meta
+    }
+
+    /// The format being written.
+    pub fn format(&self) -> JournalFormat {
+        match &self.inner {
+            WriterInner::Jsonl(_) => JournalFormat::Jsonl,
+            WriterInner::Binary(_) => JournalFormat::Binary,
+        }
+    }
+
+    /// Events written so far.
+    pub fn len(&self) -> usize {
+        self.n_events as usize
+    }
+
+    /// True when no event has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.n_events == 0
+    }
+
+    /// Encodes one event (events must be pushed in virtual-time order, as
+    /// the recorder produces them).
+    pub fn push(&mut self, o: &Obs) {
+        self.n_events += 1;
+        match &mut self.inner {
+            WriterInner::Jsonl(text) => {
+                text.push_str(&obs_to_json(o).render());
+                text.push('\n');
+            }
+            WriterInner::Binary(w) => w.push(&self.meta, o),
+        }
+    }
+
+    /// Finishes the journal and returns its bytes (for binary: tables,
+    /// index block and checksummed trailer are appended here).
+    pub fn finish(self) -> Vec<u8> {
+        match self.inner {
+            WriterInner::Jsonl(text) => text.into_bytes(),
+            WriterInner::Binary(w) => w.finish(self.n_events),
+        }
+    }
+
+    /// Finishes the journal and writes it atomically: bytes go to
+    /// `<path>.tmp.<pid>`, then a rename over `path`. Parent directories
+    /// are created as needed.
+    pub fn save(self, path: &Path) -> std::io::Result<()> {
+        write_atomic(path, &self.finish())
+    }
+}
+
+impl ObsSink for JournalWriter {
+    fn ingest(&mut self, obs: &Obs) {
+        self.push(obs);
+    }
+}
+
+impl BinWriter {
+    fn intern(
+        map: &mut HashMap<Vec<u8>, u64>,
+        order: &mut Vec<Vec<u8>>,
+        encoded: Vec<u8>,
+    ) -> u64 {
+        if let Some(&id) = map.get(&encoded) {
+            return id;
+        }
+        let id = order.len() as u64;
+        order.push(encoded.clone());
+        map.insert(encoded, id);
+        id
+    }
+
+    fn push(&mut self, meta: &ObsMeta, o: &Obs) {
+        let offset = (self.buf.len() - self.events_start) as u64;
+        let base = self.prev_time;
+        match projection_node(o) {
+            None => self.shared.push((offset, base)),
+            Some(n) => {
+                for (i, &v) in meta.vantages.iter().enumerate() {
+                    if v == n {
+                        self.per_vantage[i].push((offset, base));
+                    }
+                }
+            }
+        }
+        let buf = &mut self.buf;
+        match o {
+            Obs::ChannelEdge { node, busy, at } => {
+                buf.push(if *busy { TAG_EDGE_BUSY } else { TAG_EDGE_IDLE });
+                put_varint(buf, *node as u64);
+                put_time_delta(buf, base, at.as_nanos());
+            }
+            Obs::TxStart { src, frame, at, end } => {
+                buf.push(TAG_TX);
+                put_varint(buf, *src as u64);
+                put_time_delta(buf, base, at.as_nanos());
+                put_varint(buf, end.as_nanos().wrapping_sub(at.as_nanos()));
+                let mut enc = Vec::new();
+                encode_frame(&mut enc, frame);
+                let id = Self::intern(&mut self.frames, &mut self.frame_order, enc);
+                put_varint(&mut self.buf, id);
+            }
+            Obs::Decoded { at, frame, start, end } => {
+                buf.push(TAG_RX);
+                put_varint(buf, *at as u64);
+                put_time_delta(buf, base, start.as_nanos());
+                put_varint(buf, end.as_nanos().wrapping_sub(start.as_nanos()));
+                let mut enc = Vec::new();
+                encode_frame(&mut enc, frame);
+                let id = Self::intern(&mut self.frames, &mut self.frame_order, enc);
+                put_varint(&mut self.buf, id);
+            }
+            Obs::Garbled { at, now } => {
+                buf.push(TAG_GARBLE);
+                put_varint(buf, *at as u64);
+                put_time_delta(buf, base, now.as_nanos());
+            }
+            Obs::Ranging { from, to, at } => {
+                buf.push(TAG_RNG);
+                put_varint(buf, *from as u64);
+                put_time_delta(buf, base, at.as_nanos());
+                let mut enc = Vec::new();
+                encode_ranging_vec(&mut enc, to);
+                let id = Self::intern(&mut self.rangings, &mut self.ranging_order, enc);
+                put_varint(&mut self.buf, id);
+            }
+        }
+        self.prev_time = primary_time(o);
+    }
+
+    fn finish(mut self, n_events: u64) -> Vec<u8> {
+        let events_end = self.buf.len() as u64;
+        // Frame table, then ranging table.
+        put_varint(&mut self.buf, self.frame_order.len() as u64);
+        for enc in &self.frame_order {
+            self.buf.extend_from_slice(enc);
+        }
+        put_varint(&mut self.buf, self.ranging_order.len() as u64);
+        for enc in &self.ranging_order {
+            self.buf.extend_from_slice(enc);
+        }
+        // Index block: event count, shared Ranging list, one list per
+        // vantage (in meta order). Entries are (offset, delta base), both
+        // delta-encoded against the previous entry of the same list.
+        let index_off = self.buf.len() as u64;
+        put_varint(&mut self.buf, n_events);
+        let lists = std::iter::once(&self.shared).chain(self.per_vantage.iter());
+        for list in lists {
+            put_varint(&mut self.buf, list.len() as u64);
+            let (mut prev_off, mut prev_base) = (0u64, 0u64);
+            for &(off, base) in list {
+                put_varint(&mut self.buf, off - prev_off);
+                put_time_delta(&mut self.buf, prev_base, base);
+                prev_off = off;
+                prev_base = base;
+            }
+        }
+        // Trailer: section offsets, pinned total length, checksum over
+        // everything before the checksum field, end magic.
+        let total_len = (self.buf.len() + TRAILER) as u64;
+        self.buf.extend_from_slice(&events_end.to_le_bytes());
+        self.buf.extend_from_slice(&index_off.to_le_bytes());
+        self.buf.extend_from_slice(&total_len.to_le_bytes());
+        let checksum = fnv64(&self.buf);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        self.buf.extend_from_slice(END_MAGIC);
+        self.buf
+    }
+}
+
+/// Writes `bytes` to `path` atomically (tmp file + rename), creating parent
+/// directories as needed — the same discipline as mg-runner's cache.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A validated, lazily-decoding journal reader.
+///
+/// [`JournalReader::open`]/[`from_bytes`] sniff the format and validate the
+/// container up front — for binary journals the trailer length, checksum,
+/// header, tables and index are all verified before any event is decoded,
+/// so truncation or bit rot surfaces as a typed [`JournalError`] at open
+/// time. Event decoding itself is streaming: [`events`] walks the stream
+/// one event at a time, [`vantage_events`] decodes only one vantage's
+/// events through the index block.
+///
+/// [`from_bytes`]: JournalReader::from_bytes
+/// [`events`]: JournalReader::events
+/// [`vantage_events`]: JournalReader::vantage_events
+pub struct JournalReader {
+    meta: ObsMeta,
+    bytes: Vec<u8>,
+    inner: ReaderInner,
+}
+
+enum ReaderInner {
+    Jsonl {
+        /// Byte offset of the first event line.
+        events_at: usize,
+        n_events: usize,
+    },
+    Binary(Box<BinState>),
+}
+
+struct BinState {
+    events_start: usize,
+    events_end: usize,
+    n_events: u64,
+    frames: Vec<Frame>,
+    rangings: Vec<Vec<(NodeId, f64)>>,
+    /// (absolute byte offset, delta base) per indexed event.
+    shared: Vec<(usize, u64)>,
+    per_vantage: Vec<Vec<(usize, u64)>>,
+}
+
+impl JournalReader {
+    /// Opens and validates the journal at `path`, auto-detecting its format
+    /// by magic sniffing.
+    pub fn open(path: &Path) -> Result<JournalReader, JournalError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| JournalError::Io(format!("cannot read {}: {e}", path.display())))?;
+        JournalReader::from_bytes(bytes)
+    }
+
+    /// Validates raw journal bytes, auto-detecting the format.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<JournalReader, JournalError> {
+        match JournalFormat::sniff(&bytes) {
+            JournalFormat::Binary => Self::from_binary(bytes),
+            JournalFormat::Jsonl => Self::from_jsonl_bytes(bytes),
+        }
+    }
+
+    fn from_jsonl_bytes(bytes: Vec<u8>) -> Result<JournalReader, JournalError> {
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| JournalError::Syntax { line: 1, what: format!("not utf-8: {e}") })?;
+        let mut head = None;
+        let mut events_at = 0;
+        let mut n_events = 0;
+        let mut offset = 0;
+        for line in text.split_inclusive('\n') {
+            offset += line.len();
+            if line.trim().is_empty() {
+                continue;
+            }
+            if head.is_none() {
+                head = Some(line.trim_end_matches('\n').to_string());
+                events_at = offset;
+            } else {
+                n_events += 1;
+            }
+        }
+        let head = head.ok_or(JournalError::Syntax { line: 1, what: "empty journal".into() })?;
+        let meta_json = Json::parse(&head)
+            .map_err(|e| JournalError::Syntax { line: 1, what: format!("{e:?}") })?;
+        let meta = ObsMeta::from_json(&meta_json)
+            .ok_or(JournalError::Syntax { line: 1, what: "not a meta header".into() })?;
+        Ok(JournalReader { meta, bytes, inner: ReaderInner::Jsonl { events_at, n_events } })
+    }
+
+    fn from_binary(bytes: Vec<u8>) -> Result<JournalReader, JournalError> {
+        let min = MAGIC.len() + 2 + TRAILER;
+        if bytes.len() < min {
+            return Err(JournalError::Truncated {
+                expected: min as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        // Version first: a newer layout's trailer cannot be trusted by this
+        // reader, so it must be rejected before any trailer interpretation.
+        let version =
+            u16::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 2].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(JournalError::Version { found: version });
+        }
+        let len = bytes.len();
+        if &bytes[len - END_MAGIC.len()..] != END_MAGIC {
+            // A clean truncation chops the end magic off first.
+            return Err(JournalError::Truncated { expected: len as u64 + 1, actual: len as u64 });
+        }
+        let trailer_at = len - TRAILER;
+        let mut t = Cursor::new(&bytes, trailer_at, len);
+        let events_end = t.u64_le()? as usize;
+        let index_off = t.u64_le()? as usize;
+        let total_len = t.u64_le()?;
+        if total_len != len as u64 {
+            return Err(JournalError::Truncated { expected: total_len, actual: len as u64 });
+        }
+        let stored_sum = t.u64_le()?;
+        let actual_sum = fnv64(&bytes[..len - 12]);
+        if stored_sum != actual_sum {
+            return Err(JournalError::Checksum { expected: stored_sum, actual: actual_sum });
+        }
+
+        // Header → meta.
+        let mut c = Cursor::new(&bytes, MAGIC.len() + 2, trailer_at);
+        let tagged = c.varint()? as NodeId;
+        let nv = c.varint()? as usize;
+        if nv > trailer_at {
+            return Err(c.corrupt(format!("vantage count {nv} exceeds journal size")));
+        }
+        let mut vantages = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            vantages.push(c.varint()? as NodeId);
+        }
+        let pair_distance = c.f64_le()?;
+        let seed = c.u64_le()?;
+        let np = c.varint()? as usize;
+        if np > trailer_at {
+            return Err(c.corrupt(format!("param count {np} exceeds journal size")));
+        }
+        let mut params = Vec::with_capacity(np);
+        for _ in 0..np {
+            let k = c.string()?;
+            let v = c.string()?;
+            params.push((k, v));
+        }
+        let meta = ObsMeta { tagged, vantages, pair_distance, seed, params };
+        let events_start = c.pos;
+        if events_end < events_start || index_off < events_end || index_off > trailer_at {
+            return Err(c.corrupt(format!(
+                "inconsistent section offsets (events {events_start}..{events_end}, index {index_off})"
+            )));
+        }
+
+        // Tables live between the events section and the index block.
+        let mut c = Cursor::new(&bytes, events_end, index_off);
+        let nf = c.varint()? as usize;
+        if nf > index_off - events_end {
+            return Err(c.corrupt(format!("frame table claims {nf} entries")));
+        }
+        let mut frames = Vec::with_capacity(nf);
+        for _ in 0..nf {
+            frames.push(decode_frame(&mut c)?);
+        }
+        let nr = c.varint()? as usize;
+        if nr > index_off - events_end {
+            return Err(c.corrupt(format!("ranging table claims {nr} entries")));
+        }
+        let mut rangings = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            rangings.push(decode_ranging_vec(&mut c)?);
+        }
+        if c.pos != index_off {
+            return Err(c.corrupt("tables do not end at the index block".to_string()));
+        }
+
+        // Index block.
+        let mut c = Cursor::new(&bytes, index_off, trailer_at);
+        let n_events = c.varint()?;
+        let mut lists: Vec<Vec<(usize, u64)>> = Vec::with_capacity(meta.vantages.len() + 1);
+        for _ in 0..=meta.vantages.len() {
+            let n = c.varint()? as usize;
+            if n as u64 > n_events {
+                return Err(c.corrupt(format!("index list claims {n} of {n_events} events")));
+            }
+            let mut list = Vec::with_capacity(n);
+            let (mut off, mut base) = (0u64, 0u64);
+            for i in 0..n {
+                let d = c.varint()?;
+                off = if i == 0 { d } else { off + d };
+                base = c.time_delta(base)?;
+                let abs = events_start as u64 + off;
+                if abs >= events_end as u64 {
+                    return Err(c.corrupt(format!("index offset {off} past events section")));
+                }
+                list.push((abs as usize, base));
+            }
+            lists.push(list);
+        }
+        if c.pos != trailer_at {
+            return Err(c.corrupt("index block does not end at the trailer".to_string()));
+        }
+        let shared = lists.remove(0);
+        Ok(JournalReader {
+            meta,
+            bytes,
+            inner: ReaderInner::Binary(Box::new(BinState {
+                events_start,
+                events_end,
+                n_events,
+                frames,
+                rangings,
+                shared,
+                per_vantage: lists,
+            })),
+        })
+    }
+
+    /// The detected format.
+    pub fn format(&self) -> JournalFormat {
+        match &self.inner {
+            ReaderInner::Jsonl { .. } => JournalFormat::Jsonl,
+            ReaderInner::Binary(_) => JournalFormat::Binary,
+        }
+    }
+
+    /// The journal header.
+    pub fn meta(&self) -> &ObsMeta {
+        &self.meta
+    }
+
+    /// Total journal size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            ReaderInner::Jsonl { n_events, .. } => *n_events,
+            ReaderInner::Binary(b) => b.n_events as usize,
+        }
+    }
+
+    /// True when the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Streams the journal's events in order, decoding one at a time.
+    pub fn events(&self) -> Events<'_> {
+        match &self.inner {
+            ReaderInner::Jsonl { events_at, .. } => Events(EventsInner::Jsonl {
+                // Validated as UTF-8 at open.
+                rest: std::str::from_utf8(&self.bytes[*events_at..]).expect("validated utf-8"),
+                line: 2,
+            }),
+            ReaderInner::Binary(b) => Events(EventsInner::Binary {
+                state: b,
+                bytes: &self.bytes,
+                pos: b.events_start,
+                prev_time: 0,
+                remaining: b.n_events,
+            }),
+        }
+    }
+
+    /// Decodes one event at `pos` given its delta base (binary only).
+    fn decode_at(
+        &self,
+        state: &BinState,
+        pos: usize,
+        prev_time: u64,
+    ) -> Result<(Obs, usize, u64), JournalError> {
+        let mut c = Cursor::new(&self.bytes, pos, state.events_end);
+        let obs = decode_event(&mut c, state, prev_time)?;
+        let t = primary_time(&obs);
+        Ok((obs, c.pos, t))
+    }
+
+    /// The per-vantage stream, as [`ObsJournal::for_vantage`] defines it:
+    /// events observable at `v`, plus every shared [`Obs::Ranging`]
+    /// snapshot, in journal order.
+    ///
+    /// For binary journals of an indexed vantage (one listed in
+    /// `meta.vantages`) this decodes **only** the projected events via the
+    /// index block — the rest of the stream is never touched. Other
+    /// vantages (or JSONL journals) fall back to a full filtered scan.
+    pub fn vantage_events(&self, v: NodeId) -> Result<Vec<Obs>, JournalError> {
+        if let ReaderInner::Binary(b) = &self.inner {
+            if let Some(i) = self.meta.vantages.iter().position(|&x| x == v) {
+                // Merge the vantage's list with the shared Ranging list by
+                // ascending offset — both are in journal order.
+                let (va, sh) = (&b.per_vantage[i], &b.shared);
+                let mut out = Vec::with_capacity(va.len() + sh.len());
+                let (mut a, mut s) = (0, 0);
+                while a < va.len() || s < sh.len() {
+                    let take_vantage = match (va.get(a), sh.get(s)) {
+                        (Some(&(ao, _)), Some(&(so, _))) => ao < so,
+                        (Some(_), None) => true,
+                        _ => false,
+                    };
+                    let &(off, base) = if take_vantage { &va[a] } else { &sh[s] };
+                    if take_vantage {
+                        a += 1;
+                    } else {
+                        s += 1;
+                    }
+                    let (obs, _, _) = self.decode_at(b, off, base)?;
+                    out.push(obs);
+                }
+                return Ok(out);
+            }
+        }
+        let mut out = Vec::new();
+        for r in self.events() {
+            let o = r?;
+            if projection_node(&o).map(|n| n == v).unwrap_or(true) {
+                out.push(o);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes the whole journal into an in-memory [`ObsJournal`].
+    pub fn read_journal(&self) -> Result<ObsJournal, JournalError> {
+        let mut j = ObsJournal::new(self.meta.clone());
+        for r in self.events() {
+            j.push(r?);
+        }
+        Ok(j)
+    }
+}
+
+fn decode_event(
+    c: &mut Cursor<'_>,
+    state: &BinState,
+    prev_time: u64,
+) -> Result<Obs, JournalError> {
+    let tag = c.u8()?;
+    match tag {
+        TAG_EDGE_IDLE | TAG_EDGE_BUSY => {
+            let node = c.varint()? as NodeId;
+            let at = c.time_delta(prev_time)?;
+            Ok(Obs::ChannelEdge {
+                node,
+                busy: tag == TAG_EDGE_BUSY,
+                at: SimTime::from_nanos(at),
+            })
+        }
+        TAG_TX => {
+            let src = c.varint()? as NodeId;
+            let at = c.time_delta(prev_time)?;
+            let dur = c.varint()?;
+            let frame = lookup_frame(c, state)?;
+            Ok(Obs::TxStart {
+                src,
+                frame,
+                at: SimTime::from_nanos(at),
+                end: SimTime::from_nanos(at.wrapping_add(dur)),
+            })
+        }
+        TAG_RX => {
+            let at_node = c.varint()? as NodeId;
+            let start = c.time_delta(prev_time)?;
+            let dur = c.varint()?;
+            let frame = lookup_frame(c, state)?;
+            Ok(Obs::Decoded {
+                at: at_node,
+                frame,
+                start: SimTime::from_nanos(start),
+                end: SimTime::from_nanos(start.wrapping_add(dur)),
+            })
+        }
+        TAG_GARBLE => {
+            let at_node = c.varint()? as NodeId;
+            let now = c.time_delta(prev_time)?;
+            Ok(Obs::Garbled { at: at_node, now: SimTime::from_nanos(now) })
+        }
+        TAG_RNG => {
+            let from = c.varint()? as NodeId;
+            let at = c.time_delta(prev_time)?;
+            let id = c.varint()? as usize;
+            let to = state
+                .rangings
+                .get(id)
+                .ok_or_else(|| c.corrupt(format!("ranging table id {id} out of range")))?
+                .clone();
+            Ok(Obs::Ranging { from, to, at: SimTime::from_nanos(at) })
+        }
+        other => Err(c.corrupt(format!("unknown event tag {other}"))),
+    }
+}
+
+fn lookup_frame(c: &mut Cursor<'_>, state: &BinState) -> Result<Frame, JournalError> {
+    let id = c.varint()? as usize;
+    state
+        .frames
+        .get(id)
+        .cloned()
+        .ok_or_else(|| c.corrupt(format!("frame table id {id} out of range")))
+}
+
+/// Streaming event iterator over a [`JournalReader`] — decodes one event
+/// per `next()` call, in journal order. After the first decode error the
+/// iterator is exhausted (a damaged journal is never partially trusted).
+pub struct Events<'a>(EventsInner<'a>);
+
+enum EventsInner<'a> {
+    Jsonl {
+        /// Remaining text (event lines).
+        rest: &'a str,
+        /// 1-based line number of the next line.
+        line: usize,
+    },
+    Binary {
+        /// Parsed tables + section bounds.
+        state: &'a BinState,
+        /// The full journal buffer.
+        bytes: &'a [u8],
+        /// Next frame offset.
+        pos: usize,
+        /// Running delta base.
+        prev_time: u64,
+        /// Events left to decode.
+        remaining: u64,
+    },
+}
+
+impl Iterator for Events<'_> {
+    type Item = Result<Obs, JournalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            EventsInner::Jsonl { rest, line } => loop {
+                let cur: &str = rest;
+                if cur.is_empty() {
+                    return None;
+                }
+                let (l, tail) = match cur.find('\n') {
+                    Some(i) => (&cur[..i], &cur[i + 1..]),
+                    None => (cur, ""),
+                };
+                let this_line = *line;
+                *rest = tail;
+                *line += 1;
+                if l.trim().is_empty() {
+                    continue;
+                }
+                let parsed = match Json::parse(l) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        *rest = "";
+                        return Some(Err(JournalError::Syntax {
+                            line: this_line,
+                            what: format!("{e:?}"),
+                        }));
+                    }
+                };
+                return Some(match obs_from_json(&parsed) {
+                    Some(o) => Ok(o),
+                    None => {
+                        *rest = "";
+                        Err(JournalError::Syntax { line: this_line, what: "bad event".into() })
+                    }
+                });
+            },
+            EventsInner::Binary { state, bytes, pos, prev_time, remaining } => {
+                if *remaining == 0 {
+                    if *pos != state.events_end {
+                        let at = *pos;
+                        *pos = state.events_end;
+                        return Some(Err(JournalError::Corrupt {
+                            offset: at,
+                            what: "event count ends before the events section".into(),
+                        }));
+                    }
+                    return None;
+                }
+                if *pos >= state.events_end {
+                    *remaining = 0;
+                    return Some(Err(JournalError::Corrupt {
+                        offset: *pos,
+                        what: "events section ends before the event count".into(),
+                    }));
+                }
+                let mut c = Cursor::new(bytes, *pos, state.events_end);
+                match decode_event(&mut c, state, *prev_time) {
+                    Ok(o) => {
+                        *pos = c.pos;
+                        *prev_time = primary_time(&o);
+                        *remaining -= 1;
+                        Some(Ok(o))
+                    }
+                    Err(e) => {
+                        *remaining = 0;
+                        *pos = state.events_end;
+                        Some(Err(e))
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base64 (for embedding binary journals in JSON/text carriers)
+// ---------------------------------------------------------------------------
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 with padding — how binary journal bytes travel inside
+/// JSON carriers (the mg-runner sweep cache stores entries as JSON
+/// documents; the journal cache tier wraps the binary codec in this).
+pub fn bytes_to_base64(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        let enc = [
+            B64[(n >> 18) as usize & 63],
+            B64[(n >> 12) as usize & 63],
+            B64[(n >> 6) as usize & 63],
+            B64[n as usize & 63],
+        ];
+        let keep = chunk.len() + 1;
+        for (i, &ch) in enc.iter().enumerate() {
+            out.push(if i < keep { ch as char } else { '=' });
+        }
+    }
+    out
+}
+
+/// Decodes [`bytes_to_base64`] output; `None` on any malformed input.
+pub fn base64_to_bytes(s: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some(u32::from(c - b'A')),
+            b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 4 * 3);
+    for (i, chunk) in s.chunks_exact(4).enumerate() {
+        let last = i == s.len() / 4 - 1;
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return None;
+        }
+        let mut n: u32 = 0;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | val(c)?;
+        }
+        n <<= 6 * pad as u32;
+        let bytes = [(n >> 16) as u8, (n >> 8) as u8, n as u8];
+        out.extend_from_slice(&bytes[..3 - pad]);
+    }
+    Some(out)
+}

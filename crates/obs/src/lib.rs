@@ -11,17 +11,31 @@
 //!   arrives as one of these.
 //! * [`ObsSink`] — the single `ingest(&Obs)` entry point detectors expose.
 //! * [`ObsJournal`] — a serializable recording of an entire run's `Obs`
-//!   stream (deterministic JSONL codec, atomic tmp+rename writes), so one
-//!   simulated world can be **replayed** into arbitrarily many detector
-//!   configurations with zero re-simulation.
+//!   stream (atomic tmp+rename writes), so one simulated world can be
+//!   **replayed** into arbitrarily many detector configurations with zero
+//!   re-simulation.
+//! * [`codec`] — the journal I/O layer: [`JournalFormat`] (framed binary v1
+//!   as the production codec, JSONL as the debug/export codec),
+//!   streaming [`JournalWriter`]/[`JournalReader`], and format
+//!   auto-detection by magic sniffing.
 //!
-//! The codec follows `mg_trace::json` conventions: insertion-ordered
+//! The JSONL codec follows `mg_trace::json` conventions: insertion-ordered
 //! objects, shortest-round-trip `f64` rendering, so `encode ∘ decode ≡ id`
-//! byte-for-byte and journals diff cleanly.
+//! byte-for-byte and journals diff cleanly. The binary codec is compact
+//! (interned frame/ranging tables, varint timestamp deltas), indexed per
+//! vantage, and checksummed so damage is detected rather than silently
+//! accepted.
 //!
 //! [`Monitor`]: https://docs.rs/mg-detect
 
 #![warn(missing_docs)]
+
+pub mod codec;
+
+pub use codec::{
+    base64_to_bytes, bytes_to_base64, BinaryCodec, Events, JournalCodec, JournalError,
+    JournalFormat, JournalReader, JournalWriter, JsonlCodec,
+};
 
 use mg_dcf::{Dest, Frame, FrameKind, MacSdu, RtsFields};
 use mg_sim::{SimDuration, SimTime};
@@ -122,6 +136,13 @@ impl ObsMeta {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Looks up a provenance parameter and parses it into `T` — the typed
+    /// accessor consumers should reach for instead of re-parsing strings at
+    /// every call site. `None` when the key is absent *or* malformed.
+    pub fn param_parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.param(key)?.parse().ok()
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("tagged", Json::from(self.tagged as u64)),
@@ -175,11 +196,13 @@ impl ObsMeta {
 
 /// A recorded `Obs` stream: header + chronological events.
 ///
-/// The on-disk format is JSONL — line 1 is the [`ObsMeta`] header, each
-/// further line one compact event — rendered deterministically so equal
-/// journals are byte-identical. Writes go through a temporary file and an
-/// atomic rename (the same discipline as mg-runner's cache), so a crashed
-/// recorder never leaves a half-written journal behind.
+/// The on-disk encoding is a [`JournalFormat`] — framed binary v1 by
+/// default, JSONL for debugging/export — rendered deterministically so
+/// equal journals are byte-identical within a format. Writes go through a
+/// temporary file and an atomic rename (the same discipline as mg-runner's
+/// cache), so a crashed recorder never leaves a half-written journal
+/// behind. [`ObsJournal::load`] auto-detects the format by magic sniffing,
+/// so old JSONL journals keep working.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ObsJournal {
     meta: ObsMeta,
@@ -289,24 +312,22 @@ impl ObsJournal {
         Ok(ObsJournal { meta, events })
     }
 
-    /// Writes the journal atomically: render to `<path>.tmp.<pid>`, then
-    /// rename over `path`. Parent directories are created as needed.
-    pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        std::fs::write(&tmp, self.to_jsonl())?;
-        std::fs::rename(&tmp, path)
+    /// Serializes the journal in the given format.
+    pub fn encode(&self, format: JournalFormat) -> Vec<u8> {
+        format.codec().encode(self)
     }
 
-    /// Reads a journal written by [`ObsJournal::save`].
-    pub fn load(path: &Path) -> Result<ObsJournal, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        ObsJournal::from_jsonl(&text)
+    /// Writes the journal atomically in the given format: bytes go to
+    /// `<path>.tmp.<pid>`, then a rename over `path`. Parent directories
+    /// are created as needed.
+    pub fn save(&self, path: &Path, format: JournalFormat) -> std::io::Result<()> {
+        codec::write_atomic(path, &self.encode(format))
+    }
+
+    /// Reads a journal written by [`ObsJournal::save`], auto-detecting the
+    /// format by magic sniffing (old JSONL journals keep working).
+    pub fn load(path: &Path) -> Result<ObsJournal, JournalError> {
+        JournalReader::open(path)?.read_journal()
     }
 }
 

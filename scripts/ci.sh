@@ -174,6 +174,71 @@ if [ "$conflict_status" -ne 2 ] || ! grep -q -- "--replay conflicts with --pm" "
 fi
 echo "ok: replay reproduces live detection; world flags are rejected"
 
+echo "== journal gate: cross-format record/transcode/replay byte-identity =="
+# Record the detection workload as JSONL, transcode to binary, replay both:
+# the detection report lines must match byte-for-byte, and the binary
+# journal must be >=5x smaller than the JSONL one.
+cargo run -q --release --offline -- detect --pm 60 --secs 2 --seed 5 \
+    --samples 10,25 --record "$outdir/journal.jsonl" --journal-format jsonl \
+    >"$outdir/journal-live.out"
+cargo run -q --release --offline -- journal transcode "$outdir/journal.jsonl" \
+    "$outdir/journal.bin" >/dev/null
+cargo run -q --release --offline -- detect --replay "$outdir/journal.jsonl" \
+    --samples 10,25 >"$outdir/journal-rep-jsonl.out"
+cargo run -q --release --offline -- detect --replay "$outdir/journal.bin" \
+    --samples 10,25 >"$outdir/journal-rep-bin.out"
+for rep in journal-rep-jsonl journal-rep-bin; do
+    if ! diff <(grep -E '^(samples|tests|checks|verdict)' "$outdir/journal-live.out") \
+              <(grep -E '^(samples|tests|checks|verdict)' "$outdir/$rep.out"); then
+        echo "error: $rep diverged from the live JSONL-recorded run" >&2
+        exit 1
+    fi
+done
+jsonl_size=$(wc -c < "$outdir/journal.jsonl")
+bin_size=$(wc -c < "$outdir/journal.bin")
+if [ $((bin_size * 5)) -gt "$jsonl_size" ]; then
+    echo "error: binary journal ($bin_size B) is not >=5x smaller than JSONL ($jsonl_size B)" >&2
+    exit 1
+fi
+# A malformed --journal-format value is a usage error, like any other flag.
+set +e
+cargo run -q --release --offline -- detect --pm 1 --secs 1 \
+    --record "$outdir/badfmt.j" --journal-format xml \
+    >/dev/null 2>"$outdir/journal-badfmt.err"
+badfmt_status=$?
+set -e
+if [ "$badfmt_status" -ne 2 ] || ! grep -q -- "invalid value for --journal-format" "$outdir/journal-badfmt.err"; then
+    echo "error: a malformed --journal-format must exit 2 with usage" >&2
+    exit 1
+fi
+echo "ok: cross-format replay byte-identical; binary ${bin_size} B vs JSONL ${jsonl_size} B"
+
+echo "== journal gate: corrupt journals fail cleanly =="
+# Truncation and bit rot must be *detected* — a clean exit 1 with a typed
+# message, never a panic (exit 101) or a silent partial replay.
+head -c $(( bin_size / 2 )) "$outdir/journal.bin" >"$outdir/journal-trunc.bin"
+printf 'XXXX' | dd of="$outdir/journal.bin" bs=1 seek=$(( bin_size / 3 )) \
+    conv=notrunc status=none
+set +e
+cargo run -q --release --offline -- detect --replay "$outdir/journal-trunc.bin" \
+    >/dev/null 2>"$outdir/journal-trunc.err"
+trunc_status=$?
+cargo run -q --release --offline -- detect --replay "$outdir/journal.bin" \
+    >/dev/null 2>"$outdir/journal-flip.err"
+flip_status=$?
+set -e
+if [ "$trunc_status" -ne 1 ] || ! grep -q "truncated" "$outdir/journal-trunc.err"; then
+    echo "error: a truncated journal must exit 1 with a truncation message" >&2
+    cat "$outdir/journal-trunc.err" >&2
+    exit 1
+fi
+if [ "$flip_status" -ne 1 ] || ! grep -q "checksum" "$outdir/journal-flip.err"; then
+    echo "error: a bit-flipped journal must exit 1 with a checksum message" >&2
+    cat "$outdir/journal-flip.err" >&2
+    exit 1
+fi
+echo "ok: truncation and bit rot are rejected with clean exits"
+
 echo "== rustdoc: no warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
 

@@ -105,10 +105,11 @@ pub use mg_trace as trace;
 pub mod prelude {
     pub use mg_dcf::{BackoffPolicy, Dest, Frame, FrameKind, MacSdu, MacTiming};
     pub use mg_detect::{
-        replay_pool, replay_pool_faulted, AnalyticModel, Assembly, AttackerHandle, Diagnosis,
-        FaultPlan, Judge, Monitor, MonitorConfig, MonitorHandle, MonitorPool, Monitors,
-        NodeCounts, Obs, ObsFaults, ObsJournal, ObsMeta, ObsRecorder, ObsSink, ScenarioBuilder,
-        Violation, WorldMonitors, WorldProbe,
+        replay_pool, replay_pool_faulted, replay_reader, replay_reader_faulted, AnalyticModel,
+        Assembly, AttackerHandle, Diagnosis, FaultPlan, Judge, JournalError, JournalFormat,
+        JournalReader, JournalWriter, Monitor, MonitorConfig, MonitorHandle, MonitorPool,
+        Monitors, NodeCounts, Obs, ObsFaults, ObsJournal, ObsMeta, ObsRecorder, ObsSink,
+        ScenarioBuilder, Violation, WorldMonitors, WorldProbe,
     };
     pub use mg_geom::{PreclusionRule, RegionModel, Vec2};
     pub use mg_net::{

@@ -3,6 +3,8 @@
 //! ```text
 //! manet-guard demo                      quick demonstration (grid, PM=75)
 //! manet-guard detect [OPTIONS]          run one detection scenario
+//! manet-guard journal info FILE         inspect a recorded Obs journal
+//! manet-guard journal transcode IN OUT  re-encode a journal
 //! manet-guard params                    print the Table 1 parameters
 //!
 //! detect options:
@@ -21,13 +23,18 @@
 //!   --trace <file>    write the event journal as JSONL to <file>
 //!   --metrics         print stack-wide counters and histograms
 //!   --record <file>   also record the monitors' observation stream as an
-//!                     ObsJournal (JSONL) for later --replay
+//!                     ObsJournal for later --replay
+//!   --journal-format <jsonl|bin>
+//!                     journal encoding for --record and `journal
+//!                     transcode` [default: bin]; with --replay it asserts
+//!                     the detected format instead
 //!   --replay <file>   skip simulation: replay a recorded journal into
-//!                     fresh monitors. The journal fixes the world, so
-//!                     --replay rejects every world knob (--pm, --rate,
-//!                     --secs, --seed, --random, --mobile, --record,
-//!                     --trace, --metrics); it composes with --samples,
-//!                     --no-blatant and --faults
+//!                     fresh monitors (the format is auto-detected by
+//!                     magic, so old JSONL journals keep working). The
+//!                     journal fixes the world, so --replay rejects every
+//!                     world knob (--pm, --rate, --secs, --seed, --random,
+//!                     --mobile, --record, --trace, --metrics); it composes
+//!                     with --samples, --no-blatant and --faults
 //! ```
 //!
 //! Unrecognized arguments are an error (exit code 2), never silently
@@ -40,6 +47,7 @@ fn main() {
     let result = match args.first().map(String::as_str) {
         Some("demo") => parse_detect(&["--pm".into(), "75".into()]).map(detect),
         Some("detect") => parse_detect(&args[1..]).map(detect),
+        Some("journal") => journal_cmd(&args[1..]),
         Some("params") => {
             if let Some(extra) = args.get(1) {
                 Err(format!("unrecognized argument: {extra}"))
@@ -66,9 +74,11 @@ usage:
   manet-guard detect [--pm N] [--rate PPS] [--secs S] [--seed N]
                      [--samples N[,N..]] [--random] [--mobile] [--no-blatant]
                      [--faults SPEC] [--trace FILE] [--metrics]
-                     [--record FILE]
+                     [--record FILE] [--journal-format jsonl|bin]
   manet-guard detect --replay FILE [--samples N[,N..]] [--no-blatant]
-                     [--faults SPEC]
+                     [--faults SPEC] [--journal-format jsonl|bin]
+  manet-guard journal info FILE
+  manet-guard journal transcode IN OUT [--journal-format jsonl|bin]
   manet-guard params
 ";
 
@@ -86,6 +96,8 @@ struct DetectOpts {
     metrics: bool,
     record: Option<String>,
     replay: Option<String>,
+    journal_format: JournalFormat,
+    journal_format_explicit: bool,
 }
 
 /// Strict parser for `detect` arguments: every flag must be recognized and
@@ -107,6 +119,8 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
         metrics: false,
         record: None,
         replay: None,
+        journal_format: JournalFormat::Binary,
+        journal_format_explicit: false,
     };
     let mut seen: Vec<&'static str> = Vec::new();
     let mut it = args.iter();
@@ -166,6 +180,11 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
                 o.replay = Some(raw_value(&mut it, a)?);
                 "--replay"
             }
+            "--journal-format" => {
+                o.journal_format = journal_format_value(&mut it, a)?;
+                o.journal_format_explicit = true;
+                "--journal-format"
+            }
             other => return Err(format!("unrecognized argument: {other}")),
         };
         seen.push(flag);
@@ -199,6 +218,17 @@ fn samples_list(v: &str) -> Result<Vec<usize>, String> {
         return Err(format!("invalid value for --samples: {v}"));
     }
     Ok(sizes)
+}
+
+/// Parses a `--journal-format` value; anything but `jsonl`/`bin` is a
+/// usage error (exit 2), matching the other flags' conventions.
+fn journal_format_value(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<JournalFormat, String> {
+    let v = raw_value(it, flag)?;
+    JournalFormat::parse(&v)
+        .ok_or_else(|| format!("invalid value for {flag}: {v} (expected jsonl or bin)"))
 }
 
 fn raw_value<'a>(
@@ -326,18 +356,27 @@ fn run_and_report<P: NetObserver>(
     }
 }
 
-/// `detect --replay`: no simulation — load the journal, build one fresh
-/// monitor (pool) per requested sample size, and stream the recorded
-/// observations through each.
+/// `detect --replay`: no simulation — open the journal (format
+/// auto-detected by magic), build one fresh monitor (pool) per requested
+/// sample size, and stream the recorded observations through each without
+/// ever materializing the journal in memory.
 fn replay_detect(o: &DetectOpts, path: &str) {
-    let journal = match ObsJournal::load(std::path::Path::new(path)) {
-        Ok(j) => j,
+    let reader = match JournalReader::open(std::path::Path::new(path)) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: cannot load journal from {path}: {e}");
             std::process::exit(1);
         }
     };
-    let meta = journal.meta().clone();
+    if o.journal_format_explicit && reader.format() != o.journal_format {
+        eprintln!(
+            "error: journal {path} is {}, but --journal-format {} was requested",
+            reader.format(),
+            o.journal_format
+        );
+        std::process::exit(1);
+    }
+    let meta = reader.meta().clone();
     if meta.vantages.is_empty() {
         eprintln!("error: journal {path} declares no vantages");
         std::process::exit(1);
@@ -345,7 +384,7 @@ fn replay_detect(o: &DetectOpts, path: &str) {
     let attacker_node = meta.tagged;
     let primary = meta.vantages[0];
     let kind = meta.param("kind").unwrap_or("grid").to_string();
-    let pm: u8 = meta.param("pm").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let pm: u8 = meta.param_parsed("pm").unwrap_or(0);
 
     let mut mc = if kind == "grid" {
         MonitorConfig::grid_paper(attacker_node, primary, meta.pair_distance)
@@ -361,8 +400,9 @@ fn replay_detect(o: &DetectOpts, path: &str) {
     }
 
     println!(
-        "replay   : {path} ({} events, {} vantage(s), world seed {})",
-        journal.len(),
+        "replay   : {path} ({} format, {} events, {} vantage(s), world seed {})",
+        reader.format(),
+        reader.len(),
         meta.vantages.len(),
         meta.seed
     );
@@ -376,15 +416,17 @@ fn replay_detect(o: &DetectOpts, path: &str) {
         .samples
         .iter()
         .map(|&n| {
-            (
-                n,
-                replay_pool_faulted(&journal, mc.with_sample_size(n), &o.faults),
-            )
+            let pool = replay_reader_faulted(&reader, mc.with_sample_size(n), &o.faults)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: journal {path} is damaged: {e}");
+                    std::process::exit(1);
+                });
+            (n, pool)
         })
         .collect();
     println!(
         "run      : {} events replayed into {} monitor(s) in {:.2?}",
-        journal.len(),
+        reader.len(),
         pools.len(),
         t0.elapsed()
     );
@@ -394,6 +436,94 @@ fn replay_detect(o: &DetectOpts, path: &str) {
     );
     for (n, pool) in &pools {
         report_diagnosis(attacker_node, *n, pools.len() > 1, &pool.diagnosis());
+    }
+}
+
+/// `manet-guard journal …`: inspect or re-encode recorded Obs journals.
+/// Usage errors return `Err` (exit 2 with usage); damaged journals and I/O
+/// failures exit 1 with a message — never a panic.
+fn journal_cmd(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("info") => {
+            if args.len() != 2 {
+                return Err("journal info takes exactly one FILE".into());
+            }
+            journal_info(&args[1]);
+            Ok(())
+        }
+        Some("transcode") => {
+            if args.len() < 3 {
+                return Err("journal transcode takes IN and OUT paths".into());
+            }
+            let mut format = JournalFormat::Binary;
+            let mut it = args[3..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--journal-format" => format = journal_format_value(&mut it, a)?,
+                    other => return Err(format!("unrecognized argument: {other}")),
+                }
+            }
+            journal_transcode(&args[1], &args[2], format);
+            Ok(())
+        }
+        Some(other) => Err(format!("unrecognized journal subcommand: {other}")),
+        None => Err("journal requires a subcommand (info | transcode)".into()),
+    }
+}
+
+fn open_journal_or_exit(path: &str) -> JournalReader {
+    JournalReader::open(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("error: cannot load journal from {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn journal_info(path: &str) {
+    let r = open_journal_or_exit(path);
+    let meta = r.meta();
+    println!("journal  : {path}");
+    println!("format   : {}", r.format());
+    println!("size     : {} bytes", r.size_bytes());
+    println!("events   : {}", r.len());
+    println!("tagged   : node {}", meta.tagged);
+    println!(
+        "vantages : {} ({})",
+        meta.vantages.len(),
+        meta.vantages
+            .iter()
+            .take(8)
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    println!("distance : {}", meta.pair_distance);
+    println!("seed     : {}", meta.seed);
+    for (k, v) in &meta.params {
+        println!("param    : {k} = {v}");
+    }
+}
+
+/// Streams `input` into `output` re-encoded as `format` — one event in
+/// flight at a time, the journal is never materialized.
+fn journal_transcode(input: &str, output: &str, format: JournalFormat) {
+    let r = open_journal_or_exit(input);
+    let mut w = JournalWriter::new(format, r.meta());
+    for ev in r.events() {
+        match ev {
+            Ok(o) => w.push(&o),
+            Err(e) => {
+                eprintln!("error: journal {input} is damaged: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let n = w.len();
+    match w.save(std::path::Path::new(output)) {
+        Ok(()) => println!("transcode: {n} events {input} -> {output} ({format} format)"),
+        Err(e) => {
+            eprintln!("error: cannot write journal to {output}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -501,10 +631,11 @@ fn detect(o: DetectOpts) {
         let mut world = builder.probe(ObsRecorder::new(meta)).build();
         run_and_report(&mut world, &o, attacker, attacker_node, &watches);
         let journal = world.probe().journal();
-        match journal.save(std::path::Path::new(&path)) {
+        match journal.save(std::path::Path::new(&path), o.journal_format) {
             Ok(()) => println!(
-                "record   : {} observations written to {path}",
-                journal.len()
+                "record   : {} observations written to {path} ({} format)",
+                journal.len(),
+                o.journal_format
             ),
             Err(e) => {
                 eprintln!("error: cannot write journal to {path}: {e}");
