@@ -56,6 +56,7 @@ mod monitor;
 mod pool;
 mod record;
 mod scenario;
+mod session;
 
 pub use analysis::AnalyticModel;
 pub use channel::{ChannelTracker, JointTracker};
@@ -70,6 +71,9 @@ pub use pool::MonitorPool;
 pub use record::{replay_pool, replay_pool_faulted, replay_reader, replay_reader_faulted, ObsRecorder};
 pub use scenario::{
     Assembly, AttackerHandle, MonitorHandle, Monitors, ScenarioBuilder, WorldMonitors, WorldProbe,
+};
+pub use session::{
+    render_report, template_from_meta, DetectorSession, DiagnosisDelta, SessionSpec,
 };
 
 /// Index of a node in the simulation.

@@ -28,6 +28,7 @@
 use crate::analysis::AnalyticModel;
 use crate::channel::ChannelTracker;
 use crate::density::DensityEstimator;
+use crate::session::DiagnosisDelta;
 use crate::NodeId;
 use mg_dcf::{Dest, Frame, FrameKind, MacTiming};
 use mg_crypto::VerifiableSequence;
@@ -268,6 +269,24 @@ impl MonitorConfig {
     pub fn with_sample_size(self, sample_size: usize) -> Self {
         MonitorConfig { sample_size, ..self }
     }
+
+    /// This configuration with the tagged→vantage distance replaced — the
+    /// builder-style successor of the deprecated
+    /// [`Monitor::set_pair_distance`].
+    pub fn with_pair_distance(self, pair_distance: f64) -> Self {
+        MonitorConfig { pair_distance, ..self }
+    }
+
+    /// This configuration with the deterministic-conviction threshold raised
+    /// to at least `confirm` consecutive anomalous observations (never
+    /// lowered) — the builder-style successor of the deprecated
+    /// [`Monitor::harden`].
+    pub fn hardened(self, confirm: usize) -> Self {
+        MonitorConfig {
+            confirm_anomalies: self.confirm_anomalies.max(confirm),
+            ..self
+        }
+    }
 }
 
 /// Aggregate outcome of a monitoring session.
@@ -361,11 +380,30 @@ pub struct Monitor {
     /// Consecutive anomalous observations (feeds the confirmation gate).
     anomaly_streak: usize,
     uncertain: usize,
+    /// Whether the latest observation left the monitor in the uncertain
+    /// regime (an unconfirmed anomaly) — drives the
+    /// [`DiagnosisDelta::UncertaintyEntered`]/`Left` transitions.
+    in_uncertain: bool,
+    /// Incremental delta buffer, drained by [`crate::DetectorSession`].
+    /// Disabled (and empty) by default so batch-driven monitors pay nothing.
+    emit_deltas: bool,
+    deltas: Vec<DiagnosisDelta>,
     tracer: Tracer,
     metrics: Metrics,
 }
 
 impl Monitor {
+    /// Creates a monitor for `cfg.tagged`, observing from `cfg.vantage`,
+    /// with an observation-boundary fault injector installed from birth —
+    /// the builder-style successor of the deprecated
+    /// [`Monitor::set_faults`]. Typically derived from a plan via
+    /// [`mg_fault::FaultPlan::observer`]; `None` observes faithfully.
+    pub fn with_faults(cfg: MonitorConfig, faults: Option<ObsFaults>) -> Self {
+        let mut m = Monitor::new(cfg);
+        m.faults = faults;
+        m
+    }
+
     /// Creates a monitor for `cfg.tagged`, observing from `cfg.vantage`.
     pub fn new(cfg: MonitorConfig) -> Self {
         Monitor {
@@ -394,6 +432,9 @@ impl Monitor {
             faults: None,
             anomaly_streak: 0,
             uncertain: 0,
+            in_uncertain: false,
+            emit_deltas: false,
+            deltas: Vec::new(),
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
             cfg,
@@ -414,8 +455,12 @@ impl Monitor {
     }
 
     /// Updates the tagged–vantage distance (mobility support).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build with `MonitorConfig::with_pair_distance` or a `SessionSpec` instead"
+    )]
     pub fn set_pair_distance(&mut self, d: f64) {
-        self.cfg.pair_distance = d;
+        self.update_pair_distance(d);
     }
 
     /// Installs (or removes) an observation-boundary fault injector.
@@ -424,6 +469,10 @@ impl Monitor {
     /// reach its estimators, corrupted tagged RTSs arrive with commitment
     /// bits flipped — while the simulated world runs unchanged. Typically
     /// derived from a plan via [`mg_fault::FaultPlan::observer`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct with `Monitor::with_faults` or a `SessionSpec` instead"
+    )]
     pub fn set_faults(&mut self, faults: Option<ObsFaults>) {
         self.faults = faults;
     }
@@ -432,8 +481,48 @@ impl Monitor {
     /// consecutive anomalous observations (never lowers it). Fault-aware
     /// assemblies call this with 2 so an isolated corrupted observation is
     /// classified as uncertain instead of convicting.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build with `MonitorConfig::hardened` or `SessionSpec::with_confirmation` instead"
+    )]
     pub fn harden(&mut self, confirm: usize) {
+        self.raise_confirmation(confirm);
+    }
+
+    /// Internal mobility path: the pool's hand-off election updates the
+    /// elected member's region model through here.
+    pub(crate) fn update_pair_distance(&mut self, d: f64) {
+        self.cfg.pair_distance = d;
+    }
+
+    /// Internal fault path (see [`Monitor::with_faults`]).
+    pub(crate) fn install_faults(&mut self, faults: Option<ObsFaults>) {
+        self.faults = faults;
+    }
+
+    /// Internal confirmation path (see [`MonitorConfig::hardened`]).
+    pub(crate) fn raise_confirmation(&mut self, confirm: usize) {
         self.cfg.confirm_anomalies = self.cfg.confirm_anomalies.max(confirm);
+    }
+
+    /// Switches the monitor onto the incremental path: every state change is
+    /// additionally journaled as a [`DiagnosisDelta`]. Emission is purely
+    /// additive — the detector's decisions and snapshots are bit-identical
+    /// with or without it.
+    pub(crate) fn enable_deltas(&mut self) {
+        self.emit_deltas = true;
+    }
+
+    /// Moves the accumulated deltas (in emission order) into `out`.
+    pub(crate) fn take_deltas_into(&mut self, out: &mut Vec<DiagnosisDelta>) {
+        out.append(&mut self.deltas);
+    }
+
+    #[inline]
+    fn delta(&mut self, d: DiagnosisDelta) {
+        if self.emit_deltas {
+            self.deltas.push(d);
+        }
     }
 
     /// The running diagnosis.
@@ -544,6 +633,10 @@ impl Monitor {
             EventKind::MonitorViolation { kind: v.kind_str() },
         );
         self.metrics.bump(self.cfg.tagged, Counter::MonitorViolations);
+        self.delta(DiagnosisDelta::ViolationFlagged {
+            vantage: self.cfg.vantage,
+            violation: v,
+        });
         self.violations.push(v);
     }
 
@@ -556,6 +649,11 @@ impl Monitor {
             EventKind::MonitorUncertain { kind: v.kind_str() },
         );
         self.metrics.bump(self.cfg.tagged, Counter::MonitorUncertain);
+        self.delta(DiagnosisDelta::ObservationUncertain {
+            vantage: self.cfg.vantage,
+            kind: v.kind_str(),
+            at: v.at(),
+        });
         self.uncertain += 1;
     }
 
@@ -701,6 +799,10 @@ impl Monitor {
                 let x = f64::from(dictated.slots);
                 if y > f64::from(timing.cw_max) * self.cfg.discard_factor {
                     self.discarded += 1;
+                    self.delta(DiagnosisDelta::SampleDiscarded {
+                        vantage: self.cfg.vantage,
+                        at: end,
+                    });
                 } else {
                     sample = Some((x, y));
                 }
@@ -720,6 +822,15 @@ impl Monitor {
             self.anomaly_streak >= self.cfg.confirm_anomalies
         };
         if trusted {
+            // Leaving the uncertain regime: a clean observation resolved the
+            // streak, or the streak was confirmed into convictions below.
+            if self.in_uncertain {
+                self.in_uncertain = false;
+                self.delta(DiagnosisDelta::UncertaintyLeft {
+                    vantage: self.cfg.vantage,
+                    at: end,
+                });
+            }
             for v in anomalies {
                 self.flag(v);
             }
@@ -730,6 +841,12 @@ impl Monitor {
                     EventKind::MonitorSample { dictated: x, estimated: y },
                 );
                 self.metrics.bump(self.cfg.tagged, Counter::MonitorSamples);
+                self.delta(DiagnosisDelta::SampleAccepted {
+                    vantage: self.cfg.vantage,
+                    dictated: x,
+                    estimated: y,
+                    at: end,
+                });
                 self.pending.push((x, y));
                 self.all_samples.push((x, y));
                 if self.cfg.auto_test && self.pending.len() >= self.cfg.sample_size {
@@ -741,6 +858,13 @@ impl Monitor {
             // withhold the (equally suspect) sample, and keep the previous
             // verified sequence record as the comparison point — a
             // bit-flipped offset must not poison the next check.
+            if !self.in_uncertain {
+                self.in_uncertain = true;
+                self.delta(DiagnosisDelta::UncertaintyEntered {
+                    vantage: self.cfg.vantage,
+                    at: end,
+                });
+            }
             for v in anomalies {
                 self.note_uncertain(v);
             }
@@ -819,6 +943,7 @@ impl Monitor {
             EventKind::MonitorTest { p: result.p_value, reject },
         );
         self.metrics.bump(self.cfg.tagged, Counter::MonitorTests);
+        self.delta(DiagnosisDelta::TestFired { result, reject, at: t });
         self.tests.push(result);
     }
 
@@ -1465,8 +1590,8 @@ mod fault_tests {
         // loss=1 eats every frame at the observation boundary: the monitor
         // collects nothing and, crucially, accuses nobody.
         let plan = FaultPlan::parse("seed=1,loss=1").unwrap();
-        let mut m = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
-        m.set_faults(plan.observer(R as u64));
+        let mut m =
+            Monitor::with_faults(MonitorConfig::grid_paper(S, R, 240.0), plan.observer(R as u64));
         let med = medium();
         for i in 0..20u64 {
             feed_rts(&mut m, &med, i, i, SimTime::from_millis(20 * (i + 1)));
@@ -1482,8 +1607,7 @@ mod fault_tests {
         // commitment bits may look anomalous, but the hardened monitor
         // must never turn an isolated glitch into a conviction.
         let plan = FaultPlan::parse("seed=3,corrupt=0.2").unwrap();
-        let mut m = Monitor::new(hardened());
-        m.set_faults(plan.observer(R as u64));
+        let mut m = Monitor::with_faults(hardened(), plan.observer(R as u64));
         let med = medium();
         for i in 0..60u64 {
             feed_rts(&mut m, &med, i, i, SimTime::from_millis(20 * (i + 1)));
@@ -1497,8 +1621,7 @@ mod fault_tests {
     fn injector_fates_are_deterministic_per_vantage() {
         let plan = FaultPlan::parse("seed=9,heavy").unwrap();
         let run = || {
-            let mut m = Monitor::new(hardened());
-            m.set_faults(plan.observer(R as u64));
+            let mut m = Monitor::with_faults(hardened(), plan.observer(R as u64));
             let med = medium();
             for i in 0..40u64 {
                 feed_rts(&mut m, &med, i, i, SimTime::from_millis(20 * (i + 1)));
@@ -1506,5 +1629,36 @@ mod fault_tests {
             (m.samples().to_vec(), m.diagnosis().uncertain)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_delegate() {
+        // The one-release compatibility shims must keep behaving exactly
+        // like the builder path they forward to.
+        let plan = FaultPlan::parse("seed=3,corrupt=0.2").unwrap();
+        let mut shimmed = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
+        shimmed.set_faults(plan.observer(R as u64));
+        shimmed.harden(2);
+        shimmed.set_pair_distance(120.0);
+        let built = Monitor::with_faults(
+            MonitorConfig::grid_paper(S, R, 240.0)
+                .hardened(2)
+                .with_pair_distance(120.0),
+            plan.observer(R as u64),
+        );
+        assert_eq!(shimmed.config().confirm_anomalies, built.config().confirm_anomalies);
+        assert_eq!(shimmed.config().pair_distance, built.config().pair_distance);
+        let med = medium();
+        let feed = |m: &mut Monitor| {
+            for i in 0..40u64 {
+                feed_rts(m, &med, i, i, SimTime::from_millis(20 * (i + 1)));
+            }
+        };
+        let mut built = built;
+        feed(&mut shimmed);
+        feed(&mut built);
+        assert_eq!(shimmed.samples(), built.samples());
+        assert_eq!(shimmed.diagnosis(), built.diagnosis());
     }
 }

@@ -8,6 +8,7 @@
 //! monitor's back-off samples into one shared hypothesis-test stream.
 
 use crate::monitor::{Diagnosis, Judge, Monitor, MonitorConfig, Violation};
+use crate::session::DiagnosisDelta;
 use crate::NodeId;
 use mg_dcf::Frame;
 use mg_fault::FaultPlan;
@@ -42,6 +43,12 @@ pub struct MonitorPool {
     /// sample extracted for that RTS still uses the pre-hand-off distance
     /// (matching the callback order of a live world).
     last_ranging: Option<Vec<(NodeId, f64)>>,
+    /// Incremental delta buffer: member deltas are folded in right after the
+    /// routed member consumed an event (so ordering is deterministic even
+    /// though member storage is a hash map), followed by the pool's own
+    /// shared-test deltas. Disabled (and empty) by default.
+    emit_deltas: bool,
+    deltas: Vec<DiagnosisDelta>,
     tracer: Tracer,
     metrics: Metrics,
 }
@@ -87,8 +94,33 @@ impl MonitorPool {
             contributed: HashMap::new(),
             last_seen: SimTime::ZERO,
             last_ranging: None,
+            emit_deltas: false,
+            deltas: Vec::new(),
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
+        }
+    }
+
+    /// Switches the pool (and every member) onto the incremental path: all
+    /// state changes are additionally journaled as [`DiagnosisDelta`]s.
+    /// Emission is purely additive — detector decisions are unchanged.
+    pub(crate) fn enable_deltas(&mut self) {
+        self.emit_deltas = true;
+        for m in self.monitors.values_mut() {
+            m.enable_deltas();
+        }
+    }
+
+    /// Moves the accumulated deltas (in emission order) into `out`.
+    pub(crate) fn take_deltas_into(&mut self, out: &mut Vec<DiagnosisDelta>) {
+        out.append(&mut self.deltas);
+    }
+
+    /// Raises every member's deterministic-conviction threshold to at least
+    /// `confirm` (see [`MonitorConfig::hardened`]).
+    pub(crate) fn raise_confirmation(&mut self, confirm: usize) {
+        for m in self.monitors.values_mut() {
+            m.raise_confirmation(confirm);
         }
     }
 
@@ -117,9 +149,9 @@ impl MonitorPool {
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
         let harden = plan.has_observation_faults();
         for (&v, m) in self.monitors.iter_mut() {
-            m.set_faults(plan.observer(v as u64));
+            m.install_faults(plan.observer(v as u64));
             if harden {
-                m.harden(2);
+                m.raise_confirmation(2);
             }
         }
     }
@@ -216,7 +248,7 @@ impl MonitorPool {
         // Keep the elected monitor's region model honest about the distance.
         if let Some((v, d)) = best {
             if let Some(m) = self.monitors.get_mut(&v) {
-                m.set_pair_distance(d.max(1.0));
+                m.update_pair_distance(d.max(1.0));
             }
         }
     }
@@ -287,6 +319,13 @@ impl MonitorPool {
                 EventKind::MonitorTest { p: r.p_value, reject },
             );
             self.metrics.bump(self.tagged, Counter::MonitorTests);
+            if self.emit_deltas {
+                self.deltas.push(DiagnosisDelta::TestFired {
+                    result: r,
+                    reject,
+                    at: self.last_seen,
+                });
+            }
             self.tests.push(r);
         }
     }
@@ -308,16 +347,19 @@ impl ObsSink for MonitorPool {
             Obs::ChannelEdge { node, .. } => {
                 if let Some(m) = self.monitors.get_mut(node) {
                     m.ingest(obs);
+                    m.take_deltas_into(&mut self.deltas);
                 }
             }
             Obs::TxStart { src, .. } => {
                 if let Some(m) = self.monitors.get_mut(src) {
                     m.ingest(obs);
+                    m.take_deltas_into(&mut self.deltas);
                 }
             }
             Obs::Decoded { at, frame, end, .. } => {
                 if let Some(m) = self.monitors.get_mut(at) {
                     m.ingest(obs);
+                    m.take_deltas_into(&mut self.deltas);
                 }
                 if frame.src == self.tagged && frame.is_rts() {
                     self.last_seen = *end;
@@ -331,6 +373,7 @@ impl ObsSink for MonitorPool {
             Obs::Garbled { at, .. } => {
                 if let Some(m) = self.monitors.get_mut(at) {
                     m.ingest(obs);
+                    m.take_deltas_into(&mut self.deltas);
                 }
             }
         }

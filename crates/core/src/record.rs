@@ -24,7 +24,7 @@ use crate::NodeId;
 use mg_dcf::Frame;
 use mg_fault::FaultPlan;
 use mg_net::NetObserver;
-use mg_obs::{JournalError, JournalReader, Obs, ObsJournal, ObsMeta, ObsSink};
+use mg_obs::{JournalError, JournalReader, Obs, ObsJournal, ObsMeta};
 use mg_phy::Medium;
 use mg_sim::SimTime;
 
@@ -187,8 +187,6 @@ pub fn replay_reader_faulted(
     if !plan.is_noop() {
         pool.apply_fault_plan(plan);
     }
-    for r in reader.events() {
-        pool.ingest(&r?);
-    }
+    reader.replay_into(&mut pool)?;
     Ok(pool)
 }

@@ -157,9 +157,9 @@ fn density_estimator_monotone() {
 
 mod replay {
     use mg_detect::{
-        replay_pool, replay_pool_faulted, replay_reader, replay_reader_faulted, FaultPlan,
-        JournalFormat, JournalReader, MonitorConfig, MonitorPool, ObsJournal, ObsMeta,
-        ObsRecorder, ScenarioBuilder, WorldMonitors, WorldProbe,
+        replay_pool, replay_pool_faulted, replay_reader, replay_reader_faulted, DiagnosisDelta,
+        FaultPlan, JournalFormat, JournalReader, MonitorConfig, MonitorPool, ObsJournal, ObsMeta,
+        ObsRecorder, ScenarioBuilder, SessionSpec, WorldMonitors, WorldProbe,
     };
     use mg_dcf::BackoffPolicy;
     use mg_net::{Scenario, ScenarioConfig, SourceCfg};
@@ -369,6 +369,98 @@ mod replay {
 
             let api = replay_pool_faulted(&live.journal, live.mc, &plan);
             tk_assert_eq!(live.diagnosis, api.diagnosis());
+            Ok(())
+        });
+    }
+
+    /// The session-API contract: feeding a recorded journal one event at a
+    /// time through `DetectorSession::ingest` lands on detector state
+    /// byte-identical to the legacy batch replay — same `Diagnosis`, same
+    /// paired samples, same rank-sum history, same violations — and the
+    /// emitted delta stream is a *complete* account: replaying the deltas
+    /// against empty counters reconstructs every field of the diagnosis.
+    /// Holds for clean and fault-injected sessions alike.
+    #[test]
+    fn delta_ingest_equals_batch_ingest() {
+        let cfg = Config {
+            cases: 4,
+            ..Config::default()
+        };
+        check_with(cfg, "delta_ingest_equals_batch_ingest", |g: &mut Gen| -> TkResult {
+            let seed = g.u64_in(1..1_000_000);
+            let pm = [0u8, 50, 90][g.usize_in(0..3)];
+            let plan = if g.usize_in(0..2) == 1 {
+                let fault_seed = g.u64_in(1..10_000);
+                Some(
+                    FaultPlan::parse(&format!("seed={fault_seed},light"))
+                        .map_err(|e| TkError::Fail(format!("plan: {e}")))?,
+                )
+            } else {
+                None
+            };
+            let live = live_run(seed, pm, g.usize_in(5..30), plan.as_ref())?;
+            tk_assert!(!live.journal.is_empty(), "a saturated run must record");
+            let meta = live.journal.meta();
+
+            let batch = match &plan {
+                Some(p) => replay_pool_faulted(&live.journal, live.mc, p),
+                None => replay_pool(&live.journal, live.mc),
+            };
+
+            let mut spec = SessionSpec::pool(meta.tagged, &meta.vantages, live.mc);
+            if let Some(p) = &plan {
+                spec = spec.with_faults(p.clone());
+            }
+            let mut session = spec.build();
+            let mut deltas: Vec<DiagnosisDelta> = Vec::new();
+            for o in live.journal.events() {
+                deltas.extend(session.ingest(o));
+            }
+
+            // Derived views are byte-identical to the batch path.
+            let diag = batch.diagnosis();
+            tk_assert_eq!(diag, session.diagnosis());
+            tk_assert_eq!(batch.tests(), session.tests());
+            tk_assert!(
+                batch.violations() == session.violations(),
+                "batch {:?} vs session {:?}",
+                batch.violations(),
+                session.violations()
+            );
+            let pool = session
+                .as_pool()
+                .ok_or_else(|| TkError::Fail("expected a pooled session".into()))?;
+            tk_assert_eq!(
+                batch.monitor(live.vantage).map(|m| m.samples().to_vec()),
+                pool.monitor(live.vantage).map(|m| m.samples().to_vec())
+            );
+
+            // The delta stream is a complete account of the diagnosis.
+            let mut acc = mg_detect::Diagnosis::default();
+            let mut verdicts = 0usize;
+            for d in &deltas {
+                match d {
+                    DiagnosisDelta::SampleAccepted { .. } => acc.samples_collected += 1,
+                    DiagnosisDelta::SampleDiscarded { .. } => acc.samples_discarded += 1,
+                    DiagnosisDelta::TestFired { result, reject, .. } => {
+                        acc.tests_run += 1;
+                        acc.rejections += usize::from(*reject);
+                        acc.last_p = Some(result.p_value);
+                    }
+                    DiagnosisDelta::ViolationFlagged { .. } => acc.violations += 1,
+                    DiagnosisDelta::ObservationUncertain { .. } => acc.uncertain += 1,
+                    DiagnosisDelta::UncertaintyEntered { .. }
+                    | DiagnosisDelta::UncertaintyLeft { .. } => {}
+                    DiagnosisDelta::VerdictChanged { flagged, .. } => {
+                        verdicts += 1;
+                        tk_assert!(*flagged, "verdict is monotone in this world");
+                    }
+                }
+            }
+            acc.measured_rho = diag.measured_rho; // not delta-carried: a gauge, not a counter
+            tk_assert_eq!(diag, acc);
+            tk_assert_eq!(session.is_flagged(), diag.is_flagged());
+            tk_assert_eq!(verdicts, usize::from(diag.is_flagged()));
             Ok(())
         });
     }

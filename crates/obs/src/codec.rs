@@ -1102,6 +1102,21 @@ impl JournalReader {
         }
         Ok(j)
     }
+
+    /// Streams every event, in order, into `sink` — one decoded event in
+    /// flight at a time, the journal never materialized in memory. This is
+    /// the single ingest route shared by `detect --replay`, `journal info
+    /// --deltas` and the `mgd` daemon. Returns the number of events fed; a
+    /// decode error (truncation, bit rot, bad line) aborts with the typed
+    /// cause, leaving `sink` partially fed.
+    pub fn replay_into(&self, sink: &mut impl ObsSink) -> Result<usize, JournalError> {
+        let mut n = 0usize;
+        for r in self.events() {
+            sink.ingest(&r?);
+            n += 1;
+        }
+        Ok(n)
+    }
 }
 
 fn decode_event(

@@ -1,0 +1,441 @@
+//! The multi-stream detection daemon: demultiplexes many concurrent
+//! journal streams into one incremental [`DetectorSession`] per
+//! `(stream, sender, vantage)` and emits typed deltas as JSONL.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! producers (sockets / files / pipes / bench)
+//!      │  StreamHandle::push — batches, Block or Shed policy
+//!      ▼
+//! bounded MPMC queues (one per worker, crate::mpmc)
+//!      │  Job::{Open, Events, Close}
+//!      ▼
+//! worker threads — sessions: HashMap<stream id, DetectorSession>
+//!      │  DiagnosisDelta JSONL → shared subscriber sink
+//!      ▼
+//! StreamReport (render_report — byte-identical to `detect --replay`)
+//! ```
+//!
+//! A stream is pinned to one worker (`stream id % workers`), so events of
+//! one stream are processed in recorded order with no cross-thread
+//! synchronization on the session. Each session is built by
+//! [`SessionSpec::from_meta`], the *same* constructor `detect --replay`
+//! uses; the per-monitor members inside the pooled session are exactly the
+//! paper's one-detector-per-`(sender, vantage)` decomposition. Because
+//! detection is deterministic in the event order of its own stream, a
+//! report produced here is byte-identical to an offline replay of the same
+//! journal — the property the ci socket gate diffs.
+//!
+//! ## Back-pressure
+//!
+//! Queues are bounded ([`ServeConfig::queue_cap`] jobs per worker). The
+//! [`Policy`] decides what a full queue does to the producer: **Block**
+//! parks it (lossless, default), **Shed** drops the batch at the producer
+//! and accounts it in the stream's drop counter, which travels into
+//! [`StreamReport::dropped`] and the daemon-wide [`ServeStats`].
+
+use crate::mpmc;
+use crate::wire::{self, WireError};
+use mg_detect::{render_report, Diagnosis, DetectorSession, SessionSpec};
+use mg_obs::{JournalReader, Obs, ObsMeta};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// What a producer does when its worker queue is full.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Policy {
+    /// Park the producer until space frees up: lossless back-pressure.
+    #[default]
+    Block,
+    /// Drop the batch at the producer and account it: bounded latency.
+    Shed,
+}
+
+impl Policy {
+    /// Parses `block`/`shed` (the `--policy` flag values).
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "block" => Some(Policy::Block),
+            "shed" => Some(Policy::Shed),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Block => "block",
+            Policy::Shed => "shed",
+        }
+    }
+}
+
+/// Daemon construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining session work (streams are sharded across
+    /// them by stream id).
+    pub workers: usize,
+    /// Bounded queue capacity per worker, in jobs (one job ≈ one batch).
+    pub queue_cap: usize,
+    /// Events buffered per [`StreamHandle`] before a queue hand-off.
+    pub batch: usize,
+    /// Full-queue behavior at the producers.
+    pub policy: Policy,
+    /// Emit [`mg_detect::DiagnosisDelta`] JSONL to the subscriber sink.
+    pub deltas: bool,
+    /// Override the sessions' rank-sum sample size (`detect --samples`).
+    pub sample_size: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 1024,
+            batch: 256,
+            policy: Policy::Block,
+            deltas: false,
+            sample_size: None,
+        }
+    }
+}
+
+/// The terminal state of one served stream, rendered when it closes.
+#[derive(Clone, Debug)]
+pub struct StreamReport {
+    /// The daemon-assigned stream id.
+    pub stream: u64,
+    /// The stream's tagged (monitored) node.
+    pub tagged: usize,
+    /// Events the producer pushed (accepted + shed).
+    pub events: u64,
+    /// Events shed at the producer under [`Policy::Shed`].
+    pub dropped: u64,
+    /// The aggregate verdict.
+    pub flagged: bool,
+    /// The final diagnosis snapshot.
+    pub diagnosis: Diagnosis,
+    /// The `samples`/`tests`/`checks`/`verdict` block, byte-identical to
+    /// `detect --replay` on the same journal ([`render_report`]).
+    pub report: String,
+}
+
+/// Daemon-wide counters returned by [`Daemon::shutdown`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Streams opened over the daemon's lifetime.
+    pub streams: u64,
+    /// Events ingested by detector sessions.
+    pub events: u64,
+    /// Diagnosis deltas emitted.
+    pub deltas: u64,
+    /// Events shed at producers (reported at stream close).
+    pub dropped: u64,
+    /// Sessions still open at shutdown (producer vanished mid-stream).
+    pub abandoned: u64,
+}
+
+type DeltaSink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+enum Job {
+    Open {
+        stream: u64,
+        meta: Box<ObsMeta>,
+    },
+    Events {
+        stream: u64,
+        batch: Vec<Obs>,
+    },
+    Close {
+        stream: u64,
+        dropped: u64,
+        reply: mpsc::Sender<StreamReport>,
+    },
+}
+
+/// The serving engine: owns the worker threads and their queues. Producers
+/// interact through [`StreamHandle`]s; [`Daemon::shutdown`] closes the
+/// queues, drains them and joins every worker.
+pub struct Daemon {
+    cfg: ServeConfig,
+    txs: Vec<mpmc::Sender<Job>>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    next_stream: AtomicU64,
+}
+
+impl Daemon {
+    /// Starts the workers. `delta_out`, when given, receives one JSONL line
+    /// per [`mg_detect::DiagnosisDelta`] (tagged with its stream id) if
+    /// `cfg.deltas` is set.
+    pub fn start(cfg: ServeConfig, delta_out: Option<Box<dyn Write + Send>>) -> Daemon {
+        let sink: Option<DeltaSink> =
+            delta_out.filter(|_| cfg.deltas).map(|w| Arc::new(Mutex::new(w)));
+        let mut txs = Vec::new();
+        let mut workers = Vec::new();
+        for _ in 0..cfg.workers.max(1) {
+            let (tx, rx) = mpmc::bounded::<Job>(cfg.queue_cap.max(1));
+            let sink = sink.clone();
+            let sample_size = cfg.sample_size;
+            txs.push(tx);
+            workers.push(std::thread::spawn(move || worker(rx, sample_size, sink)));
+        }
+        Daemon {
+            cfg,
+            txs,
+            workers,
+            next_stream: AtomicU64::new(1),
+        }
+    }
+
+    /// The config the daemon was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Opens a new stream described by `meta` and returns its producer
+    /// handle. The open itself always uses blocking back-pressure — a
+    /// session must exist before events can be shed *meaningfully*.
+    pub fn open(&self, meta: ObsMeta) -> StreamHandle {
+        let id = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        let tx = self.txs[(id as usize) % self.txs.len()].clone();
+        let _ = tx.send(Job::Open {
+            stream: id,
+            meta: Box::new(meta),
+        });
+        StreamHandle {
+            id,
+            tx,
+            policy: self.cfg.policy,
+            batch_cap: self.cfg.batch.max(1),
+            buf: Vec::new(),
+            events: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Closes every queue, drains the remaining jobs and joins the workers.
+    /// Returning at all *is* the drain proof: a worker only exits once its
+    /// queue reports disconnected-and-empty.
+    pub fn shutdown(self) -> ServeStats {
+        drop(self.txs);
+        let mut total = ServeStats::default();
+        for w in self.workers {
+            let s = w.join().expect("serve worker panicked");
+            total.streams += s.streams;
+            total.events += s.events;
+            total.deltas += s.deltas;
+            total.dropped += s.dropped;
+            total.abandoned += s.abandoned;
+        }
+        total
+    }
+}
+
+/// Producer-side handle to one open stream: batches events and applies the
+/// daemon's back-pressure policy at the queue boundary.
+pub struct StreamHandle {
+    id: u64,
+    tx: mpmc::Sender<Job>,
+    policy: Policy,
+    batch_cap: usize,
+    buf: Vec<Obs>,
+    events: u64,
+    dropped: u64,
+}
+
+impl StreamHandle {
+    /// The daemon-assigned stream id.
+    pub fn stream_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Appends one event; hands a full batch to the worker queue.
+    pub fn push(&mut self, obs: Obs) {
+        self.buf.push(obs);
+        self.events += 1;
+        if self.buf.len() >= self.batch_cap {
+            self.flush();
+        }
+    }
+
+    /// Pushes the current partial batch through the queue (respecting the
+    /// policy). A no-op when the buffer is empty.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buf);
+        let n = batch.len() as u64;
+        let job = Job::Events {
+            stream: self.id,
+            batch,
+        };
+        match self.policy {
+            Policy::Block => {
+                if self.tx.send(job).is_err() {
+                    self.dropped += n;
+                }
+            }
+            Policy::Shed => {
+                if self.tx.try_send(job).is_err() {
+                    self.dropped += n;
+                }
+            }
+        }
+    }
+
+    /// Events pushed so far (accepted + shed).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Events shed so far under [`Policy::Shed`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flushes, closes the stream and returns its final report. `None`
+    /// only if the daemon is already gone.
+    pub fn close(mut self) -> Option<StreamReport> {
+        self.flush();
+        let (rtx, rrx) = mpsc::channel();
+        // Close is never shed: the producer must learn the verdict.
+        self.tx
+            .send(Job::Close {
+                stream: self.id,
+                dropped: self.dropped,
+                reply: rtx,
+            })
+            .ok()?;
+        rrx.recv().ok()
+    }
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    streams: u64,
+    events: u64,
+    deltas: u64,
+    dropped: u64,
+    abandoned: u64,
+}
+
+struct StreamState {
+    meta: ObsMeta,
+    session: DetectorSession,
+    events: u64,
+}
+
+fn worker(
+    rx: mpmc::Receiver<Job>,
+    sample_size: Option<usize>,
+    sink: Option<DeltaSink>,
+) -> WorkerStats {
+    let mut sessions: HashMap<u64, StreamState> = HashMap::new();
+    let mut stats = WorkerStats::default();
+    let mut lines = String::new();
+    while let Some(job) = rx.recv() {
+        match job {
+            Job::Open { stream, meta } => {
+                let mut spec = SessionSpec::from_meta(&meta);
+                if let Some(n) = sample_size {
+                    spec = spec.with_sample_size(n);
+                }
+                sessions.insert(
+                    stream,
+                    StreamState {
+                        meta: *meta,
+                        session: spec.build(),
+                        events: 0,
+                    },
+                );
+                stats.streams += 1;
+            }
+            Job::Events { stream, batch } => {
+                let Some(s) = sessions.get_mut(&stream) else {
+                    continue;
+                };
+                s.events += batch.len() as u64;
+                stats.events += batch.len() as u64;
+                for obs in &batch {
+                    for d in s.session.ingest(obs) {
+                        stats.deltas += 1;
+                        if sink.is_some() {
+                            // `{"stream":N,` + the delta object's own body.
+                            let body = d.to_json().render();
+                            lines.push_str(&format!("{{\"stream\":{stream},{}\n", &body[1..]));
+                        }
+                    }
+                }
+                if let (Some(sink), false) = (&sink, lines.is_empty()) {
+                    let mut w = sink.lock().expect("delta sink lock");
+                    let _ = w.write_all(lines.as_bytes());
+                    lines.clear();
+                }
+            }
+            Job::Close {
+                stream,
+                dropped,
+                reply,
+            } => {
+                let Some(s) = sessions.remove(&stream) else {
+                    continue;
+                };
+                stats.dropped += dropped;
+                let diag = s.session.diagnosis();
+                let report = render_report(s.meta.tagged, sample_size.unwrap_or(50), false, &diag);
+                let _ = reply.send(StreamReport {
+                    stream,
+                    tagged: s.meta.tagged,
+                    // Pushed = accepted (worker-side) + shed (producer-side).
+                    events: s.events + dropped,
+                    dropped,
+                    flagged: diag.is_flagged(),
+                    diagnosis: diag,
+                    report,
+                });
+            }
+        }
+    }
+    if let Some(sink) = &sink {
+        let mut w = sink.lock().expect("delta sink lock");
+        let _ = w.flush();
+    }
+    stats.abandoned = sessions.len() as u64;
+    stats
+}
+
+/// Serves one framed connection (socket, pipe — anything `Read + Write`):
+/// reads chunked journal frames until the end marker, feeds them into a
+/// daemon stream, then writes the final detection report back and returns
+/// it. `Ok(None)` means the peer sent no frames at all.
+///
+/// A transport or validation error abandons the stream (its session stays
+/// open until daemon shutdown and is counted in [`ServeStats::abandoned`]).
+pub fn serve_connection<S: Read + Write>(
+    conn: &mut S,
+    daemon: &Daemon,
+) -> Result<Option<StreamReport>, WireError> {
+    let mut handle: Option<StreamHandle> = None;
+    while let Some(payload) = wire::read_frame(conn)? {
+        let reader = JournalReader::from_bytes(payload)?;
+        let h = handle.get_or_insert_with(|| daemon.open(reader.meta().clone()));
+        for ev in reader.events() {
+            h.push(ev?);
+        }
+    }
+    let Some(h) = handle else {
+        return Ok(None);
+    };
+    let report = h.close();
+    if let Some(r) = &report {
+        conn.write_all(r.report.as_bytes())?;
+        conn.flush()?;
+    }
+    Ok(report)
+}

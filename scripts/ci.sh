@@ -239,6 +239,66 @@ if [ "$flip_status" -ne 1 ] || ! grep -q "checksum" "$outdir/journal-flip.err"; 
 fi
 echo "ok: truncation and bit rot are rejected with clean exits"
 
+echo "== serve gate: mgd socket round-trip is byte-identical to offline replay =="
+# Record two journals (one misbehaving, one clean), start the daemon on an
+# ephemeral port, stream both over the length-prefixed socket protocol, and
+# require the reports that come back to match `detect --replay` on the same
+# files byte-for-byte. SIGTERM must then drain the queues and exit 0.
+cargo run -q --release --offline -- detect --pm 60 --secs 2 --seed 5 \
+    --record "$outdir/serve-a.bin" >/dev/null
+cargo run -q --release --offline -- detect --pm 0 --secs 2 --seed 9 \
+    --record "$outdir/serve-b.bin" >/dev/null
+./target/release/mgd --listen 127.0.0.1:0 --deltas >"$outdir/mgd.out" 2>"$outdir/mgd.err" &
+mgd_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$outdir/mgd.out" 2>/dev/null | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+if [ -z "$addr" ]; then
+    echo "error: mgd did not report a listening address" >&2
+    cat "$outdir/mgd.err" >&2
+    kill "$mgd_pid" 2>/dev/null || true
+    exit 1
+fi
+for j in a b; do
+    cargo run -q --release --offline -- journal send "$outdir/serve-$j.bin" \
+        --to "$addr" >"$outdir/serve-$j.got"
+    cargo run -q --release --offline -- detect --replay "$outdir/serve-$j.bin" \
+        >"$outdir/serve-$j.want"
+    if ! diff <(grep -E '^(samples|tests|checks|verdict)' "$outdir/serve-$j.want") \
+              <(grep -E '^(samples|tests|checks|verdict)' "$outdir/serve-$j.got"); then
+        echo "error: mgd report for journal $j diverged from offline replay" >&2
+        exit 1
+    fi
+done
+kill -TERM "$mgd_pid"
+set +e
+wait "$mgd_pid"
+mgd_status=$?
+set -e
+if [ "$mgd_status" -ne 0 ]; then
+    echo "error: mgd exited $mgd_status on SIGTERM (want 0)" >&2
+    cat "$outdir/mgd.err" >&2
+    exit 1
+fi
+if ! grep -q "queues drained" "$outdir/mgd.out"; then
+    echo "error: mgd shutdown line missing the drained-queues confirmation" >&2
+    cat "$outdir/mgd.out" >&2
+    exit 1
+fi
+echo "ok: two socket streams byte-identical to offline replay; clean SIGTERM drain"
+
+echo "== serve smoke: bench_serve mini cell =="
+# A tiny in-process cell of the serving benchmark: asserts the daemon's
+# event-conservation invariants itself and must emit the JSON report. The
+# real ≥1M events/sec across ≥1k streams pin lives in BENCH_serve.json.
+MG_SERVE_STREAMS=8 MG_SERVE_EVENTS=200 MG_BENCH_OUT="$outdir/serve-bench.json" \
+    cargo run -q --release --offline -p mg-bench --bin bench_serve >/dev/null
+grep -q '"events_per_sec"' "$outdir/serve-bench.json"
+echo "ok: serving smoke cell conserves events and reports"
+
 echo "== rustdoc: no warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
 

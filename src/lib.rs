@@ -29,6 +29,7 @@
 //! | [`trace`] | `mg-trace` | structured event journal, per-node metrics, spans |
 //! | [`fault`] | `mg-fault` | deterministic fault injection for chaos testing |
 //! | [`detect`] | `mg-detect` | **the detection framework** (the paper's contribution) |
+//! | [`serve`] | `mg-serve` | the `mgd` daemon: multi-stream demux, bounded MPMC, wire protocol |
 //!
 //! ## Quickstart
 //!
@@ -97,6 +98,7 @@ pub use mg_geom as geom;
 pub use mg_net as net;
 pub use mg_obs as obs;
 pub use mg_phy as phy;
+pub use mg_serve as serve;
 pub use mg_sim as sim;
 pub use mg_stats as stats;
 pub use mg_trace as trace;
@@ -105,11 +107,12 @@ pub use mg_trace as trace;
 pub mod prelude {
     pub use mg_dcf::{BackoffPolicy, Dest, Frame, FrameKind, MacSdu, MacTiming};
     pub use mg_detect::{
-        replay_pool, replay_pool_faulted, replay_reader, replay_reader_faulted, AnalyticModel,
-        Assembly, AttackerHandle, Diagnosis, FaultPlan, Judge, JournalError, JournalFormat,
-        JournalReader, JournalWriter, Monitor, MonitorConfig, MonitorHandle, MonitorPool,
-        Monitors, NodeCounts, Obs, ObsFaults, ObsJournal, ObsMeta, ObsRecorder, ObsSink,
-        ScenarioBuilder, Violation, WorldMonitors, WorldProbe,
+        render_report, replay_pool, replay_pool_faulted, replay_reader, replay_reader_faulted,
+        template_from_meta, AnalyticModel, Assembly, AttackerHandle, DetectorSession, Diagnosis,
+        DiagnosisDelta, FaultPlan, Judge, JournalError, JournalFormat, JournalReader,
+        JournalWriter, Monitor, MonitorConfig, MonitorHandle, MonitorPool, Monitors, NodeCounts,
+        Obs, ObsFaults, ObsJournal, ObsMeta, ObsRecorder, ObsSink, ScenarioBuilder, SessionSpec,
+        Violation, WorldMonitors, WorldProbe,
     };
     pub use mg_geom::{PreclusionRule, RegionModel, Vec2};
     pub use mg_net::{
@@ -117,6 +120,7 @@ pub mod prelude {
         TrafficModel, World,
     };
     pub use mg_phy::{Medium, MediumIndex, PropagationModel, RadioParams};
+    pub use mg_serve::{Daemon, Policy, ServeConfig, ServeStats, StreamReport};
     pub use mg_sim::{SimDuration, SimTime};
     pub use mg_stats::wilcoxon::{rank_sum_test, Alternative};
     pub use mg_trace::{

@@ -4,7 +4,10 @@
 //! manet-guard demo                      quick demonstration (grid, PM=75)
 //! manet-guard detect [OPTIONS]          run one detection scenario
 //! manet-guard journal info FILE         inspect a recorded Obs journal
+//!                     [--deltas]        …and print its DiagnosisDelta JSONL
 //! manet-guard journal transcode IN OUT  re-encode a journal
+//! manet-guard journal send FILE --to HOST:PORT [--chunk N]
+//!                                       stream a journal to a running mgd
 //! manet-guard params                    print the Table 1 parameters
 //!
 //! detect options:
@@ -41,6 +44,7 @@
 //! ignored — a typo'd `--sedd 7` must not run the default seed.
 
 use manet_guard::prelude::*;
+use manet_guard::serve;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,8 +81,9 @@ usage:
                      [--record FILE] [--journal-format jsonl|bin]
   manet-guard detect --replay FILE [--samples N[,N..]] [--no-blatant]
                      [--faults SPEC] [--journal-format jsonl|bin]
-  manet-guard journal info FILE
+  manet-guard journal info FILE [--deltas]
   manet-guard journal transcode IN OUT [--journal-format jsonl|bin]
+  manet-guard journal send FILE --to HOST:PORT [--chunk N]
   manet-guard params
 ";
 
@@ -263,39 +268,11 @@ fn params() {
     }
 }
 
-/// The per-monitor result block, shared verbatim by the live and replay
-/// paths — the ci.sh replay gate diffs these lines byte-for-byte.
+/// The per-monitor result block, shared verbatim by the live path, the
+/// replay path and the `mgd` daemon — the ci.sh gates diff these lines
+/// byte-for-byte, so the single producer is [`render_report`].
 fn report_diagnosis(attacker_node: usize, sample_size: usize, multi: bool, diag: &Diagnosis) {
-    if multi {
-        println!("monitor  : sample size {sample_size}");
-    }
-    println!(
-        "samples  : {} collected, {} discarded",
-        diag.samples_collected, diag.samples_discarded
-    );
-    if diag.uncertain > 0 {
-        println!(
-            "faults   : {} anomalous observation(s) held below the confirmation threshold",
-            diag.uncertain
-        );
-    }
-    println!(
-        "tests    : {} run, {} rejected H0 (last p = {})",
-        diag.tests_run,
-        diag.rejections,
-        diag.last_p
-            .map(|p| format!("{p:.4}"))
-            .unwrap_or_else(|| "-".into())
-    );
-    println!("checks   : {} deterministic violations", diag.violations);
-    println!(
-        "verdict  : node {attacker_node} is {}",
-        if diag.is_flagged() {
-            "MISBEHAVING"
-        } else {
-            "apparently well-behaved"
-        }
-    );
+    print!("{}", render_report(attacker_node, sample_size, multi, diag));
 }
 
 /// Runs the built world and prints the detection report. Generic over the
@@ -383,18 +360,11 @@ fn replay_detect(o: &DetectOpts, path: &str) {
     }
     let attacker_node = meta.tagged;
     let primary = meta.vantages[0];
-    let kind = meta.param("kind").unwrap_or("grid").to_string();
     let pm: u8 = meta.param_parsed("pm").unwrap_or(0);
 
-    let mut mc = if kind == "grid" {
-        MonitorConfig::grid_paper(attacker_node, primary, meta.pair_distance)
-    } else {
-        MonitorConfig::random_paper(attacker_node, primary, meta.pair_distance)
-    };
-    if kind == "mobile" {
-        mc.eifs_weight = 0.0;
-        mc.counts = NodeCounts::SimCalibrated;
-    }
+    // The same derivation the mgd daemon and `journal info --deltas` use:
+    // one journal, one monitor template, whoever the consumer is.
+    let mut mc = template_from_meta(&meta);
     if o.no_blatant {
         mc.blatant_check = false;
     }
@@ -445,10 +415,46 @@ fn replay_detect(o: &DetectOpts, path: &str) {
 fn journal_cmd(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("info") => {
-            if args.len() != 2 {
-                return Err("journal info takes exactly one FILE".into());
+            let mut deltas = false;
+            let mut file: Option<&String> = None;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--deltas" => deltas = true,
+                    _ if file.is_none() && !a.starts_with("--") => file = Some(a),
+                    other => return Err(format!("unrecognized argument: {other}")),
+                }
             }
-            journal_info(&args[1]);
+            let Some(path) = file else {
+                return Err("journal info takes exactly one FILE".into());
+            };
+            journal_info(path, deltas);
+            Ok(())
+        }
+        Some("send") => {
+            let mut to: Option<String> = None;
+            let mut chunk = 4096usize;
+            let mut file: Option<&String> = None;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--to" => to = Some(raw_value(&mut it, a)?),
+                    "--chunk" => {
+                        chunk = value(&mut it, a)?;
+                        if chunk == 0 {
+                            return Err("invalid value for --chunk: 0".into());
+                        }
+                    }
+                    _ if file.is_none() && !a.starts_with("--") => file = Some(a),
+                    other => return Err(format!("unrecognized argument: {other}")),
+                }
+            }
+            let Some(path) = file else {
+                return Err("journal send takes a FILE".into());
+            };
+            let Some(addr) = to else {
+                return Err("journal send requires --to HOST:PORT".into());
+            };
+            journal_send(path, &addr, chunk);
             Ok(())
         }
         Some("transcode") => {
@@ -467,7 +473,7 @@ fn journal_cmd(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some(other) => Err(format!("unrecognized journal subcommand: {other}")),
-        None => Err("journal requires a subcommand (info | transcode)".into()),
+        None => Err("journal requires a subcommand (info | transcode | send)".into()),
     }
 }
 
@@ -478,7 +484,7 @@ fn open_journal_or_exit(path: &str) -> JournalReader {
     })
 }
 
-fn journal_info(path: &str) {
+fn journal_info(path: &str, deltas: bool) {
     let r = open_journal_or_exit(path);
     let meta = r.meta();
     println!("journal  : {path}");
@@ -501,6 +507,65 @@ fn journal_info(path: &str) {
     for (k, v) in &meta.params {
         println!("param    : {k} = {v}");
     }
+    if deltas {
+        journal_deltas(&r, path);
+    }
+}
+
+/// `journal info --deltas`: stream the journal through an incremental
+/// [`DetectorSession`] and print every [`DiagnosisDelta`] as one JSON line
+/// — the same lines an `mgd` subscriber would see for this stream.
+fn journal_deltas(r: &JournalReader, path: &str) {
+    struct Printer {
+        session: DetectorSession,
+        emitted: u64,
+    }
+    impl ObsSink for Printer {
+        fn ingest(&mut self, obs: &Obs) {
+            for d in self.session.ingest(obs) {
+                println!("{}", d.to_json().render());
+                self.emitted += 1;
+            }
+        }
+    }
+    let mut p = Printer {
+        session: SessionSpec::from_meta(r.meta()).build(),
+        emitted: 0,
+    };
+    if let Err(e) = r.replay_into(&mut p) {
+        eprintln!("error: journal {path} is damaged: {e}");
+        std::process::exit(1);
+    }
+    println!("deltas   : {} emitted", p.emitted);
+}
+
+/// `journal send`: stream a journal to a running `mgd` daemon over the
+/// mg-serve wire protocol and print the daemon's detection report — which
+/// is byte-identical to `detect --replay` of the same file.
+fn journal_send(path: &str, addr: &str, chunk: usize) {
+    use std::io::Read;
+    let r = open_journal_or_exit(path);
+    let mut sock = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let sent = match serve::send_journal(&mut sock, &r, chunk) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: cannot send journal {path} to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut response = String::new();
+    if let Err(e) = sock.read_to_string(&mut response) {
+        eprintln!("error: no report from {addr}: {e}");
+        std::process::exit(1);
+    }
+    println!("sent     : {sent} event(s) from {path} to {addr}");
+    print!("{response}");
 }
 
 /// Streams `input` into `output` re-encoded as `format` — one event in
