@@ -22,7 +22,7 @@
 //! |----------|---------|---------|
 //! | `MG_SERVE_STREAMS` | 1000 | concurrent streams |
 //! | `MG_SERVE_EVENTS` | 1000 | events per stream |
-//! | `MG_SERVE_WORKERS` | 1 | daemon worker threads |
+//! | `MG_SERVE_WORKERS` | available parallelism | daemon worker threads |
 //! | `MG_SERVE_BATCH` | 512 | events per queue hand-off |
 //! | `MG_SERVE_QUEUE_CAP` | 1024 | bounded queue capacity per worker |
 //! | `MG_SERVE_REQUIRE` | unset | when `1`, exit 1 if the 1M ev/s pin fails |
@@ -78,7 +78,10 @@ fn synthetic_events(vantage: usize, count: usize) -> Vec<Obs> {
 fn main() {
     let streams = env_usize("MG_SERVE_STREAMS", 1000);
     let events_per_stream = env_usize("MG_SERVE_EVENTS", 1000);
-    let workers = env_usize("MG_SERVE_WORKERS", 1);
+    // Default to the daemon's own resolved worker count (the host's
+    // available parallelism) so the reported figure reflects what `mgd`
+    // would actually run with on this machine.
+    let workers = env_usize("MG_SERVE_WORKERS", ServeConfig::default().workers);
     let batch = env_usize("MG_SERVE_BATCH", 512);
     let queue_cap = env_usize("MG_SERVE_QUEUE_CAP", 1024);
 

@@ -454,6 +454,127 @@ pub fn record_detection_world(seed: u64, cfg: ScenarioConfig, pm: u8) -> ObsJour
     world.probe().journal().clone()
 }
 
+/// What one collaborative-detection trial observed: the quorum's verdict
+/// plus the realized Byzantine cast and the gossip volume behind it.
+///
+/// `byzantine` is the *realized* count — roles are drawn per vantage from
+/// the fault plan's fractions, so a `lie=0.25` cell can materialize 0..n
+/// liars. The false-conviction assertion in `bench_quorum` conditions on
+/// this realized count, not the nominal fraction: only trials with fewer
+/// than `k` liars carry the zero-false-conviction guarantee.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuorumOutcome {
+    /// True when an *honest* member convicted the tagged node.
+    pub convicted: bool,
+    /// Distinct accusers against the tagged node at the best-informed
+    /// honest member.
+    pub votes: u64,
+    /// Quorum size (members actually built).
+    pub members: u64,
+    /// Realized Byzantine members (roles drawn from the fault plan).
+    pub byzantine: u64,
+    /// Per-receiver accusation copies offered to the gossip channel.
+    pub gossip_sent: u64,
+    /// Copies lost to channel loss.
+    pub gossip_dropped: u64,
+    /// Copies handed to their receiver.
+    pub gossip_delivered: u64,
+}
+
+/// Simulates the static detection world for `(seed, cfg, pm)` once and
+/// records the observation streams of the quorum's member vantages: the
+/// closest `members_cap` non-tagged nodes still inside *decode* range of
+/// the tagged node (a monitor must decode its RTS/CTS exchange). The
+/// journal header carries each member's measured distance as a `dist.<v>`
+/// parameter, so [`mg_quorum::members_from_journal`] rebuilds the exact
+/// live geometry on replay — this is the quorum analogue of
+/// [`record_detection_world`], cached under [`sweep::quorum_journal_key`].
+pub fn record_quorum_world(
+    seed: u64,
+    cfg: ScenarioConfig,
+    pm: u8,
+    members_cap: usize,
+) -> ObsJournal {
+    let cfg = ScenarioConfig { seed, ..cfg };
+    let secs = cfg.sim_secs;
+    let tx_range = cfg.tx_range;
+    let scenario = Scenario::new(cfg);
+    let (s, r) = scenario.tagged_pair();
+    let pos = scenario.positions();
+    let mut members: Vec<(usize, f64)> = (0..pos.len())
+        .filter(|&v| v != s)
+        .map(|v| (v, pos[s].distance(pos[v])))
+        .filter(|&(_, d)| d <= tx_range)
+        .collect();
+    members.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1).expect("finite distance").then(a.0.cmp(&b.0))
+    });
+    members.truncate(members_cap);
+    assert!(!members.is_empty(), "no vantage within decode range of node {s}");
+    let mut b = ScenarioBuilder::new(scenario);
+    let attacker = b.attacker(s);
+    for &(v, _) in &members {
+        b.reserve(v);
+    }
+    b.source(SourceCfg::saturated(s, r));
+    let mut params = vec![("pm".into(), pm.to_string())];
+    for &(v, d) in &members {
+        params.push((format!("dist.{v}"), d.to_string()));
+    }
+    let meta = ObsMeta {
+        tagged: s,
+        vantages: members.iter().map(|&(v, _)| v).collect(),
+        pair_distance: members[0].1,
+        seed,
+        params,
+    };
+    let mut world = b.probe(ObsRecorder::new(meta)).build();
+    if pm > 0 {
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm });
+    }
+    world.run_until(SimTime::from_secs(secs));
+    world.probe().journal().clone()
+}
+
+/// Replays a [`record_quorum_world`] journal into a gossiping
+/// [`mg_quorum::QuorumSession`] with conviction threshold `k` and the
+/// Byzantine cast drawn from `faults`, and reports the collaborative
+/// verdict. Pure detector-side work: sweeping `k` or the Byzantine
+/// fraction re-runs this, never the simulation.
+pub fn quorum_trial_from_journal(
+    journal: &ObsJournal,
+    sample_size: usize,
+    k: usize,
+    faults: &FaultPlan,
+) -> QuorumOutcome {
+    let meta = journal.meta();
+    let members = mg_quorum::members_from_journal(journal);
+    assert!(
+        members.len() >= k,
+        "quorum k={k} exceeds the {} recorded vantages",
+        members.len()
+    );
+    let template = MonitorConfig::grid_paper(meta.tagged, members[0].0, members[0].1)
+        .with_sample_size(sample_size);
+    let mut q = mg_quorum::QuorumSpec::new(meta.tagged, &members, template, k)
+        .with_faults(faults.clone())
+        .with_seed(meta.seed)
+        .build();
+    journal.replay(&mut q);
+    q.finish();
+    let byzantine = q.byzantine_count() as u64;
+    let gossip = q.gossip();
+    QuorumOutcome {
+        convicted: q.is_flagged(),
+        votes: q.votes_against(meta.tagged) as u64,
+        members: members.len() as u64,
+        byzantine,
+        gossip_sent: gossip.sent,
+        gossip_dropped: gossip.dropped,
+        gossip_delivered: gossip.delivered,
+    }
+}
+
 /// Runs a sweep through the [`mg_runner`] engine, degrading gracefully on
 /// trial failures: every poisoned cell (worker panic or watchdog timeout) is
 /// reported on stderr, and the process exits with status 1 *before* any

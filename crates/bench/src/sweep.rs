@@ -16,7 +16,7 @@
 //!   [`Codec`]s for the trial result types; a cached entry that fails to
 //!   decode is recomputed, never trusted.
 
-use crate::{CondProbPoint, FaultPlan, TrialOutcome};
+use crate::{CondProbPoint, FaultPlan, QuorumOutcome, TrialOutcome};
 use mg_detect::{base64_to_bytes, bytes_to_base64, JournalFormat, JournalReader, ObsJournal};
 use mg_net::ScenarioConfig;
 use mg_runner::{CacheKey, Codec};
@@ -67,6 +67,66 @@ pub fn journal_key(cfg: &ScenarioConfig, pm: u8) -> CacheKey {
     CacheKey::new("detection-world", SCHEMA)
         .field("cfg", cfg)
         .field("pm", pm)
+}
+
+/// Key for one recorded multi-vantage quorum world (the journal tier of
+/// `bench_quorum`). Distinct from [`journal_key`]: a quorum journal
+/// records `members` vantages with per-member `dist.<v>` geometry, so it
+/// must never share an entry with the single-vantage detection worlds.
+pub fn quorum_journal_key(cfg: &ScenarioConfig, pm: u8, members: usize) -> CacheKey {
+    CacheKey::new("quorum-world", SCHEMA)
+        .field("cfg", cfg)
+        .field("pm", pm)
+        .field("members", members)
+}
+
+/// Key for one collaborative-detection (quorum) replay trial. The fault
+/// plan participates because it carries the Byzantine cast — lie/mute/flip
+/// fractions *and* the role seed — so two casts never share an entry.
+pub fn quorum_key(
+    experiment: &str,
+    cfg: &ScenarioConfig,
+    pm: u8,
+    sample_size: usize,
+    members: usize,
+    k: usize,
+    faults: &FaultPlan,
+) -> CacheKey {
+    CacheKey::new(experiment, SCHEMA)
+        .field("cfg", cfg)
+        .field("pm", pm)
+        .field("sample_size", sample_size)
+        .field("members", members)
+        .field("k", k)
+        .field("faults", faults)
+}
+
+/// Codec for a [`QuorumOutcome`].
+pub fn quorum_codec() -> Codec<QuorumOutcome> {
+    Codec {
+        encode: |o| {
+            Json::obj([
+                ("convicted", Json::Bool(o.convicted)),
+                ("votes", Json::from(o.votes)),
+                ("members", Json::from(o.members)),
+                ("byzantine", Json::from(o.byzantine)),
+                ("gossip_sent", Json::from(o.gossip_sent)),
+                ("gossip_dropped", Json::from(o.gossip_dropped)),
+                ("gossip_delivered", Json::from(o.gossip_delivered)),
+            ])
+        },
+        decode: |v| {
+            Some(QuorumOutcome {
+                convicted: v.get("convicted")?.as_bool()?,
+                votes: v.get("votes")?.as_u64()?,
+                members: v.get("members")?.as_u64()?,
+                byzantine: v.get("byzantine")?.as_u64()?,
+                gossip_sent: v.get("gossip_sent")?.as_u64()?,
+                gossip_dropped: v.get("gossip_dropped")?.as_u64()?,
+                gossip_delivered: v.get("gossip_delivered")?.as_u64()?,
+            })
+        },
+    }
 }
 
 /// Codec for a recorded [`ObsJournal`]: framed binary v1, base64-wrapped

@@ -270,17 +270,14 @@ impl MonitorConfig {
         MonitorConfig { sample_size, ..self }
     }
 
-    /// This configuration with the tagged→vantage distance replaced — the
-    /// builder-style successor of the deprecated
-    /// [`Monitor::set_pair_distance`].
+    /// This configuration with the tagged→vantage distance replaced.
     pub fn with_pair_distance(self, pair_distance: f64) -> Self {
         MonitorConfig { pair_distance, ..self }
     }
 
     /// This configuration with the deterministic-conviction threshold raised
     /// to at least `confirm` consecutive anomalous observations (never
-    /// lowered) — the builder-style successor of the deprecated
-    /// [`Monitor::harden`].
+    /// lowered).
     pub fn hardened(self, confirm: usize) -> Self {
         MonitorConfig {
             confirm_anomalies: self.confirm_anomalies.max(confirm),
@@ -394,10 +391,12 @@ pub struct Monitor {
 
 impl Monitor {
     /// Creates a monitor for `cfg.tagged`, observing from `cfg.vantage`,
-    /// with an observation-boundary fault injector installed from birth —
-    /// the builder-style successor of the deprecated
-    /// [`Monitor::set_faults`]. Typically derived from a plan via
-    /// [`mg_fault::FaultPlan::observer`]; `None` observes faithfully.
+    /// with an observation-boundary fault injector installed from birth.
+    /// Faults apply to what *this monitor perceives* — dropped frames never
+    /// reach its estimators, corrupted tagged RTSs arrive with commitment
+    /// bits flipped — while the simulated world runs unchanged. Typically
+    /// derived from a plan via [`mg_fault::FaultPlan::observer`]; `None`
+    /// observes faithfully.
     pub fn with_faults(cfg: MonitorConfig, faults: Option<ObsFaults>) -> Self {
         let mut m = Monitor::new(cfg);
         m.faults = faults;
@@ -452,41 +451,6 @@ impl Monitor {
     /// The configuration.
     pub fn config(&self) -> &MonitorConfig {
         &self.cfg
-    }
-
-    /// Updates the tagged–vantage distance (mobility support).
-    #[deprecated(
-        since = "0.1.0",
-        note = "build with `MonitorConfig::with_pair_distance` or a `SessionSpec` instead"
-    )]
-    pub fn set_pair_distance(&mut self, d: f64) {
-        self.update_pair_distance(d);
-    }
-
-    /// Installs (or removes) an observation-boundary fault injector.
-    ///
-    /// Faults apply to what *this monitor perceives* — dropped frames never
-    /// reach its estimators, corrupted tagged RTSs arrive with commitment
-    /// bits flipped — while the simulated world runs unchanged. Typically
-    /// derived from a plan via [`mg_fault::FaultPlan::observer`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct with `Monitor::with_faults` or a `SessionSpec` instead"
-    )]
-    pub fn set_faults(&mut self, faults: Option<ObsFaults>) {
-        self.faults = faults;
-    }
-
-    /// Raises the deterministic-conviction threshold to at least `confirm`
-    /// consecutive anomalous observations (never lowers it). Fault-aware
-    /// assemblies call this with 2 so an isolated corrupted observation is
-    /// classified as uncertain instead of convicting.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build with `MonitorConfig::hardened` or `SessionSpec::with_confirmation` instead"
-    )]
-    pub fn harden(&mut self, confirm: usize) {
-        self.raise_confirmation(confirm);
     }
 
     /// Internal mobility path: the pool's hand-off election updates the
@@ -1631,34 +1595,4 @@ mod fault_tests {
         assert_eq!(run(), run());
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_still_delegate() {
-        // The one-release compatibility shims must keep behaving exactly
-        // like the builder path they forward to.
-        let plan = FaultPlan::parse("seed=3,corrupt=0.2").unwrap();
-        let mut shimmed = Monitor::new(MonitorConfig::grid_paper(S, R, 240.0));
-        shimmed.set_faults(plan.observer(R as u64));
-        shimmed.harden(2);
-        shimmed.set_pair_distance(120.0);
-        let built = Monitor::with_faults(
-            MonitorConfig::grid_paper(S, R, 240.0)
-                .hardened(2)
-                .with_pair_distance(120.0),
-            plan.observer(R as u64),
-        );
-        assert_eq!(shimmed.config().confirm_anomalies, built.config().confirm_anomalies);
-        assert_eq!(shimmed.config().pair_distance, built.config().pair_distance);
-        let med = medium();
-        let feed = |m: &mut Monitor| {
-            for i in 0..40u64 {
-                feed_rts(m, &med, i, i, SimTime::from_millis(20 * (i + 1)));
-            }
-        };
-        let mut built = built;
-        feed(&mut shimmed);
-        feed(&mut built);
-        assert_eq!(shimmed.samples(), built.samples());
-        assert_eq!(shimmed.diagnosis(), built.diagnosis());
-    }
 }

@@ -144,7 +144,7 @@ impl MonitorPool {
     /// fault injector derived from `plan` (keyed by the member's vantage id,
     /// so fates are identical across solo and fanned-out runs). When the
     /// plan carries observation faults, each member is also
-    /// [hardened](Monitor::harden) to require two consecutive anomalous
+    /// [hardened](MonitorConfig::hardened) to require two consecutive anomalous
     /// observations before a deterministic conviction.
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
         let harden = plan.has_observation_faults();

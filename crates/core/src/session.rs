@@ -18,9 +18,8 @@
 //!
 //! A session is fully specified at creation through [`SessionSpec`]: the
 //! monitor template, the vantage set, the fault plan and the confirmation
-//! threshold all travel in the spec, replacing the deprecated
-//! mutate-after-construct setters (`Monitor::set_pair_distance`,
-//! `set_faults`, `harden`).
+//! threshold all travel in the spec — a monitor is never mutated after
+//! construction.
 
 use crate::monitor::{Diagnosis, Monitor, MonitorConfig, NodeCounts, Violation};
 use crate::pool::MonitorPool;
@@ -183,8 +182,8 @@ impl DiagnosisDelta {
 }
 
 /// Complete specification of a [`DetectorSession`], gathered *before*
-/// construction — the builder-style replacement for the deprecated
-/// mutate-after-construct setters.
+/// construction — monitors are fully configured at build time, never
+/// mutated afterwards.
 #[derive(Clone, Debug)]
 pub struct SessionSpec {
     template: MonitorConfig,

@@ -6,7 +6,7 @@
 //! observable periods. This crate provides a **seeded, fully deterministic
 //! fault model** for exercising those conditions on demand:
 //!
-//! * [`FaultPlan`] — one plain-data plan covering three layers:
+//! * [`FaultPlan`] — one plain-data plan covering four layers:
 //!   * **phy/channel** ([`PhyFaults`]): per-frame observation loss, burst
 //!     loss via a two-state Gilbert–Elliott chain ([`BurstLoss`]), and
 //!     periodic monitor deafness windows ([`DeafWindows`]).
@@ -15,6 +15,11 @@
 //!     violations.
 //!   * **runner** ([`RunnerFaults`]): worker panics, simulated trial hangs
 //!     and cache-entry corruption, keyed by task index.
+//!   * **quorum** ([`QuorumFaults`]): adversarial (Byzantine) monitors for
+//!     the collaborative-detection layer — vantages seeded into the
+//!     [`MonitorRole::FalseAccuser`], [`MonitorRole::Mute`] or
+//!     [`MonitorRole::Flip`] roles, so a gossip round tolerating `f` liars
+//!     can be replayed byte-identically from the plan seed alone.
 //! * [`ObsFaults`] — a per-monitor injector derived from the plan and the
 //!   monitor's vantage node. Every draw comes from a private
 //!   `xoshiro256**` stream seeded by `(plan.seed, vantage)`, so a monitor
@@ -154,7 +159,73 @@ impl RunnerFaults {
     }
 }
 
-/// A complete, seeded fault plan across all three layers.
+/// Adversarial-monitor (Byzantine) fault modes for the collaborative
+/// detection layer.
+///
+/// The three fields are *role probabilities*: each vantage independently
+/// draws one role from its private `(plan seed, vantage)` stream — see
+/// [`FaultPlan::monitor_role`] — so the realized set of Byzantine monitors
+/// is a pure function of the plan, replayable byte-for-byte. Quorum faults
+/// corrupt what a monitor *says*, never what it *observes*, so they do not
+/// count as observation faults and do not trigger the confirmation-harden
+/// path.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct QuorumFaults {
+    /// Probability a vantage is a [`MonitorRole::FalseAccuser`].
+    pub lie: f64,
+    /// Probability a vantage is a [`MonitorRole::Mute`].
+    pub mute: f64,
+    /// Probability a vantage is a [`MonitorRole::Flip`].
+    pub flip: f64,
+}
+
+impl QuorumFaults {
+    /// True when every vantage is guaranteed honest.
+    pub fn is_noop(&self) -> bool {
+        self.lie <= 0.0 && self.mute <= 0.0 && self.flip <= 0.0
+    }
+}
+
+/// The behavioral role of one monitor in a gossip quorum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorRole {
+    /// Accuses exactly when its local detector produces evidence.
+    Honest,
+    /// Sends real evidence *and* fabricates accusations against the tagged
+    /// node on a seeded cadence, independent of any evidence.
+    FalseAccuser,
+    /// Never sends an accusation (suppresses true evidence); still listens
+    /// and tallies honestly.
+    Mute,
+    /// Both Byzantine failure modes at once: fabricates like a
+    /// [`MonitorRole::FalseAccuser`] and suppresses real evidence like a
+    /// [`MonitorRole::Mute`].
+    Flip,
+}
+
+impl MonitorRole {
+    /// True for the roles that fabricate accusations without evidence.
+    pub fn lies(self) -> bool {
+        matches!(self, MonitorRole::FalseAccuser | MonitorRole::Flip)
+    }
+
+    /// True for the roles that suppress real evidence.
+    pub fn suppresses(self) -> bool {
+        matches!(self, MonitorRole::Mute | MonitorRole::Flip)
+    }
+
+    /// Stable lowercase tag (transcripts, tables).
+    pub fn tag(self) -> &'static str {
+        match self {
+            MonitorRole::Honest => "honest",
+            MonitorRole::FalseAccuser => "false-accuser",
+            MonitorRole::Mute => "mute",
+            MonitorRole::Flip => "flip",
+        }
+    }
+}
+
+/// A complete, seeded fault plan across all four layers.
 ///
 /// `Debug` output is part of the cache-key contract: a plan rendered into a
 /// sweep cache-key field invalidates cached results whenever any knob
@@ -169,17 +240,61 @@ pub struct FaultPlan {
     pub mac: MacFaults,
     /// Sweep-engine faults.
     pub runner: RunnerFaults,
+    /// Adversarial-monitor (Byzantine) faults for the quorum layer.
+    pub quorum: QuorumFaults,
 }
+
+/// Domain constant separating quorum-role draws from observation-fault
+/// draws ("mg-qrole" in ASCII): the same `(seed, vantage)` pair must yield
+/// independent streams for the two layers.
+const QUORUM_ROLE_DOMAIN: u64 = 0x6D67_2D71_726F_6C65;
 
 impl FaultPlan {
     /// True when the plan can never inject anything.
     pub fn is_noop(&self) -> bool {
-        self.phy.is_noop() && self.mac.is_noop() && self.runner.is_noop()
+        self.phy.is_noop() && self.mac.is_noop() && self.runner.is_noop() && self.quorum.is_noop()
     }
 
     /// True when monitors would perceive faults (phy or mac layer active).
+    /// Quorum faults deliberately do not count: a Byzantine monitor
+    /// *observes* faithfully and lies afterwards, so the confirmation-harden
+    /// path must not engage for them.
     pub fn has_observation_faults(&self) -> bool {
         !self.phy.is_noop() || !self.mac.is_noop()
+    }
+
+    /// The Byzantine role of the monitor at `vantage` under this plan: one
+    /// uniform draw from a private stream seeded by `(plan seed, vantage)`
+    /// compared against the cumulative [`QuorumFaults`] probabilities.
+    /// Equal plans assign equal roles, whatever order vantages are queried
+    /// in.
+    pub fn monitor_role(&self, vantage: u64) -> MonitorRole {
+        if self.quorum.is_noop() {
+            return MonitorRole::Honest;
+        }
+        let mut rng = self.quorum_rng(vantage);
+        let u = rng.uniform01();
+        let q = self.quorum;
+        if u < q.lie {
+            MonitorRole::FalseAccuser
+        } else if u < q.lie + q.mute {
+            MonitorRole::Mute
+        } else if u < q.lie + q.mute + q.flip {
+            MonitorRole::Flip
+        } else {
+            MonitorRole::Honest
+        }
+    }
+
+    /// The private quorum-layer RNG stream for `vantage` (role draw plus any
+    /// per-member fabrication cadence). Distinct from the [`ObsFaults`]
+    /// stream of the same vantage by domain separation.
+    pub fn quorum_rng(&self, vantage: u64) -> Xoshiro256 {
+        let seed = SplitMix64::mix(
+            SplitMix64::mix(self.seed ^ QUORUM_ROLE_DOMAIN)
+                ^ vantage.wrapping_mul(0xA24B_AED4_963E_E407),
+        );
+        Xoshiro256::new(seed)
     }
 
     /// Returns `self` with the root seed replaced.
@@ -216,6 +331,9 @@ impl FaultPlan {
     /// | `corrupt-cache` | `i[:j...]` | tasks whose cache entry is truncated |
     /// | `timeout-ms` | u64 | per-task watchdog timeout |
     /// | `retries` | u32 | retry budget for timed-out tasks |
+    /// | `lie` | probability | P(vantage is a false accuser) |
+    /// | `mute` | probability | P(vantage suppresses accusations) |
+    /// | `flip` | probability | P(vantage both lies and suppresses) |
     ///
     /// `FaultPlan::parse("light,seed=7,drop=0.2")` starts from the `light`
     /// preset and overrides two knobs. Malformed tokens are an error naming
@@ -312,10 +430,14 @@ impl FaultPlan {
             "corrupt-cache" => self.runner.corrupt_cache_tasks = parse_usize_list(value, token)?,
             "timeout-ms" => self.runner.timeout_ms = Some(parse_u64(value, token)?),
             "retries" => self.runner.retries = parse_u64(value, token)? as u32,
+            "lie" => self.quorum.lie = parse_prob(value, token)?,
+            "mute" => self.quorum.mute = parse_prob(value, token)?,
+            "flip" => self.quorum.flip = parse_prob(value, token)?,
             other => {
                 return Err(format!(
                     "unknown fault knob {other:?} in token {token:?}: expected one of \
-                     seed/loss/burst/deaf/drop/corrupt/panic/hang/hang-ms/corrupt-cache/timeout-ms/retries"
+                     seed/loss/burst/deaf/drop/corrupt/panic/hang/hang-ms/corrupt-cache/timeout-ms/\
+                     retries/lie/mute/flip"
                 ))
             }
         }
@@ -623,6 +745,54 @@ mod tests {
         let fates: Vec<_> = (0..400).map(|i| obs.frame_fate(i, false)).collect();
         assert!(fates.contains(&FrameFate::Drop("burst-loss")), "bad state must drop");
         assert!(fates.contains(&FrameFate::Deliver), "good state must deliver");
+    }
+
+    #[test]
+    fn quorum_knobs_parse_and_do_not_count_as_observation_faults() {
+        let plan = FaultPlan::parse("seed=4,lie=0.3,mute=0.1,flip=0.05").unwrap();
+        assert_eq!(plan.quorum, QuorumFaults { lie: 0.3, mute: 0.1, flip: 0.05 });
+        assert!(!plan.is_noop(), "quorum faults make the plan non-noop");
+        assert!(
+            !plan.has_observation_faults(),
+            "Byzantine monitors observe faithfully — no confirmation harden"
+        );
+        assert!(plan.observer(3).is_none());
+        // `off` resets the quorum layer along with everything else.
+        assert!(FaultPlan::parse("lie=0.5,off").unwrap().is_noop());
+        // Probabilities outside [0, 1] are rejected like any other knob.
+        assert!(FaultPlan::parse("lie=1.5").is_err());
+    }
+
+    #[test]
+    fn monitor_roles_are_seeded_per_vantage_and_cover_all_roles() {
+        let plan = FaultPlan::parse("seed=7,lie=0.25,mute=0.25,flip=0.25").unwrap();
+        let roles: Vec<MonitorRole> = (0..64).map(|v| plan.monitor_role(v)).collect();
+        let again: Vec<MonitorRole> = (0..64).map(|v| plan.monitor_role(v)).collect();
+        assert_eq!(roles, again, "equal plans must assign equal roles");
+        for want in [
+            MonitorRole::Honest,
+            MonitorRole::FalseAccuser,
+            MonitorRole::Mute,
+            MonitorRole::Flip,
+        ] {
+            assert!(roles.contains(&want), "role {want:?} never drawn in 64 vantages");
+        }
+        // A different seed reshuffles the assignment.
+        let other = FaultPlan::parse("seed=8,lie=0.25,mute=0.25,flip=0.25").unwrap();
+        let shuffled: Vec<MonitorRole> = (0..64).map(|v| other.monitor_role(v)).collect();
+        assert_ne!(roles, shuffled);
+        // A clean plan is all-honest without consuming any randomness.
+        let clean = FaultPlan::default();
+        assert!((0..16).all(|v| clean.monitor_role(v) == MonitorRole::Honest));
+    }
+
+    #[test]
+    fn role_semantics_partition_lying_and_suppressing() {
+        assert!(!MonitorRole::Honest.lies() && !MonitorRole::Honest.suppresses());
+        assert!(MonitorRole::FalseAccuser.lies() && !MonitorRole::FalseAccuser.suppresses());
+        assert!(!MonitorRole::Mute.lies() && MonitorRole::Mute.suppresses());
+        assert!(MonitorRole::Flip.lies() && MonitorRole::Flip.suppresses());
+        assert_eq!(MonitorRole::FalseAccuser.tag(), "false-accuser");
     }
 
     #[test]

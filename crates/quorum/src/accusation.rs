@@ -1,0 +1,109 @@
+//! The typed accusation message monitors gossip to each other.
+
+use mg_detect::NodeId;
+use mg_sim::SimTime;
+use mg_trace::json::Json;
+
+/// What kind of local evidence backs an [`Accusation`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvidenceKind {
+    /// A deterministic check convicted the suspect; carries the stable
+    /// snake_case tag of the violation kind (`"sequence_reuse"`,
+    /// `"attempt_mismatch"`, `"blatant_timing"`).
+    Deterministic(&'static str),
+    /// A rank-sum test over the estimated back-off population rejected H0.
+    Statistical,
+}
+
+impl EvidenceKind {
+    /// Stable lowercase tag of the evidence family.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EvidenceKind::Deterministic(_) => "deterministic",
+            EvidenceKind::Statistical => "statistical",
+        }
+    }
+}
+
+/// One signed claim: "`accuser` holds evidence that `suspect` violates the
+/// back-off rules".
+///
+/// The message is deliberately *small*: a quorum member shares its verdict
+/// and the score backing it, never its raw sample population — the wire
+/// cost per accusation is constant regardless of how long the accuser has
+/// been monitoring.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Accusation {
+    /// The vantage making the claim.
+    pub accuser: NodeId,
+    /// The node being accused.
+    pub suspect: NodeId,
+    /// The evidence family backing the claim.
+    pub evidence: EvidenceKind,
+    /// The p-value of the rank-sum test that fired (0.0 for deterministic
+    /// evidence — a deterministic conviction is certain by construction).
+    pub score: f64,
+    /// The accuser's own accusation sequence number, starting at 0. Lets a
+    /// receiver spot duplicate gossip without comparing payloads.
+    pub epoch: u64,
+    /// Virtual instant the evidence was produced.
+    pub at: SimTime,
+}
+
+impl Accusation {
+    /// Deterministic JSON rendering (insertion-ordered keys, `mg_trace::json`
+    /// float conventions) — the transcript line format.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(&str, Json)> = vec![
+            ("t", Json::from(self.at.as_nanos())),
+            ("accuser", Json::from(self.accuser as u64)),
+            ("suspect", Json::from(self.suspect as u64)),
+            ("evidence", Json::Str(self.evidence.tag().into())),
+        ];
+        if let EvidenceKind::Deterministic(kind) = self.evidence {
+            fields.push(("check", Json::Str(kind.into())));
+        }
+        fields.push(("score", Json::Num(self.score)));
+        fields.push(("epoch", Json::from(self.epoch)));
+        Json::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_keyed_in_order() {
+        let a = Accusation {
+            accuser: 3,
+            suspect: 0,
+            evidence: EvidenceKind::Statistical,
+            score: 0.0042,
+            epoch: 2,
+            at: SimTime::from_micros(5),
+        };
+        assert_eq!(
+            a.to_json().render(),
+            "{\"t\":5000,\"accuser\":3,\"suspect\":0,\"evidence\":\"statistical\",\
+             \"score\":0.0042,\"epoch\":2}"
+        );
+    }
+
+    #[test]
+    fn deterministic_evidence_names_its_check() {
+        let a = Accusation {
+            accuser: 1,
+            suspect: 0,
+            evidence: EvidenceKind::Deterministic("sequence_reuse"),
+            score: 0.0,
+            epoch: 0,
+            at: SimTime::ZERO,
+        };
+        let line = a.to_json().render();
+        assert!(line.contains("\"evidence\":\"deterministic\""), "{line}");
+        assert!(line.contains("\"check\":\"sequence_reuse\""), "{line}");
+        assert_eq!(a.evidence.tag(), "deterministic");
+        assert_eq!(EvidenceKind::Statistical.tag(), "statistical");
+    }
+}

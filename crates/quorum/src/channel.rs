@@ -1,0 +1,225 @@
+//! A simulated lossy, delayed control channel for accusation gossip.
+//!
+//! The channel is deliberately simple: every accusation is broadcast to
+//! every other quorum member, each copy independently dropped with a fixed
+//! probability and otherwise delivered after a fixed delay. Fixed delay
+//! means deliver times are monotone in send times, so a FIFO queue *is* a
+//! correct event queue — no priority structure needed, and equal seeds
+//! replay the exact same drop pattern byte for byte.
+
+use crate::accusation::Accusation;
+use mg_detect::NodeId;
+use mg_sim::rng::{Rng, SplitMix64, Xoshiro256};
+use mg_sim::{SimDuration, SimTime};
+use mg_trace::{Counter, EventKind, Metrics, Tracer};
+use std::collections::VecDeque;
+
+/// Domain constant separating the gossip channel's drop stream from every
+/// other consumer of the quorum seed ("mg-gossp" in ASCII).
+const GOSSIP_DOMAIN: u64 = 0x6D67_2D67_6F73_7370;
+
+/// Loss probability and propagation delay of the control channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GossipConfig {
+    /// Probability each (accusation, receiver) copy is lost, in `[0, 1]`.
+    pub loss: f64,
+    /// Fixed propagation delay applied to every delivered copy.
+    pub delay: SimDuration,
+}
+
+impl Default for GossipConfig {
+    /// A perfect channel: nothing lost, nothing delayed.
+    fn default() -> GossipConfig {
+        GossipConfig { loss: 0.0, delay: SimDuration::ZERO }
+    }
+}
+
+/// Monotone counters over a channel's lifetime. `sent` counts per-receiver
+/// copies, so `sent == dropped + delivered + in_flight` at all times and
+/// `sent == dropped + delivered` once the queue is flushed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GossipCounts {
+    /// Per-receiver accusation copies offered to the channel.
+    pub sent: u64,
+    /// Copies lost to channel loss.
+    pub dropped: u64,
+    /// Copies handed to their receiver.
+    pub delivered: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Delivery {
+    deliver_at: SimTime,
+    to: NodeId,
+    accusation: Accusation,
+}
+
+/// The simulated control channel: seeded loss, fixed delay, FIFO delivery.
+#[derive(Clone, Debug)]
+pub struct GossipChannel {
+    cfg: GossipConfig,
+    rng: Xoshiro256,
+    queue: VecDeque<Delivery>,
+    counts: GossipCounts,
+}
+
+impl GossipChannel {
+    /// A channel whose drop decisions derive from `seed` alone.
+    pub fn new(cfg: GossipConfig, seed: u64) -> GossipChannel {
+        GossipChannel {
+            cfg,
+            rng: Xoshiro256::new(SplitMix64::mix(seed ^ GOSSIP_DOMAIN)),
+            queue: VecDeque::new(),
+            counts: GossipCounts::default(),
+        }
+    }
+
+    /// Broadcasts one accusation to every receiver in `receivers` except the
+    /// accuser itself. Each copy draws one Bernoulli trial in receiver
+    /// order, so the drop pattern is a pure function of the send sequence.
+    pub fn broadcast(
+        &mut self,
+        acc: &Accusation,
+        receivers: &[NodeId],
+        tracer: &Tracer,
+        metrics: &Metrics,
+    ) {
+        tracer.emit(
+            acc.at.as_nanos(),
+            Some(acc.accuser),
+            EventKind::AccusationSent { suspect: acc.suspect },
+        );
+        metrics.bump(acc.accuser, Counter::AccusationsSent);
+        for &to in receivers {
+            if to == acc.accuser {
+                continue;
+            }
+            self.counts.sent += 1;
+            if self.rng.bernoulli(self.cfg.loss) {
+                self.counts.dropped += 1;
+                tracer.emit(
+                    acc.at.as_nanos(),
+                    Some(to),
+                    EventKind::AccusationDropped { suspect: acc.suspect },
+                );
+                metrics.bump(to, Counter::AccusationsDropped);
+            } else {
+                self.queue.push_back(Delivery {
+                    deliver_at: acc.at + self.cfg.delay,
+                    to,
+                    accusation: acc.clone(),
+                });
+            }
+        }
+    }
+
+    /// Pops every delivery due at or before `now`, in send order. The fixed
+    /// delay makes the FIFO front the earliest due delivery.
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<(NodeId, Accusation)> {
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            if front.deliver_at > now {
+                break;
+            }
+            let d = self.queue.pop_front().expect("front exists");
+            self.counts.delivered += 1;
+            out.push((d.to, d.accusation));
+        }
+        out
+    }
+
+    /// Flushes every in-flight delivery regardless of due time — the
+    /// end-of-run drain.
+    pub fn drain_all(&mut self) -> Vec<(NodeId, Accusation)> {
+        self.drain_due(SimTime::MAX)
+    }
+
+    /// Copies currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Lifetime counters.
+    pub fn counts(&self) -> GossipCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accusation::EvidenceKind;
+
+    fn acc(accuser: NodeId, at_us: u64) -> Accusation {
+        Accusation {
+            accuser,
+            suspect: 0,
+            evidence: EvidenceKind::Statistical,
+            score: 0.01,
+            epoch: 0,
+            at: SimTime::from_micros(at_us),
+        }
+    }
+
+    #[test]
+    fn perfect_channel_delivers_every_copy_in_order() {
+        let mut ch = GossipChannel::new(GossipConfig::default(), 7);
+        let (tr, m) = (Tracer::disabled(), Metrics::disabled());
+        ch.broadcast(&acc(1, 10), &[1, 2, 3], &tr, &m);
+        ch.broadcast(&acc(2, 20), &[1, 2, 3], &tr, &m);
+        assert_eq!(ch.in_flight(), 4);
+        let due = ch.drain_due(SimTime::from_micros(10));
+        assert_eq!(due.iter().map(|(to, _)| *to).collect::<Vec<_>>(), vec![2, 3]);
+        let rest = ch.drain_all();
+        assert_eq!(rest.len(), 2);
+        let c = ch.counts();
+        assert_eq!((c.sent, c.dropped, c.delivered), (4, 0, 4));
+    }
+
+    #[test]
+    fn delay_postpones_delivery() {
+        let cfg = GossipConfig { loss: 0.0, delay: SimDuration::from_micros(100) };
+        let mut ch = GossipChannel::new(cfg, 7);
+        let (tr, m) = (Tracer::disabled(), Metrics::disabled());
+        ch.broadcast(&acc(1, 10), &[1, 2], &tr, &m);
+        assert!(ch.drain_due(SimTime::from_micros(109)).is_empty());
+        assert_eq!(ch.drain_due(SimTime::from_micros(110)).len(), 1);
+    }
+
+    #[test]
+    fn loss_is_seeded_and_conserves_counts() {
+        let cfg = GossipConfig { loss: 0.5, delay: SimDuration::ZERO };
+        let (tr, m) = (Tracer::disabled(), Metrics::disabled());
+        let run = |seed: u64| {
+            let mut ch = GossipChannel::new(cfg, seed);
+            for i in 0..50 {
+                ch.broadcast(&acc(1, 10 + i), &[1, 2, 3, 4], &tr, &m);
+            }
+            let delivered = ch.drain_all().len() as u64;
+            (ch.counts(), delivered)
+        };
+        let (c1, d1) = run(7);
+        let (c2, d2) = run(7);
+        let (c3, _) = run(8);
+        assert_eq!(c1, c2);
+        assert_eq!(d1, d2);
+        assert_ne!(c1.dropped, c3.dropped, "different seeds should drop differently");
+        assert_eq!(c1.sent, 150);
+        assert_eq!(c1.dropped + c1.delivered, c1.sent);
+        assert!(c1.dropped > 0 && c1.delivered > 0);
+    }
+
+    #[test]
+    fn lossy_broadcast_traces_and_counts_per_node() {
+        let cfg = GossipConfig { loss: 1.0, delay: SimDuration::ZERO };
+        let mut ch = GossipChannel::new(cfg, 1);
+        let tr = Tracer::new(mg_trace::TraceConfig::verbose());
+        let m = Metrics::new(4);
+        ch.broadcast(&acc(1, 10), &[1, 2, 3], &tr, &m);
+        let kinds: Vec<&str> = tr.events().iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(kinds, vec!["accusation_sent", "accusation_dropped", "accusation_dropped"]);
+        let snap = m.snapshot();
+        assert_eq!(snap.total(Counter::AccusationsSent), 1);
+        assert_eq!(snap.total(Counter::AccusationsDropped), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! End-to-end collaborative-detection tests over recorded worlds.
+//!
+//! The anchor property (the ISSUE's satellite): a k = 1 quorum holding a
+//! single honest member is **byte-identical** to the plain solo detector
+//! path fed the same stream — diagnosis, sample population, rank-sum
+//! history and verdict — clean and under observation faults. Everything the
+//! quorum layer adds (gossip, tallies, Byzantine roles) composes on top of
+//! unmodified detectors.
+
+use mg_detect::{
+    template_from_meta, FaultPlan, MonitorConfig, NodeId, ObsJournal, ObsMeta, ObsRecorder,
+    ScenarioBuilder, SessionSpec, WorldProbe,
+};
+use mg_dcf::BackoffPolicy;
+use mg_net::{Scenario, ScenarioConfig, SourceCfg};
+use mg_quorum::{members_from_journal, QuorumSpec};
+use mg_sim::{SimDuration, SimTime};
+use mg_trace::{Metrics, TraceConfig, Tracer};
+
+const SECS: u64 = 4;
+
+/// Records one short saturated grid world with the `n` closest in-range
+/// neighbors of the tagged node as vantages. The journal is the *clean*
+/// stream: fault plans are applied by the replayed detectors, exactly as
+/// the core record/replay contract specifies.
+fn record(seed: u64, pm: u8, n: usize) -> ObsJournal {
+    let scenario = Scenario::new(ScenarioConfig {
+        sim_secs: SECS,
+        rate_pps: 2.0,
+        ..ScenarioConfig::grid_paper(seed)
+    });
+    let (s, r) = scenario.tagged_pair();
+    let pos = scenario.positions().to_vec();
+    let mut near: Vec<NodeId> = (0..pos.len()).filter(|&i| i != s).collect();
+    near.sort_by(|&a, &b| {
+        pos[a]
+            .distance(pos[s])
+            .partial_cmp(&pos[b].distance(pos[s]))
+            .expect("no NaN positions")
+    });
+    let vantages: Vec<NodeId> = near.into_iter().take(n).collect();
+    assert!(vantages.contains(&r), "the paper pair's vantage is among the closest");
+    let mut b = ScenarioBuilder::new(scenario);
+    let a = b.attacker(s);
+    for &v in &vantages {
+        b.reserve(v);
+    }
+    b.source(SourceCfg::saturated(s, r));
+    let meta = ObsMeta {
+        tagged: s,
+        vantages,
+        pair_distance: pos[s].distance(pos[r]),
+        seed,
+        params: vec![("pm".into(), pm.to_string())],
+    };
+    let mut world = b.probe(ObsRecorder::new(meta)).build();
+    if pm > 0 {
+        world.set_policy(a.id(), BackoffPolicy::Scaled { pm });
+    }
+    world.run_until(SimTime::from_secs(SECS));
+    world.probe().journal().clone()
+}
+
+/// Finds a plan seed under which exactly `want` of `members` draw a lying
+/// role — how the tests (and the bench) pin a realized Byzantine count out
+/// of probabilistic per-vantage draws.
+fn seed_with_liars(plan: &FaultPlan, members: &[(NodeId, f64)], want: usize) -> FaultPlan {
+    for seed in 0..10_000 {
+        let candidate = plan.clone().with_seed(seed);
+        let liars = members
+            .iter()
+            .filter(|&&(v, _)| candidate.monitor_role(v as u64).lies())
+            .count();
+        if liars == want {
+            return candidate;
+        }
+    }
+    panic!("no seed in 0..10000 realizes {want} liars");
+}
+
+#[test]
+fn k1_quorum_is_byte_identical_to_the_solo_detector() {
+    for (pm, plan) in [
+        (0u8, FaultPlan::default()),
+        (75, FaultPlan::default()),
+        (75, FaultPlan::parse("seed=5,drop=0.15,corrupt=0.05").unwrap()),
+    ] {
+        let journal = record(11, pm, 1);
+        let meta = journal.meta();
+        let template = template_from_meta(meta).with_sample_size(10);
+        let members = members_from_journal(&journal);
+        assert_eq!(members.len(), 1);
+        let (v, d) = members[0];
+
+        let cfg = MonitorConfig {
+            tagged: meta.tagged,
+            vantage: v,
+            pair_distance: d,
+            ..template
+        };
+        let mut solo = SessionSpec::solo(cfg).with_faults(plan.clone()).build();
+        for obs in journal.events() {
+            let _ = solo.ingest(obs);
+        }
+
+        let mut q = QuorumSpec::new(meta.tagged, &members, template, 1)
+            .with_faults(plan.clone())
+            .build();
+        journal.replay(&mut q);
+        q.finish();
+
+        let member = q.member_session(v).expect("member exists");
+        assert_eq!(member.diagnosis(), solo.diagnosis(), "pm={pm} plan={plan:?}");
+        assert_eq!(member.tests(), solo.tests(), "pm={pm}");
+        assert_eq!(member.violations(), solo.violations(), "pm={pm}");
+        assert_eq!(
+            member.as_monitor().expect("solo member").samples(),
+            solo.as_monitor().expect("solo ref").samples(),
+            "pm={pm}"
+        );
+        assert_eq!(q.is_flagged(), solo.diagnosis().is_flagged(), "pm={pm}");
+    }
+}
+
+#[test]
+fn every_member_of_a_wide_quorum_matches_its_own_solo_reference() {
+    let journal = record(13, 75, 3);
+    let meta = journal.meta();
+    let template = template_from_meta(meta).with_sample_size(10);
+    let members = members_from_journal(&journal);
+    assert_eq!(members.len(), 3);
+
+    let mut q = QuorumSpec::new(meta.tagged, &members, template, 2).build();
+    journal.replay(&mut q);
+    q.finish();
+
+    for &(v, d) in &members {
+        let cfg = MonitorConfig {
+            tagged: meta.tagged,
+            vantage: v,
+            pair_distance: d,
+            ..template
+        };
+        let mut solo = SessionSpec::solo(cfg).build();
+        for obs in journal.events() {
+            let _ = solo.ingest(obs);
+        }
+        let member = q.member_session(v).expect("member exists");
+        assert_eq!(member.diagnosis(), solo.diagnosis(), "vantage {v}");
+        assert_eq!(member.tests(), solo.tests(), "vantage {v}");
+    }
+}
+
+#[test]
+fn f_liars_below_k_never_falsely_convict_a_clean_node() {
+    let journal = record(17, 0, 3);
+    let meta = journal.meta();
+    // A sample size far beyond what 4 seconds can collect: the honest
+    // members are statistically silent by construction, so the only
+    // accusations in flight are fabricated.
+    let template = template_from_meta(meta).with_sample_size(500);
+    let members = members_from_journal(&journal);
+    let plan = seed_with_liars(&FaultPlan::parse("lie=0.45").unwrap(), &members, 1);
+
+    let mut q = QuorumSpec::new(meta.tagged, &members, template, 2)
+        .with_faults(plan.clone())
+        .build();
+    journal.replay(&mut q);
+    q.finish();
+
+    assert_eq!(q.byzantine_count(), 1);
+    assert!(q.gossip().sent > 0, "the liar actually fabricated accusations");
+    assert!(q.votes_against(meta.tagged) <= 1, "one liar is at most one vote");
+    assert!(!q.is_flagged(), "f = 1 < k = 2 must never convict a clean node");
+
+    // The same adversary against a k = 1 quorum succeeds — the quorum is
+    // what buys the tolerance, not the adversary being weak.
+    let mut weak = QuorumSpec::new(meta.tagged, &members, template, 1)
+        .with_faults(plan)
+        .build();
+    journal.replay(&mut weak);
+    weak.finish();
+    assert!(weak.is_flagged(), "a single false accuser defeats k = 1");
+}
+
+#[test]
+fn honest_quorum_convicts_a_real_attacker() {
+    let journal = record(13, 75, 3);
+    let meta = journal.meta();
+    let template = template_from_meta(meta).with_sample_size(10);
+    let members = members_from_journal(&journal);
+
+    let mut q = QuorumSpec::new(meta.tagged, &members, template, 2).build();
+    journal.replay(&mut q);
+    q.finish();
+
+    assert!(q.is_flagged(), "two honest members should corroborate at pm=75");
+    assert!(q.votes_against(meta.tagged) >= 2);
+    let g = q.gossip();
+    assert!(g.sent > 0 && g.delivered > 0 && g.dropped == 0);
+}
+
+#[test]
+fn equal_seeds_replay_byte_identical_gossip() {
+    let run = || {
+        let journal = record(19, 60, 3);
+        let meta = journal.meta();
+        let template = template_from_meta(meta).with_sample_size(10);
+        let members = members_from_journal(&journal);
+        let plan = FaultPlan::parse("seed=4,lie=0.3,mute=0.2").unwrap();
+        let tracer = Tracer::new(TraceConfig::default());
+        let metrics = Metrics::new(60);
+        let mut q = QuorumSpec::new(meta.tagged, &members, template, 2)
+            .with_faults(plan)
+            .with_gossip(0.25, SimDuration::from_millis(5))
+            .with_seed(19)
+            .with_trace(tracer.clone(), metrics.clone())
+            .build();
+        journal.replay(&mut q);
+        q.finish();
+        (q.report(), q.gossip(), tracer.to_jsonl(), metrics.snapshot().to_json().render())
+    };
+    let (report_a, gossip_a, trace_a, metrics_a) = run();
+    let (report_b, gossip_b, trace_b, metrics_b) = run();
+    assert_eq!(report_a, report_b);
+    assert_eq!(gossip_a, gossip_b);
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(metrics_a, metrics_b);
+    assert_eq!(gossip_a.sent, gossip_a.dropped + gossip_a.delivered, "counts conserve");
+}

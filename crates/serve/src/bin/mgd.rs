@@ -6,11 +6,12 @@
 //! mgd --stdin                           serve one binary/JSONL journal from stdin
 //!
 //! options:
-//!   --workers N        worker threads                     [default: 2]
+//!   --workers N        worker threads          [default: available parallelism]
 //!   --queue-cap N      bounded queue capacity per worker  [default: 1024]
 //!   --batch N          events per queue hand-off          [default: 256]
 //!   --policy block|shed  full-queue behavior              [default: block]
 //!   --samples N        rank-sum sample size override
+//!   --quorum K         convict a node once K distinct streams flag it
 //!   --deltas           print DiagnosisDelta JSONL to stdout
 //! ```
 //!
@@ -36,7 +37,7 @@ mgd: multi-stream back-off violation detection daemon
 
 usage:
   mgd --listen HOST:PORT [--workers N] [--queue-cap N] [--batch N]
-      [--policy block|shed] [--samples N] [--deltas]
+      [--policy block|shed] [--samples N] [--quorum K] [--deltas]
   mgd --journal FILE [--journal FILE ...] [options]
   mgd --stdin [options]
 ";
@@ -81,6 +82,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--queue-cap" => cfg.queue_cap = parsed(&mut it, a)?,
             "--batch" => cfg.batch = parsed(&mut it, a)?,
             "--samples" => cfg.sample_size = Some(parsed(&mut it, a)?),
+            "--quorum" => cfg.quorum = Some(parsed(&mut it, a)?),
             "--policy" => {
                 let v = raw_value(&mut it, a)?;
                 cfg.policy = Policy::parse(&v)
@@ -95,6 +97,9 @@ fn parse(args: &[String]) -> Result<Opts, String> {
     }
     if cfg.sample_size == Some(0) {
         return Err("--samples must be at least 1".into());
+    }
+    if cfg.quorum == Some(0) {
+        return Err("--quorum must be at least 1".into());
     }
     let mode = match (listen, files.is_empty(), use_stdin) {
         (Some(addr), true, false) => Mode::Listen(addr),
@@ -138,6 +143,8 @@ fn main() {
         None
     };
     let daemon = Daemon::start(opts.cfg, delta_out);
+    // The resolved count (the default tracks the host's parallelism).
+    println!("workers  : {} worker thread(s)", daemon.config().workers);
     match opts.mode {
         Mode::Listen(addr) => listen(&addr, daemon),
         Mode::Files(files) => serve_files(&files, daemon),
@@ -146,6 +153,11 @@ fn main() {
 }
 
 fn report_shutdown(daemon: Daemon) {
+    // Every stream of interest has closed by now (closes are synchronous),
+    // so the quorum tally is final.
+    if let Some(lines) = daemon.quorum_report() {
+        print!("{lines}");
+    }
     // `shutdown` blocks until every worker has drained its queue and
     // exited; reaching the print *is* the drain proof.
     let stats = daemon.shutdown();

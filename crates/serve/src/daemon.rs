@@ -39,11 +39,18 @@ use crate::mpmc;
 use crate::wire::{self, WireError};
 use mg_detect::{render_report, Diagnosis, DetectorSession, SessionSpec};
 use mg_obs::{JournalReader, Obs, ObsMeta};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// The worker count a default [`ServeConfig`] resolves to: the host's
+/// available parallelism, falling back to 2 when the platform cannot
+/// report it. `mgd` echoes this resolved value at startup.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+}
 
 /// What a producer does when its worker queue is full.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -90,17 +97,23 @@ pub struct ServeConfig {
     pub deltas: bool,
     /// Override the sessions' rank-sum sample size (`detect --samples`).
     pub sample_size: Option<usize>,
+    /// Cross-stream conviction quorum: when `Some(k)`, every stream that
+    /// closes with a flagged verdict casts one vote against its tagged
+    /// node, and [`Daemon::quorum_report`] convicts suspects with at least
+    /// `k` distinct flagged streams.
+    pub quorum: Option<usize>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 2,
+            workers: default_workers(),
             queue_cap: 1024,
             batch: 256,
             policy: Policy::Block,
             deltas: false,
             sample_size: None,
+            quorum: None,
         }
     }
 }
@@ -166,7 +179,11 @@ pub struct Daemon {
     txs: Vec<mpmc::Sender<Job>>,
     workers: Vec<JoinHandle<WorkerStats>>,
     next_stream: AtomicU64,
+    /// Per-suspect set of streams that closed flagged (quorum mode only).
+    votes: Option<VoteMap>,
 }
+
+type VoteMap = Arc<Mutex<BTreeMap<usize, BTreeSet<u64>>>>;
 
 impl Daemon {
     /// Starts the workers. `delta_out`, when given, receives one JSONL line
@@ -175,26 +192,56 @@ impl Daemon {
     pub fn start(cfg: ServeConfig, delta_out: Option<Box<dyn Write + Send>>) -> Daemon {
         let sink: Option<DeltaSink> =
             delta_out.filter(|_| cfg.deltas).map(|w| Arc::new(Mutex::new(w)));
+        let votes: Option<VoteMap> =
+            cfg.quorum.map(|_| Arc::new(Mutex::new(BTreeMap::new())));
         let mut txs = Vec::new();
         let mut workers = Vec::new();
         for _ in 0..cfg.workers.max(1) {
             let (tx, rx) = mpmc::bounded::<Job>(cfg.queue_cap.max(1));
             let sink = sink.clone();
+            let votes = votes.clone();
             let sample_size = cfg.sample_size;
             txs.push(tx);
-            workers.push(std::thread::spawn(move || worker(rx, sample_size, sink)));
+            workers.push(std::thread::spawn(move || worker(rx, sample_size, sink, votes)));
         }
         Daemon {
             cfg,
             txs,
             workers,
             next_stream: AtomicU64::new(1),
+            votes,
         }
     }
 
     /// The config the daemon was started with.
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
+    }
+
+    /// The cross-stream quorum tally, one line per accused node, in node
+    /// order — `None` unless the daemon runs with [`ServeConfig::quorum`].
+    /// A suspect is convicted when at least `k` *distinct streams* closed
+    /// flagged against it; below the quorum it stays cleared. Call after
+    /// the streams of interest have closed (a close is synchronous: its
+    /// report reply proves the vote landed).
+    pub fn quorum_report(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let k = self.cfg.quorum?;
+        let votes = self.votes.as_ref()?.lock().expect("vote map lock");
+        let mut out = String::new();
+        if votes.is_empty() {
+            let _ = writeln!(out, "quorum   : k = {k}, no stream flagged any node");
+            return Some(out);
+        }
+        for (suspect, streams) in votes.iter() {
+            let n = streams.len();
+            let _ = writeln!(
+                out,
+                "quorum   : k = {k}, {n} stream(s) flagged node {suspect} -> {}",
+                if n >= k { "CONVICTED" } else { "below quorum, cleared" }
+            );
+        }
+        Some(out)
     }
 
     /// Opens a new stream described by `meta` and returns its producer
@@ -335,6 +382,7 @@ fn worker(
     rx: mpmc::Receiver<Job>,
     sample_size: Option<usize>,
     sink: Option<DeltaSink>,
+    votes: Option<VoteMap>,
 ) -> WorkerStats {
     let mut sessions: HashMap<u64, StreamState> = HashMap::new();
     let mut stats = WorkerStats::default();
@@ -388,6 +436,10 @@ fn worker(
                 };
                 stats.dropped += dropped;
                 let diag = s.session.diagnosis();
+                if let (Some(votes), true) = (&votes, diag.is_flagged()) {
+                    let mut map = votes.lock().expect("vote map lock");
+                    map.entry(s.meta.tagged).or_default().insert(stream);
+                }
                 let report = render_report(s.meta.tagged, sample_size.unwrap_or(50), false, &diag);
                 let _ = reply.send(StreamReport {
                     stream,

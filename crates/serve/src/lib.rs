@@ -39,5 +39,8 @@ pub mod daemon;
 pub mod mpmc;
 pub mod wire;
 
-pub use daemon::{serve_connection, Daemon, Policy, ServeConfig, ServeStats, StreamHandle, StreamReport};
+pub use daemon::{
+    default_workers, serve_connection, Daemon, Policy, ServeConfig, ServeStats, StreamHandle,
+    StreamReport,
+};
 pub use wire::{read_frame, send_journal, write_end, write_frame, WireError, MAX_FRAME};

@@ -334,3 +334,43 @@ fn socket_stream_report_is_byte_identical_to_offline_replay() {
     assert_eq!(stats.streams, 1);
     assert_eq!(stats.abandoned, 0);
 }
+
+#[test]
+fn cross_stream_quorum_convicts_on_k_flagged_streams() {
+    // Three streams against the same tagged node: two flagged (distinct
+    // seeds, PM hot), one clean. k = 2 convicts; k = 3 does not.
+    let hot_a = record(5, 80);
+    let hot_b = record(8, 80);
+    let clean = record(6, 0);
+    let run = |k: usize| {
+        let daemon = Daemon::start(
+            ServeConfig { quorum: Some(k), ..ServeConfig::default() },
+            None,
+        );
+        let mut flagged = 0;
+        for journal in [&hot_a, &hot_b, &clean] {
+            let mut s = daemon.open(journal.meta().clone());
+            for o in journal.events() {
+                s.push(o.clone());
+            }
+            if s.close().unwrap().flagged {
+                flagged += 1;
+            }
+        }
+        let report = daemon.quorum_report().expect("quorum mode is on");
+        daemon.shutdown();
+        (flagged, report)
+    };
+    let (flagged, at2) = run(2);
+    assert_eq!(flagged, 2, "two hot streams flag, the clean one does not");
+    assert!(at2.contains("2 stream(s) flagged"), "{at2}");
+    assert!(at2.contains("-> CONVICTED"), "{at2}");
+    let (_, at3) = run(3);
+    assert!(at3.contains("below quorum, cleared"), "{at3}");
+
+    // Without quorum mode there is no report at all.
+    let plain = Daemon::start(ServeConfig::default(), None);
+    assert!(plain.quorum_report().is_none());
+    assert!(plain.config().workers >= 1, "parallelism default resolves to >= 1");
+    plain.shutdown();
+}

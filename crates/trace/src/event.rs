@@ -22,10 +22,12 @@ pub enum Subsystem {
     Monitor,
     /// Deterministic fault injection (`mg-fault`).
     Fault,
+    /// The collaborative-detection gossip layer (`mg-quorum`).
+    Quorum,
 }
 
 /// Number of subsystems (size of the per-subsystem level table).
-pub const SUBSYSTEM_COUNT: usize = 6;
+pub const SUBSYSTEM_COUNT: usize = 7;
 
 impl Subsystem {
     /// Table index for per-subsystem level filtering.
@@ -42,6 +44,7 @@ impl Subsystem {
             Subsystem::Net => "net",
             Subsystem::Monitor => "monitor",
             Subsystem::Fault => "fault",
+            Subsystem::Quorum => "quorum",
         }
     }
 }
@@ -169,6 +172,32 @@ pub enum EventKind {
         /// Number of bits flipped.
         bits: u32,
     },
+    /// A monitor broadcast an accusation on the gossip channel (the event's
+    /// node is the accuser).
+    AccusationSent {
+        /// The accused node.
+        suspect: usize,
+    },
+    /// The gossip channel lost an accusation in flight (the event's node is
+    /// the receiver that never heard it).
+    AccusationDropped {
+        /// The accused node.
+        suspect: usize,
+    },
+    /// An accusation arrived at a monitor (the event's node is the
+    /// receiver).
+    AccusationDelivered {
+        /// The accused node.
+        suspect: usize,
+    },
+    /// A monitor's suspicion set reached the conviction quorum (the event's
+    /// node is the convicting monitor).
+    QuorumConvicted {
+        /// The convicted node.
+        suspect: usize,
+        /// Distinct accusers backing the conviction.
+        votes: usize,
+    },
 }
 
 impl EventKind {
@@ -188,6 +217,10 @@ impl EventKind {
             | EventKind::MonitorViolation { .. }
             | EventKind::MonitorUncertain { .. } => Subsystem::Monitor,
             EventKind::FaultDrop { .. } | EventKind::FaultCorrupt { .. } => Subsystem::Fault,
+            EventKind::AccusationSent { .. }
+            | EventKind::AccusationDropped { .. }
+            | EventKind::AccusationDelivered { .. }
+            | EventKind::QuorumConvicted { .. } => Subsystem::Quorum,
         }
     }
 
@@ -217,6 +250,10 @@ impl EventKind {
             EventKind::MonitorUncertain { .. } => "uncertain",
             EventKind::FaultDrop { .. } => "drop",
             EventKind::FaultCorrupt { .. } => "corrupt",
+            EventKind::AccusationSent { .. } => "accusation_sent",
+            EventKind::AccusationDropped { .. } => "accusation_dropped",
+            EventKind::AccusationDelivered { .. } => "accusation_delivered",
+            EventKind::QuorumConvicted { .. } => "quorum_convicted",
         }
     }
 }
@@ -293,6 +330,15 @@ impl Event {
             EventKind::FaultCorrupt { bits } => {
                 fields.push(("bits".into(), Json::from(bits as u64)));
             }
+            EventKind::AccusationSent { suspect }
+            | EventKind::AccusationDropped { suspect }
+            | EventKind::AccusationDelivered { suspect } => {
+                fields.push(("suspect".into(), Json::from(suspect as u64)));
+            }
+            EventKind::QuorumConvicted { suspect, votes } => {
+                fields.push(("suspect".into(), Json::from(suspect as u64)));
+                fields.push(("votes".into(), Json::from(votes as u64)));
+            }
         }
         Json::Obj(fields)
     }
@@ -327,6 +373,37 @@ mod tests {
         let e = EventKind::FaultCorrupt { bits: 3 };
         assert_eq!(e.subsystem(), Subsystem::Fault);
         assert_eq!(Subsystem::Fault.tag(), "fault");
+
+        let e = EventKind::AccusationSent { suspect: 4 };
+        assert_eq!(e.subsystem(), Subsystem::Quorum);
+        assert_eq!(e.level(), Level::Info);
+        assert_eq!(Subsystem::Quorum.tag(), "quorum");
+
+        let e = EventKind::QuorumConvicted { suspect: 4, votes: 3 };
+        assert_eq!(e.subsystem(), Subsystem::Quorum);
+        assert_eq!(e.tag(), "quorum_convicted");
+    }
+
+    #[test]
+    fn quorum_events_render_their_fields() {
+        let ev = Event {
+            t_ns: 42,
+            node: Some(6),
+            kind: EventKind::AccusationDelivered { suspect: 2 },
+        };
+        assert_eq!(
+            ev.to_json().render(),
+            "{\"t\":42,\"node\":6,\"sub\":\"quorum\",\"kind\":\"accusation_delivered\",\"suspect\":2}"
+        );
+        let ev = Event {
+            t_ns: 43,
+            node: Some(6),
+            kind: EventKind::QuorumConvicted { suspect: 2, votes: 3 },
+        };
+        assert_eq!(
+            ev.to_json().render(),
+            "{\"t\":43,\"node\":6,\"sub\":\"quorum\",\"kind\":\"quorum_convicted\",\"suspect\":2,\"votes\":3}"
+        );
     }
 
     #[test]

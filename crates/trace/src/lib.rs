@@ -64,6 +64,8 @@ pub struct TraceConfig {
     pub monitor: Level,
     /// Level for fault-injection drop/corrupt records.
     pub fault: Level,
+    /// Level for collaborative-detection gossip records.
+    pub quorum: Level,
 }
 
 impl Default for TraceConfig {
@@ -78,6 +80,7 @@ impl Default for TraceConfig {
             net: Level::Info,
             monitor: Level::Info,
             fault: Level::Info,
+            quorum: Level::Info,
         }
     }
 }
@@ -93,11 +96,20 @@ impl TraceConfig {
             net: Level::Debug,
             monitor: Level::Debug,
             fault: Level::Debug,
+            quorum: Level::Debug,
         }
     }
 
     fn levels(&self) -> [Level; SUBSYSTEM_COUNT] {
-        [self.sched, self.phy, self.mac, self.net, self.monitor, self.fault]
+        [
+            self.sched,
+            self.phy,
+            self.mac,
+            self.net,
+            self.monitor,
+            self.fault,
+            self.quorum,
+        ]
     }
 }
 

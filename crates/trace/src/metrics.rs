@@ -48,10 +48,18 @@ pub enum Counter {
     FaultCorruptions,
     /// Anomalous observations the monitor withheld a verdict on.
     MonitorUncertain,
+    /// Accusations broadcast on the gossip channel.
+    AccusationsSent,
+    /// Accusations lost in flight by the gossip channel.
+    AccusationsDropped,
+    /// Accusations that reached a receiving monitor.
+    AccusationsDelivered,
+    /// Suspicion sets that reached the conviction quorum.
+    QuorumConvictions,
 }
 
 /// Number of counter kinds (size of a counter row).
-pub const COUNTER_COUNT: usize = 17;
+pub const COUNTER_COUNT: usize = 21;
 
 impl Counter {
     /// Row index of this counter.
@@ -78,6 +86,10 @@ impl Counter {
         Counter::FaultDrops,
         Counter::FaultCorruptions,
         Counter::MonitorUncertain,
+        Counter::AccusationsSent,
+        Counter::AccusationsDropped,
+        Counter::AccusationsDelivered,
+        Counter::QuorumConvictions,
     ];
 
     /// Stable snake_case name used in JSON output.
@@ -100,6 +112,10 @@ impl Counter {
             Counter::FaultDrops => "fault_drops",
             Counter::FaultCorruptions => "fault_corruptions",
             Counter::MonitorUncertain => "monitor_uncertain",
+            Counter::AccusationsSent => "accusations_sent",
+            Counter::AccusationsDropped => "accusations_dropped",
+            Counter::AccusationsDelivered => "accusations_delivered",
+            Counter::QuorumConvictions => "quorum_convictions",
         }
     }
 }
@@ -418,6 +434,26 @@ mod tests {
         // Structurally different values are rejected, not zero-filled.
         assert!(MetricsSnapshot::from_json(&Json::Null).is_none());
         assert!(MetricsSnapshot::from_json(&Json::obj([("totals", Json::Null)])).is_none());
+    }
+
+    #[test]
+    fn quorum_counters_are_registered_and_snapshots_survive_counter_growth() {
+        assert_eq!(Counter::ALL.len(), COUNTER_COUNT);
+        assert_eq!(Counter::AccusationsSent.name(), "accusations_sent");
+        assert_eq!(Counter::QuorumConvictions.name(), "quorum_convictions");
+        // A snapshot serialized before the quorum counters existed (totals
+        // object missing the new names) still decodes — new counters read 0.
+        let m = Metrics::new(1);
+        m.bump(0, Counter::TxFrames);
+        let mut v = m.snapshot().to_json();
+        if let Json::Obj(fields) = &mut v {
+            if let Some((_, Json::Obj(totals))) = fields.iter_mut().find(|(k, _)| k == "totals") {
+                totals.retain(|(name, _)| !name.starts_with("accusations_"));
+            }
+        }
+        let back = MetricsSnapshot::from_json(&v).expect("old snapshots must decode");
+        assert_eq!(back.total(Counter::TxFrames), 1);
+        assert_eq!(back.total(Counter::AccusationsSent), 0);
     }
 
     #[test]

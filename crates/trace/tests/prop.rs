@@ -24,7 +24,7 @@ fn arb_kind(g: &mut Gen) -> EventKind {
         2 => FrameLabel::Data,
         _ => FrameLabel::Ack,
     };
-    match g.u8_in(0..15) {
+    match g.u8_in(0..19) {
         0 => EventKind::SchedDispatch { seq: g.u64_in(0..1_000) },
         1 => EventKind::ChannelEdge { busy: g.bool() },
         2 => EventKind::TxStart {
@@ -42,7 +42,14 @@ fn arb_kind(g: &mut Gen) -> EventKind {
         11 => EventKind::MonitorViolation { kind: "oversized_window" },
         12 => EventKind::MonitorUncertain { kind: "attempt_mismatch" },
         13 => EventKind::FaultDrop { cause: "loss" },
-        _ => EventKind::FaultCorrupt { bits: g.u64_in(1..16) as u32 },
+        14 => EventKind::FaultCorrupt { bits: g.u64_in(1..16) as u32 },
+        15 => EventKind::AccusationSent { suspect: g.usize_in(0..8) },
+        16 => EventKind::AccusationDropped { suspect: g.usize_in(0..8) },
+        17 => EventKind::AccusationDelivered { suspect: g.usize_in(0..8) },
+        _ => EventKind::QuorumConvicted {
+            suspect: g.usize_in(0..8),
+            votes: g.usize_in(1..8),
+        },
     }
 }
 
@@ -106,6 +113,7 @@ fn level_filtering_is_exact() {
             net: arb_level(g),
             monitor: arb_level(g),
             fault: arb_level(g),
+            quorum: arb_level(g),
         };
         let threshold = |s: Subsystem| match s {
             Subsystem::Sched => cfg.sched,
@@ -114,6 +122,7 @@ fn level_filtering_is_exact() {
             Subsystem::Net => cfg.net,
             Subsystem::Monitor => cfg.monitor,
             Subsystem::Fault => cfg.fault,
+            Subsystem::Quorum => cfg.quorum,
         };
         let tracer = Tracer::new(cfg);
         let mut expected: Vec<(u64, &'static str)> = Vec::new();

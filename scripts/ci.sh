@@ -299,6 +299,33 @@ MG_SERVE_STREAMS=8 MG_SERVE_EVENTS=200 MG_BENCH_OUT="$outdir/serve-bench.json" \
 grep -q '"events_per_sec"' "$outdir/serve-bench.json"
 echo "ok: serving smoke cell conserves events and reports"
 
+echo "== chaos gate: Byzantine quorum sweep is deterministic and never falsely convicts =="
+# Two identical fault-seeded bench_quorum mini-sweeps, each against a fresh
+# cache, must agree byte-for-byte: the Byzantine cast (FalseAccuser roles)
+# and the lossy gossip channel draw only from seeded streams. The binary
+# itself enforces the f < k bound — any PM=0 trial whose realized liar
+# count stays below k yet convicts names its cell on stderr and exits 1.
+run_quorum() {
+    MG_TRIALS=2 MG_SIM_SECS=2 MG_CACHE_DIR="$outdir/quorum-cache-$1" \
+    MG_BENCH_OUT="$outdir/quorum-$1.json" \
+        cargo run -q --release --offline -p mg-bench --bin bench_quorum \
+        >"$outdir/quorum-$1.stdout"
+    # The stdout echoes the per-run MG_BENCH_OUT path; strip it before diffing.
+    grep -v '^wrote ' "$outdir/quorum-$1.stdout" >"$outdir/quorum-$1.table"
+}
+run_quorum a
+run_quorum b
+if ! diff "$outdir/quorum-a.json" "$outdir/quorum-b.json" \
+    || ! diff "$outdir/quorum-a.table" "$outdir/quorum-b.table"; then
+    echo "error: equal-seed Byzantine quorum sweeps produced diverging outputs" >&2
+    exit 1
+fi
+if ! grep -q '"pass":true' "$outdir/quorum-a.json"; then
+    echo "error: quorum sweep report does not assert pass (false conviction?)" >&2
+    exit 1
+fi
+echo "ok: Byzantine quorum sweep replays byte-for-byte; f < k liars never convict"
+
 echo "== rustdoc: no warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace -q
 

@@ -29,6 +29,7 @@
 //! | [`trace`] | `mg-trace` | structured event journal, per-node metrics, spans |
 //! | [`fault`] | `mg-fault` | deterministic fault injection for chaos testing |
 //! | [`detect`] | `mg-detect` | **the detection framework** (the paper's contribution) |
+//! | [`quorum`] | `mg-quorum` | collaborative detection: accusation gossip, k-of-n conviction |
 //! | [`serve`] | `mg-serve` | the `mgd` daemon: multi-stream demux, bounded MPMC, wire protocol |
 //!
 //! ## Quickstart
@@ -98,6 +99,7 @@ pub use mg_geom as geom;
 pub use mg_net as net;
 pub use mg_obs as obs;
 pub use mg_phy as phy;
+pub use mg_quorum as quorum;
 pub use mg_serve as serve;
 pub use mg_sim as sim;
 pub use mg_stats as stats;
@@ -120,6 +122,10 @@ pub mod prelude {
         TrafficModel, World,
     };
     pub use mg_phy::{Medium, MediumIndex, PropagationModel, RadioParams};
+    pub use mg_quorum::{
+        members_from_journal, Accusation, EvidenceKind, GossipChannel, GossipConfig,
+        GossipCounts, MonitorRole, QuorumFaults, QuorumSession, QuorumSpec,
+    };
     pub use mg_serve::{Daemon, Policy, ServeConfig, ServeStats, StreamReport};
     pub use mg_sim::{SimDuration, SimTime};
     pub use mg_stats::wilcoxon::{rank_sum_test, Alternative};

@@ -22,7 +22,14 @@
 //!   --mobile          add random-waypoint mobility (implies --random)
 //!   --no-blatant      disable the deterministic timing check
 //!   --faults <spec>   inject observation faults at every monitor
-//!                     (e.g. "light", "heavy,seed=7", "loss=0.1,deaf=250:25")
+//!                     (e.g. "light", "heavy,seed=7", "loss=0.1,deaf=250:25");
+//!                     with --quorum the spec's lie/mute/flip knobs also
+//!                     seed adversarial monitor roles
+//!   --quorum <k>      collaborative detection: monitor from up to 2k+1
+//!                     in-range vantages, gossip accusations between them,
+//!                     and convict only on k distinct accusers. Composes
+//!                     with --replay (members come from the journal header)
+//!                     but not with --mobile or a multi-size --samples list
 //!   --trace <file>    write the event journal as JSONL to <file>
 //!   --metrics         print stack-wide counters and histograms
 //!   --record <file>   also record the monitors' observation stream as an
@@ -77,10 +84,10 @@ usage:
   manet-guard demo
   manet-guard detect [--pm N] [--rate PPS] [--secs S] [--seed N]
                      [--samples N[,N..]] [--random] [--mobile] [--no-blatant]
-                     [--faults SPEC] [--trace FILE] [--metrics]
+                     [--faults SPEC] [--quorum K] [--trace FILE] [--metrics]
                      [--record FILE] [--journal-format jsonl|bin]
   manet-guard detect --replay FILE [--samples N[,N..]] [--no-blatant]
-                     [--faults SPEC] [--journal-format jsonl|bin]
+                     [--faults SPEC] [--quorum K] [--journal-format jsonl|bin]
   manet-guard journal info FILE [--deltas]
   manet-guard journal transcode IN OUT [--journal-format jsonl|bin]
   manet-guard journal send FILE --to HOST:PORT [--chunk N]
@@ -97,6 +104,7 @@ struct DetectOpts {
     mobile: bool,
     no_blatant: bool,
     faults: FaultPlan,
+    quorum: Option<usize>,
     trace: Option<String>,
     metrics: bool,
     record: Option<String>,
@@ -120,6 +128,7 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
         mobile: false,
         no_blatant: false,
         faults: FaultPlan::default(),
+        quorum: None,
         trace: None,
         metrics: false,
         record: None,
@@ -169,6 +178,10 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
                     .map_err(|e| format!("invalid value for --faults: {e}"))?;
                 "--faults"
             }
+            "--quorum" => {
+                o.quorum = Some(value(&mut it, a)?);
+                "--quorum"
+            }
             "--trace" => {
                 o.trace = Some(raw_value(&mut it, a)?);
                 "--trace"
@@ -193,6 +206,17 @@ fn parse_detect(args: &[String]) -> Result<DetectOpts, String> {
             other => return Err(format!("unrecognized argument: {other}")),
         };
         seen.push(flag);
+    }
+    if let Some(k) = o.quorum {
+        if k == 0 {
+            return Err("invalid value for --quorum: 0 (need at least 1 accuser)".into());
+        }
+        if o.samples.len() > 1 {
+            return Err("--quorum monitors one sample size: give --samples a single value".into());
+        }
+        if o.mobile {
+            return Err("--quorum conflicts with --mobile: quorum members monitor from fixed vantages".into());
+        }
     }
     if seen.contains(&"--replay") {
         // The journal fixes the world; only detector-side knobs compose.
@@ -311,6 +335,12 @@ fn run_and_report<P: NetObserver>(
         report_diagnosis(attacker_node, n, watches.len() > 1, &diag);
     }
 
+    emit_trace_metrics(world, o);
+}
+
+/// Prints the `--trace` file and `--metrics` lines a finished world owes —
+/// shared by the per-monitor and quorum live paths.
+fn emit_trace_metrics<P: NetObserver>(world: &World<Assembly<P>>, o: &DetectOpts) {
     if let Some(path) = &o.trace {
         let tracer = world.tracer();
         match std::fs::write(path, tracer.to_jsonl()) {
@@ -331,6 +361,141 @@ fn run_and_report<P: NetObserver>(
             println!("span     : {name} = {:.2?}", std::time::Duration::from_nanos(ns));
         }
     }
+}
+
+/// `detect --quorum K` (live): simulate once with an observation recorder
+/// over up to `2K+1` in-range vantages, then replay the recorded journal
+/// into a [`QuorumSession`] — accusation gossip, k-of-n conviction — and
+/// print its collaborative verdict. The journal (saved by `--record`)
+/// replays into the identical verdict via `detect --replay --quorum K`.
+fn quorum_detect(o: &DetectOpts, k: usize) {
+    let mut cfg = if o.random {
+        ScenarioConfig::random_paper(o.seed)
+    } else {
+        ScenarioConfig::grid_paper(o.seed)
+    };
+    cfg.sim_secs = o.secs;
+    cfg.rate_pps = o.rate;
+
+    let scenario = Scenario::new(cfg);
+    let (attacker_node, primary) = scenario.tagged_pair();
+    // Member set: the closest non-tagged nodes that can still *decode* the
+    // tagged node's frames (transmission range, not just carrier sensing),
+    // capped at 2k+1 so an honest majority can out-vote k-1 liars.
+    let pos = scenario.positions();
+    let mut members: Vec<(usize, f64)> = (0..pos.len())
+        .filter(|&v| v != attacker_node)
+        .map(|v| (v, pos[attacker_node].distance(pos[v])))
+        .filter(|&(_, d)| d <= cfg.tx_range)
+        .collect();
+    members.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance").then(a.0.cmp(&b.0)));
+    members.truncate(2 * k + 1);
+    if members.len() < k {
+        eprintln!(
+            "error: --quorum {k} needs {k} in-range monitors, topology offers {}",
+            members.len()
+        );
+        std::process::exit(1);
+    }
+
+    println!(
+        "scenario : {} nodes, static, background {} pkt/s x {} sources",
+        pos.len(),
+        o.rate,
+        cfg.source_count,
+    );
+    println!(
+        "attacker : node {attacker_node} (PM = {}%), quorum: {} monitor(s), k = {k}",
+        o.pm,
+        members.len()
+    );
+
+    let mc = if o.random {
+        MonitorConfig::random_paper(attacker_node, members[0].0, members[0].1)
+    } else {
+        MonitorConfig::grid_paper(attacker_node, members[0].0, members[0].1)
+    };
+    let mc = MonitorConfig {
+        blatant_check: !o.no_blatant,
+        ..mc.with_sample_size(o.samples[0])
+    };
+
+    let mut builder = ScenarioBuilder::new(scenario);
+    let attacker = builder.attacker(attacker_node);
+    for &(v, _) in &members {
+        builder.reserve(v);
+    }
+    builder.source(SourceCfg::saturated(attacker_node, primary));
+    if !o.faults.is_noop() {
+        println!("faults   : {:?}", o.faults);
+    }
+    if o.trace.is_some() {
+        builder.trace(TraceConfig::verbose());
+    }
+    if o.metrics {
+        builder.metrics();
+    }
+
+    // The header carries each member's measured distance (`dist.<v>`), so a
+    // --replay of this journal rebuilds the exact same member geometry.
+    let kind = if o.random { "random" } else { "grid" };
+    let mut params = vec![
+        ("kind".into(), kind.into()),
+        ("pm".into(), o.pm.to_string()),
+        ("rate".into(), o.rate.to_string()),
+        ("secs".into(), o.secs.to_string()),
+    ];
+    for &(v, d) in &members {
+        params.push((format!("dist.{v}"), d.to_string()));
+    }
+    let meta = ObsMeta {
+        tagged: attacker_node,
+        vantages: members.iter().map(|&(v, _)| v).collect(),
+        pair_distance: members[0].1,
+        seed: o.seed,
+        params,
+    };
+    let mut world = builder.probe(ObsRecorder::new(meta)).build();
+    if o.pm > 0 {
+        world.set_policy(attacker.id(), BackoffPolicy::Scaled { pm: o.pm });
+    }
+
+    let t0 = std::time::Instant::now();
+    {
+        let handle = world.metrics().clone();
+        let _span = Span::enter(&handle, "detect.run");
+        world.run_until(SimTime::from_secs(o.secs));
+    }
+    println!(
+        "run      : {}s virtual in {:.2?} ({} events)",
+        o.secs,
+        t0.elapsed(),
+        world.events_fired()
+    );
+
+    let journal = world.probe().journal().clone();
+    emit_trace_metrics(&world, o);
+    if let Some(path) = &o.record {
+        match journal.save(std::path::Path::new(path), o.journal_format) {
+            Ok(()) => println!(
+                "record   : {} observations written to {path} ({} format)",
+                journal.len(),
+                o.journal_format
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write journal to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut q = QuorumSpec::new(attacker_node, &members, mc, k)
+        .with_faults(o.faults.clone())
+        .with_seed(o.seed)
+        .build();
+    journal.replay(&mut q);
+    q.finish();
+    print!("{}", q.report());
 }
 
 /// `detect --replay`: no simulation — open the journal (format
@@ -376,6 +541,52 @@ fn replay_detect(o: &DetectOpts, path: &str) {
         meta.vantages.len(),
         meta.seed
     );
+    if let Some(k) = o.quorum {
+        // Collaborative replay: materialize the journal (the member set
+        // needs its geometry before the first event), then stream it into
+        // one gossiping QuorumSession.
+        let mut journal = ObsJournal::new(meta.clone());
+        for ev in reader.events() {
+            match ev {
+                Ok(obs) => journal.push(obs),
+                Err(e) => {
+                    eprintln!("error: journal {path} is damaged: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let members = members_from_journal(&journal);
+        if members.len() < k {
+            eprintln!(
+                "error: --quorum {k} needs {k} members, journal {path} records {}",
+                members.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "attacker : node {attacker_node} (PM = {pm}%), quorum: {} monitor(s), k = {k}",
+            members.len()
+        );
+        if !o.faults.is_noop() {
+            println!("faults   : {:?}", o.faults);
+        }
+        let t0 = std::time::Instant::now();
+        let mut q = QuorumSpec::new(attacker_node, &members, mc.with_sample_size(o.samples[0]), k)
+            .with_faults(o.faults.clone())
+            .with_seed(meta.seed)
+            .build();
+        journal.replay(&mut q);
+        q.finish();
+        println!(
+            "run      : {} events replayed into {} collaborating monitor(s) in {:.2?}",
+            journal.len(),
+            members.len(),
+            t0.elapsed()
+        );
+        print!("{}", q.report());
+        return;
+    }
+
     println!("attacker : node {attacker_node} (PM = {pm}%), monitor: node {primary}");
     if !o.faults.is_noop() {
         println!("faults   : {:?}", o.faults);
@@ -595,6 +806,10 @@ fn journal_transcode(input: &str, output: &str, format: JournalFormat) {
 fn detect(o: DetectOpts) {
     if let Some(path) = o.replay.clone() {
         replay_detect(&o, &path);
+        return;
+    }
+    if let Some(k) = o.quorum {
+        quorum_detect(&o, k);
         return;
     }
     let random = o.random || o.mobile;
