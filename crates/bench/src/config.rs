@@ -7,6 +7,7 @@
 //! default trial count.
 
 use crate::FaultPlan;
+use mg_net::Shards;
 use mg_phy::MediumIndex;
 use mg_runner::{Cache, CacheMode, Runner};
 use std::path::PathBuf;
@@ -33,6 +34,11 @@ pub struct BenchConfig {
     /// default grid). Results are byte-identical either way; the knob
     /// exists so CI can cross-check sweeps against the reference scan.
     pub medium_index: MediumIndex,
+    /// World-engine sharding (`MG_SHARDS`: `serial` or a region count,
+    /// default serial). Like the medium index, results are byte-identical
+    /// across settings — the knob lets CI cross-check the sharded engine
+    /// against the serial scheduler on every sweep.
+    pub shards: Shards,
 }
 
 impl Default for BenchConfig {
@@ -46,6 +52,7 @@ impl Default for BenchConfig {
             cache_dir: PathBuf::from("results/.cache"),
             fault: FaultPlan::default(),
             medium_index: MediumIndex::default(),
+            shards: Shards::default(),
         }
     }
 }
@@ -80,6 +87,10 @@ impl BenchConfig {
         if let Ok(raw) = std::env::var("MG_MEDIUM_INDEX") {
             cfg.medium_index = MediumIndex::parse(&raw)
                 .map_err(|e| format!("invalid MG_MEDIUM_INDEX value: {e}"))?;
+        }
+        if let Ok(raw) = std::env::var("MG_SHARDS") {
+            cfg.shards = Shards::parse(&raw)
+                .map_err(|e| format!("invalid MG_SHARDS value: {e}"))?;
         }
         if let Ok(raw) = std::env::var("MG_FAULT_SEED") {
             let seed: u64 = raw.trim().parse().map_err(|_| {
@@ -140,6 +151,7 @@ mod tests {
             "MG_FAULT_PROFILE",
             "MG_FAULT_SEED",
             "MG_MEDIUM_INDEX",
+            "MG_SHARDS",
         ];
         let saved: Vec<_> = vars.iter().map(|v| (*v, std::env::var_os(v))).collect();
         for v in vars {
@@ -196,6 +208,18 @@ mod tests {
         std::env::set_var("MG_MEDIUM_INDEX", "quadtree");
         let err = BenchConfig::from_env().unwrap_err();
         assert!(err.contains("MG_MEDIUM_INDEX") && err.contains("quadtree"), "{err}");
+        std::env::set_var("MG_MEDIUM_INDEX", "grid");
+
+        std::env::set_var("MG_SHARDS", "4");
+        let cfg = BenchConfig::from_env().expect("shard count parses");
+        assert_eq!(cfg.shards, Shards::Regions(4));
+        std::env::set_var("MG_SHARDS", "serial");
+        assert_eq!(BenchConfig::from_env().expect("serial parses").shards, Shards::Serial);
+        std::env::set_var("MG_SHARDS", "0");
+        let err = BenchConfig::from_env().unwrap_err();
+        assert!(err.contains("MG_SHARDS") && err.contains('0'), "{err}");
+        std::env::set_var("MG_SHARDS", "two");
+        assert!(BenchConfig::from_env().unwrap_err().contains("MG_SHARDS"));
 
         for (name, value) in saved {
             match value {

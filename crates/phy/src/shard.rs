@@ -1,0 +1,177 @@
+//! Region slabs for the sharded world engine.
+//!
+//! A [`SlabPlan`] cuts the field into `n` vertical slabs of equal width —
+//! the *regions* of the region-sharded scheduler (`mg_sim::ShardedScheduler`).
+//! It answers three questions:
+//!
+//! * which region owns a position ([`SlabPlan::region_of`]) — the
+//!   deterministic node→region assignment, monotone in `x` and clamped, so
+//!   out-of-field wanderers belong to the nearest edge slab;
+//! * which contiguous region range an interference footprint can touch
+//!   ([`SlabPlan::region_span`]) — the key to *region-local* footprint-memo
+//!   epochs in the [`Medium`](crate::Medium): a memoised footprint is
+//!   invalidated only by movement inside the slabs its disk overlaps;
+//! * whether a position sits in the **halo ring** of a seam
+//!   ([`SlabPlan::is_halo`]) — within one interference horizon of a region
+//!   boundary, where a transmission's footprint can cross into a neighbor
+//!   slab and its state updates must flow through the deterministic merge
+//!   point rather than being mutated from another region's lane.
+//!
+//! Slabs are vertical (x-axis cuts) because `region_of` must be monotone in
+//! one coordinate for the span argument to hold: the footprint's x-extent
+//! `[x−h, x+h]` then maps to a contiguous, clamp-safe region interval that
+//! provably contains the region of every covered node.
+
+use mg_geom::Vec2;
+
+/// An immutable partition of the field into equal-width vertical region
+/// slabs. Cheap to copy; the [`Medium`](crate::Medium) and the scenario
+/// layer share one plan so node→region assignment is identical everywhere.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SlabPlan {
+    regions: u32,
+    /// Nominal field width the slabs divide, meters.
+    field_w: f64,
+    /// Width of one slab, meters (`field_w / regions`).
+    slab_w: f64,
+}
+
+impl SlabPlan {
+    /// Divides a field of width `field_w` meters into `regions` equal
+    /// vertical slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0` or `field_w` is not strictly positive.
+    pub fn new(regions: u32, field_w: f64) -> Self {
+        assert!(regions >= 1, "need at least one region");
+        assert!(
+            field_w.is_finite() && field_w > 0.0,
+            "field width must be positive, got {field_w}"
+        );
+        SlabPlan {
+            regions,
+            field_w,
+            slab_w: field_w / f64::from(regions),
+        }
+    }
+
+    /// Number of region slabs.
+    pub fn regions(&self) -> u32 {
+        self.regions
+    }
+
+    /// Width of one slab, meters.
+    pub fn slab_width(&self) -> f64 {
+        self.slab_w
+    }
+
+    /// The region owning x-coordinate `x`: `floor(x / slab_w)` clamped into
+    /// `[0, regions)`. Monotone non-decreasing in `x`, total over all finite
+    /// coordinates (mobility can wander past the nominal field; wanderers
+    /// belong to the nearest edge slab).
+    pub fn region_of_x(&self, x: f64) -> u32 {
+        if !x.is_finite() || x <= 0.0 {
+            return 0;
+        }
+        let r = (x / self.slab_w).floor();
+        if r >= f64::from(self.regions) {
+            self.regions - 1
+        } else {
+            r as u32
+        }
+    }
+
+    /// The region owning `pos` (slabs are vertical: only `x` matters).
+    pub fn region_of(&self, pos: Vec2) -> u32 {
+        self.region_of_x(pos.x)
+    }
+
+    /// The contiguous region interval `[lo, hi]` that the x-extent
+    /// `[x − reach, x + reach]` overlaps. Because [`SlabPlan::region_of_x`]
+    /// is monotone and clamped, every position within `reach` meters of
+    /// `(x, ·)` — including out-of-field positions — belongs to a region in
+    /// this interval.
+    pub fn region_span(&self, x: f64, reach: f64) -> (u32, u32) {
+        (self.region_of_x(x - reach), self.region_of_x(x + reach))
+    }
+
+    /// Distance from `pos` to the nearest *interior* seam (region boundary),
+    /// meters. Infinite for a single-region plan, which has no seams.
+    pub fn seam_distance(&self, pos: Vec2) -> f64 {
+        if self.regions == 1 {
+            return f64::INFINITY;
+        }
+        (1..self.regions)
+            .map(|s| (pos.x - f64::from(s) * self.slab_w).abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether `pos` sits in the halo ring of some seam: within `horizon`
+    /// meters of a region boundary, where a transmission footprint can
+    /// straddle regions. On a 1-region plan nothing is halo.
+    pub fn is_halo(&self, pos: Vec2, horizon: f64) -> bool {
+        self.seam_distance(pos) <= horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_of_is_monotone_and_clamped() {
+        let p = SlabPlan::new(4, 1000.0);
+        assert_eq!(p.slab_width(), 250.0);
+        assert_eq!(p.region_of_x(-50.0), 0);
+        assert_eq!(p.region_of_x(0.0), 0);
+        assert_eq!(p.region_of_x(249.9), 0);
+        assert_eq!(p.region_of_x(250.0), 1);
+        assert_eq!(p.region_of_x(999.9), 3);
+        assert_eq!(p.region_of_x(1000.0), 3, "clamped at the top");
+        assert_eq!(p.region_of_x(1e9), 3);
+        assert_eq!(p.region_of_x(f64::NAN), 0, "NaN falls in the edge slab");
+        let mut prev = 0;
+        for i in 0..2000 {
+            let r = p.region_of_x(f64::from(i) - 500.0);
+            assert!(r >= prev, "monotone");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn region_span_contains_every_covered_region() {
+        let p = SlabPlan::new(5, 2500.0);
+        for &x in &[-700.0, 0.0, 333.0, 1250.0, 2499.0, 3100.0] {
+            for &reach in &[0.0, 100.0, 551.0, 1700.0, 5000.0] {
+                let (lo, hi) = p.region_span(x, reach);
+                assert!(lo <= hi);
+                // Any offset within reach lands inside [lo, hi].
+                for k in -10..=10 {
+                    let off = reach * f64::from(k) / 10.0;
+                    let r = p.region_of_x(x + off);
+                    assert!((lo..=hi).contains(&r), "x={x} off={off} r={r} not in [{lo},{hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seam_distance_and_halo() {
+        let p = SlabPlan::new(2, 1000.0); // one seam at x = 500
+        assert_eq!(p.seam_distance(Vec2::new(500.0, 77.0)), 0.0);
+        assert_eq!(p.seam_distance(Vec2::new(200.0, 0.0)), 300.0);
+        assert_eq!(p.seam_distance(Vec2::new(900.0, 0.0)), 400.0);
+        assert!(p.is_halo(Vec2::new(450.0, 0.0), 100.0));
+        assert!(!p.is_halo(Vec2::new(300.0, 0.0), 100.0));
+        let one = SlabPlan::new(1, 1000.0);
+        assert_eq!(one.seam_distance(Vec2::new(500.0, 0.0)), f64::INFINITY);
+        assert!(!one.is_halo(Vec2::new(500.0, 0.0), 1e12), "no seams, no halo");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn zero_regions_panics() {
+        SlabPlan::new(0, 1000.0);
+    }
+}

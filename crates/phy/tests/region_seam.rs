@@ -1,0 +1,152 @@
+//! Region-seam edge cases for the sharded world engine's medium partition.
+//!
+//! The `SlabPlan` cuts the field into vertical region slabs and the
+//! `Medium` keys its footprint memo on *per-region* position epochs. These
+//! tests pin the seam behaviours the sharded engine depends on:
+//!
+//! * a node crossing a region seam mid-transmission (moved while its frame
+//!   is in flight) produces byte-identical outcomes to an unsharded medium;
+//! * a 1-region plan (halo covers the whole field) behaves exactly like no
+//!   plan at all — footprints, edges, receptions, and memo behaviour;
+//! * seam-local moves invalidate exactly the memos whose footprint spans
+//!   cover the seam, never distant ones (the region-locality property that
+//!   makes the memo epoch sharding-aware).
+
+use mg_geom::Vec2;
+use mg_phy::{Medium, MediumIndex, PropagationModel, RadioParams, SlabPlan};
+use mg_sim::rng::Xoshiro256;
+use mg_sim::SimTime;
+
+fn medium(positions: Vec<Vec2>, index: MediumIndex, plan: Option<SlabPlan>) -> Medium {
+    let prop = PropagationModel::free_space();
+    let radio = RadioParams::paper_default(&prop);
+    let mut m = Medium::with_index(prop, radio, positions, index);
+    m.set_shard_plan(plan);
+    m
+}
+
+/// Drives the same script — begin, move the receiver across the seam
+/// mid-flight, end, then a second exchange from the new geometry — on two
+/// mediums and asserts every observable matches.
+fn assert_script_identical(mut a: Medium, mut b: Medium) {
+    let mut ra = Xoshiro256::new(42);
+    let mut rb = Xoshiro256::new(42);
+    let (txa, ea) = a.begin_tx(0, SimTime::ZERO, &mut ra);
+    let (txb, eb) = b.begin_tx(0, SimTime::ZERO, &mut rb);
+    assert_eq!(ea, eb, "busy edges diverge");
+    // Receiver crosses the seam while the frame is in flight.
+    for m in [&mut a, &mut b] {
+        m.set_position(1, Vec2::new(520.0, 100.0));
+    }
+    let enda = a.end_tx(txa, SimTime::from_micros(300));
+    let endb = b.end_tx(txb, SimTime::from_micros(300));
+    assert_eq!(enda.receptions, endb.receptions, "receptions diverge");
+    assert_eq!(enda.edges, endb.edges, "idle edges diverge");
+    // Second exchange: the memo (if any) must have been invalidated by the
+    // seam crossing on both sides identically.
+    let (txa, ea) = a.begin_tx(0, SimTime::from_micros(400), &mut ra);
+    let (txb, eb) = b.begin_tx(0, SimTime::from_micros(400), &mut rb);
+    assert_eq!(ea, eb);
+    assert_eq!(
+        a.end_tx(txa, SimTime::from_micros(700)).receptions,
+        b.end_tx(txb, SimTime::from_micros(700)).receptions
+    );
+}
+
+/// Node 1 starts just left of the x = 500 seam of a 2-region/1000 m plan
+/// and crosses it mid-transmission. Sharded and unsharded mediums must
+/// agree on everything.
+#[test]
+fn seam_crossing_mid_transmission_matches_unsharded() {
+    let positions = vec![Vec2::new(300.0, 100.0), Vec2::new(480.0, 100.0)];
+    let sharded = medium(positions.clone(), MediumIndex::Grid, Some(SlabPlan::new(2, 1000.0)));
+    let plain = medium(positions, MediumIndex::Grid, None);
+    assert_script_identical(sharded, plain);
+}
+
+/// The same seam crossing under the Naive index (no memo at all) — the
+/// per-region epochs must be inert bookkeeping there.
+#[test]
+fn seam_crossing_matches_under_naive_index() {
+    let positions = vec![Vec2::new(300.0, 100.0), Vec2::new(480.0, 100.0)];
+    let sharded = medium(positions.clone(), MediumIndex::Naive, Some(SlabPlan::new(2, 1000.0)));
+    let plain = medium(positions, MediumIndex::Grid, None);
+    assert_script_identical(sharded, plain);
+}
+
+/// A 1-region plan has no interior seams: every cell is its own halo-free
+/// interior, and behaviour is identical to an unsharded grid.
+#[test]
+fn one_region_plan_is_the_unsharded_grid() {
+    let positions: Vec<Vec2> = (0..12).map(|i| Vec2::new(f64::from(i) * 90.0, 50.0)).collect();
+    let one = medium(positions.clone(), MediumIndex::Grid, Some(SlabPlan::new(1, 1000.0)));
+    let none = medium(positions, MediumIndex::Grid, None);
+    assert_script_identical(one, none);
+}
+
+/// Region-locality of the memo: after a move *far* from a source's
+/// footprint span, the memo replays (same RNG stream consumption, same
+/// covers); after a move *inside* the span it recomputes. Both paths must
+/// agree with a fresh scan — proven by comparing against a plain medium
+/// driven identically.
+#[test]
+fn memo_locality_respects_region_spans() {
+    // 4 regions over 8 km: slabs of 2 km, wider than the ≈1.7 km
+    // interference horizon, so a footprint at x = 1000 spans regions {0, 1}
+    // and a move at x = 7900 (region 3) must not invalidate it.
+    let positions = vec![
+        Vec2::new(1000.0, 0.0), // source, region 0
+        Vec2::new(1200.0, 0.0), // receiver, region 0
+        Vec2::new(7900.0, 0.0), // bystander, region 3
+    ];
+    let plan = SlabPlan::new(4, 8000.0);
+    let mut sharded = medium(positions.clone(), MediumIndex::Grid, Some(plan));
+    let mut plain = medium(positions, MediumIndex::Grid, None);
+    let mut rs = Xoshiro256::new(9);
+    let mut rp = Xoshiro256::new(9);
+
+    let script: &[(usize, Vec2)] = &[
+        (2, Vec2::new(7500.0, 30.0)),  // far move: memo may replay
+        (1, Vec2::new(1100.0, 10.0)),  // in-span move: memo must recompute
+        (2, Vec2::new(900.0, 0.0)),    // bystander walks INTO the span
+        (2, Vec2::new(7500.0, -40.0)), // and back out
+    ];
+    for &(node, to) in script {
+        let (txs, es) = sharded.begin_tx(0, sharded_now(&sharded), &mut rs);
+        let (txp, ep) = plain.begin_tx(0, sharded_now(&plain), &mut rp);
+        assert_eq!(es, ep);
+        sharded.set_position(node, to);
+        plain.set_position(node, to);
+        let ends = sharded.end_tx(txs, SimTime::from_micros(999));
+        let endp = plain.end_tx(txp, SimTime::from_micros(999));
+        assert_eq!(ends.receptions, endp.receptions);
+        assert_eq!(ends.edges, endp.edges);
+    }
+
+    fn sharded_now(_m: &Medium) -> SimTime {
+        SimTime::ZERO
+    }
+}
+
+/// `region_of` + halo classification across moves: crossing the seam flips
+/// the owning region exactly at the boundary, and the halo ring is exactly
+/// the horizon-width band around it.
+#[test]
+fn region_assignment_tracks_moves() {
+    let positions = vec![Vec2::new(100.0, 0.0), Vec2::new(900.0, 0.0)];
+    let mut m = medium(positions, MediumIndex::Grid, Some(SlabPlan::new(2, 1000.0)));
+    assert_eq!(m.region_of(0), 0);
+    assert_eq!(m.region_of(1), 1);
+    m.set_position(0, Vec2::new(499.9, 0.0));
+    assert_eq!(m.region_of(0), 0);
+    m.set_position(0, Vec2::new(500.0, 0.0));
+    assert_eq!(m.region_of(0), 1, "the seam itself belongs to the right slab");
+    m.set_position(0, Vec2::new(-50.0, 0.0));
+    assert_eq!(m.region_of(0), 0, "out-of-field positions clamp to edge slabs");
+
+    let plan = *m.shard_plan().expect("plan installed");
+    let h = m.interference_horizon().expect("deterministic propagation");
+    assert!(plan.is_halo(Vec2::new(500.0, 0.0), h));
+    assert!(plan.is_halo(Vec2::new(500.0 - h, 0.0), h));
+    assert!(!plan.is_halo(Vec2::new(500.0 - h - 1.0, 0.0), h));
+}

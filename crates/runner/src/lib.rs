@@ -20,6 +20,20 @@
 //!   results themselves, which keeps cold and warm sweep outputs
 //!   byte-identical.
 //!
+//! ## Composing with the sharded world engine
+//!
+//! Runner-level parallelism is *across cells*: one simulation per thread,
+//! `available_parallelism()` threads. The world engine's region sharding
+//! (`mg_net`'s `Shards::Regions(n)`) is parallelism *within* one cell. The
+//! two compose, but their product is what actually lands on the machine:
+//! a sweep saturating `T` cores where every cell also runs `n` region
+//! lanes asks for up to `T × n` runnable threads — oversubscription that
+//! slows both layers down without changing any result (sharding is
+//! byte-identical to serial). Rule of thumb: give the *outer* layer the
+//! cores. Sweeps of many small worlds should run `Shards::Serial` cells;
+//! reserve `Regions(n)` for one huge world that is the only tenant (e.g.
+//! `bench_world_scale`'s sharded cells, which run sequentially).
+//!
 //! ```
 //! use mg_runner::{Cache, CacheKey, CacheMode, Codec, Runner};
 //! use mg_trace::json::Json;
@@ -116,12 +130,15 @@ impl std::fmt::Display for TrialError {
 
 /// Watchdog settings for [`Runner::try_sweep`].
 ///
-/// With a timeout set, each task attempt runs on its own thread and is
+/// With a timeout set, each task attempt runs on its own thread — spawned
+/// on the *sweep's* [`std::thread::scope`], not a detached thread — and is
 /// abandoned (not killed — safe Rust cannot kill a thread) once the
-/// deadline passes; a *genuinely* infinite task therefore still blocks the
-/// final pool join, but every other cell completes and the hung cell is
-/// reported as [`TrialError::TimedOut`]. Simulated hangs are finite, so
-/// sweeps under fault injection always terminate.
+/// deadline passes. The worker that was watching it moves on immediately:
+/// every other cell completes and the hung cell is reported as
+/// [`TrialError::TimedOut`]. Because the scope joins *all* of its threads
+/// on exit, a *genuinely* infinite task still delays `try_sweep`'s return;
+/// simulated hangs are finite, so sweeps under fault injection always
+/// terminate.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SweepPolicy {
     /// Per-attempt wall-clock timeout; `None` disables the watchdog.
@@ -265,10 +282,11 @@ impl Runner {
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<R, TrialError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
-        // A private scope (rather than run_grid) so workers can hand the
-        // scope to nested watchdog attempt threads. Workers capture plain
-        // copies of these references (`move`), which is what lets the
-        // nested spawn borrow-check against the same `'scope`.
+        // A private scope (rather than delegating to `run_grid`, which owns
+        // its scope internally) so workers can hand `scope` itself to
+        // `run_cell`, which spawns watchdog attempt threads on it. Workers
+        // capture plain copies of these references (`move`), which is what
+        // lets the nested spawn borrow-check against the same `'scope`.
         let (this, cursor_ref, slots_ref, key_ref, run_ref) =
             (self, &cursor, &slots, &key, &run);
         std::thread::scope(|scope| {

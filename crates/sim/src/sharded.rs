@@ -1,0 +1,543 @@
+//! Region-sharded event queue — the conservative-PDES sibling of
+//! [`Scheduler`](crate::Scheduler).
+//!
+//! A [`ShardedScheduler`] partitions pending events into per-region *lanes*
+//! (one binary heap each) and advances virtual time in lockstep **epochs**.
+//! The epoch length is the caller's *lookahead*: the minimum virtual delay
+//! after which an event dispatched in one region can schedule work into
+//! another region. Events a region schedules into a foreign lane mid-epoch
+//! land in that lane's **inbox** and are exchanged at the next epoch
+//! barrier, merged in the canonical `(time, region, seq)` order.
+//!
+//! # Byte-identity with the serial scheduler
+//!
+//! The pop order is *provably identical* to [`Scheduler`](crate::Scheduler):
+//!
+//! * every event gets a **globally unique, monotonically increasing** `seq`
+//!   at schedule time, exactly like the serial queue;
+//! * [`ShardedScheduler::pop`] always delivers the minimum `(time, seq)` key
+//!   over **all** containers (staged window, lane heaps, inboxes);
+//! * inbox entries are guaranteed `time ≥ next barrier` (the conservative
+//!   lookahead contract), and every barrier drains all inboxes before any
+//!   event at or beyond it is delivered — so an inboxed event can never be
+//!   overtaken. A schedule that *violates* the lookahead (foreign lane,
+//!   `at <` next barrier) falls back to a direct lane push and is counted
+//!   in [`ShardedScheduler::lookahead_violations`]: correctness never
+//!   depends on the lookahead, only the exchange protocol does.
+//!
+//! Identical pop order ⇒ identical dispatch order ⇒ identical schedule
+//! order ⇒ identical `seq` assignment, closing the induction. The
+//! differential suite in `tests/sharded_diff.rs` drives both schedulers
+//! over random event tapes (schedules, cancellations, cross-lane traffic)
+//! and asserts the pop streams and journals match event for event.
+//!
+//! # Parallelism
+//!
+//! At each barrier the window of events due before the next boundary is
+//! **staged**: popped out of the lane heaps into per-lane buffers and
+//! merged canonically. Lane heaps are disjoint, so the staging pass runs
+//! on scoped threads (one per lane) when the host has more than one core;
+//! on a single-core host it degrades to a serial drain with the same
+//! deterministic result. The merge point itself stays serial — that is
+//! what makes the journal byte-identical to the serial scheduler.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use mg_trace::{EventKind, Tracer};
+
+use crate::scheduler::{Entry, EventHandle};
+use crate::time::{SimDuration, SimTime};
+
+/// The region every cross-cutting event (e.g. mobility ticks) should be
+/// scheduled into: lane 0 doubles as the global lane.
+pub const GLOBAL_REGION: usize = 0;
+
+/// A deterministic region-sharded pending-event queue with a virtual clock
+/// and lockstep epoch barriers. See the module docs for the equivalence
+/// argument; the public surface mirrors [`Scheduler`](crate::Scheduler)
+/// with an extra `region` coordinate on scheduling calls.
+pub struct ShardedScheduler<E> {
+    now: SimTime,
+    /// Per-region pending heaps (min by `(time, seq)` via `Reverse`).
+    lanes: Vec<BinaryHeap<Reverse<Entry<E>>>>,
+    /// Cross-region events awaiting the next epoch barrier, per target lane.
+    inboxes: Vec<Vec<Entry<E>>>,
+    /// The current window, already merged in canonical order: entries due
+    /// strictly before `boundary`, tagged with their source lane.
+    staged: VecDeque<(Entry<E>, u32)>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    popped: u64,
+    /// Epoch length (the lookahead). Always > 0.
+    epoch: SimDuration,
+    /// The next epoch barrier; no staged event's time reaches it.
+    boundary: SimTime,
+    /// Lane of the most recently popped event — the region "speaking" while
+    /// its dispatch runs. `None` before the first pop (setup phase), when
+    /// every schedule goes directly to its lane.
+    active_lane: Option<usize>,
+    barriers: u64,
+    cross_region: u64,
+    lookahead_violations: u64,
+    tracer: Tracer,
+}
+
+impl<E: Send> ShardedScheduler<E> {
+    /// Creates an empty sharded scheduler with `regions ≥ 1` lanes and the
+    /// given epoch length (the lookahead; must be nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0` or `epoch` is zero.
+    pub fn new(regions: usize, epoch: SimDuration) -> Self {
+        assert!(regions >= 1, "need at least one region");
+        assert!(!epoch.is_zero(), "epoch (lookahead) must be positive");
+        ShardedScheduler {
+            now: SimTime::ZERO,
+            lanes: (0..regions).map(|_| BinaryHeap::new()).collect(),
+            inboxes: (0..regions).map(|_| Vec::new()).collect(),
+            staged: VecDeque::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            popped: 0,
+            epoch,
+            boundary: SimTime::ZERO,
+            active_lane: None,
+            barriers: 0,
+            cross_region: 0,
+            lookahead_violations: 0,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Journals every dispatch exactly like the serial scheduler (at `Debug`
+    /// level for the `sched` subsystem). Disabled by default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The current virtual time (timestamp of the most recent pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_fired(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of regions (lanes).
+    pub fn regions(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The epoch length (lookahead) in force.
+    pub fn epoch(&self) -> SimDuration {
+        self.epoch
+    }
+
+    /// Epoch barriers crossed so far (diagnostic).
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Events that were exchanged through a foreign lane's inbox
+    /// (diagnostic: the cross-region traffic volume).
+    pub fn cross_region_events(&self) -> u64 {
+        self.cross_region
+    }
+
+    /// Cross-lane schedules that arrived *inside* the current epoch window
+    /// and had to bypass the inbox protocol (diagnostic; correctness is
+    /// unaffected, but a nonzero count means the configured lookahead
+    /// overestimates the true minimum cross-region delay).
+    pub fn lookahead_violations(&self) -> u64 {
+        self.lookahead_violations
+    }
+
+    /// Number of events currently pending (including lazily-cancelled ones).
+    pub fn len(&self) -> usize {
+        self.staged.len()
+            + self.lanes.iter().map(BinaryHeap::len).sum::<usize>()
+            + self.inboxes.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// True when no events are pending (cancelled entries still count until
+    /// they surface; [`ShardedScheduler::pop`] is the authoritative check).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` in `region`'s lane to fire at absolute time `at`.
+    ///
+    /// While a popped event is being dispatched, a schedule into a *foreign*
+    /// lane that respects the lookahead (`at ≥` next barrier) goes through
+    /// that lane's inbox and is merged at the barrier; everything else is
+    /// pushed directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`ShardedScheduler::now`] or `region`
+    /// is out of range.
+    pub fn schedule_at_in(&mut self, at: SimTime, region: usize, payload: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={:?}, at={:?}",
+            self.now,
+            at
+        );
+        assert!(region < self.lanes.len(), "region {region} out of range");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry { time: at, seq, payload };
+        match self.active_lane {
+            Some(active) if active != region => {
+                if at >= self.boundary {
+                    self.cross_region += 1;
+                    self.inboxes[region].push(entry);
+                } else {
+                    self.lookahead_violations += 1;
+                    self.lanes[region].push(Reverse(entry));
+                }
+            }
+            _ => self.lanes[region].push(Reverse(entry)),
+        }
+        EventHandle::from_seq(seq)
+    }
+
+    /// Schedules `payload` in `region`'s lane to fire `after` from now.
+    pub fn schedule_in_region(
+        &mut self,
+        after: SimDuration,
+        region: usize,
+        payload: E,
+    ) -> EventHandle {
+        self.schedule_at_in(self.now + after, region, payload)
+    }
+
+    /// Cancels a pending event (lazy, exactly like the serial scheduler).
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.seq());
+    }
+
+    /// Discards cancelled entries at the staged-window front and on top of
+    /// every lane, so the subsequent min-scan sees only live candidates.
+    fn purge_cancelled_tops(&mut self) {
+        while let Some((entry, _)) = self.staged.front() {
+            if self.cancelled.remove(&entry.seq) {
+                self.staged.pop_front();
+            } else {
+                break;
+            }
+        }
+        for lane in &mut self.lanes {
+            while let Some(Reverse(entry)) = lane.peek() {
+                if self.cancelled.contains(&entry.seq) {
+                    let seq = entry.seq;
+                    lane.pop();
+                    self.cancelled.remove(&seq);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The minimum live `(time, seq)` over the staged window and the lane
+    /// heaps (`None` for lane means the staged front wins). Assumes
+    /// [`Self::purge_cancelled_tops`] ran.
+    fn live_min(&self) -> Option<(SimTime, u64, Option<usize>)> {
+        let mut best: Option<(SimTime, u64, Option<usize>)> = self
+            .staged
+            .front()
+            .map(|(e, _)| (e.time, e.seq, None));
+        for (lane, heap) in self.lanes.iter().enumerate() {
+            if let Some(Reverse(e)) = heap.peek() {
+                if best.is_none_or(|(t, s, _)| (e.time, e.seq) < (t, s)) {
+                    best = Some((e.time, e.seq, Some(lane)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether any inbox holds a live (non-cancelled) entry.
+    fn inboxes_live(&self) -> bool {
+        self.inboxes
+            .iter()
+            .any(|ib| ib.iter().any(|e| !self.cancelled.contains(&e.seq)))
+    }
+
+    /// Crosses an epoch barrier: exchanges every inbox into its lane in
+    /// canonical `(time, region, seq)` order, advances the boundary to the
+    /// first epoch edge strictly beyond `t`, and stages the new window
+    /// (events due before the boundary), merged canonically. Lane heaps are
+    /// disjoint, so the staging drain fans out to scoped threads on
+    /// multicore hosts.
+    fn cross_barrier(&mut self, t: SimTime) {
+        debug_assert!(self.staged.is_empty(), "staged window must drain before a barrier");
+        self.barriers += 1;
+        // Deterministic exchange: all inboxes, canonical merge order.
+        let mut exchanged: Vec<(u32, Entry<E>)> = Vec::new();
+        for (region, inbox) in self.inboxes.iter_mut().enumerate() {
+            exchanged.extend(inbox.drain(..).map(|e| (region as u32, e)));
+        }
+        exchanged.sort_by_key(|(region, e)| (e.time, *region, e.seq));
+        for (region, e) in exchanged {
+            self.lanes[region as usize].push(Reverse(e));
+        }
+        // Advance to the first epoch edge strictly beyond t.
+        let e = self.epoch.as_nanos();
+        self.boundary = SimTime::from_nanos((t.as_nanos() / e + 1).saturating_mul(e));
+
+        // Stage the window: per-lane drains are independent, so fan out when
+        // the host actually has parallelism (the serial drain is the same
+        // computation in lane order — results are identical by construction).
+        let boundary = self.boundary;
+        let mut per_lane: Vec<Vec<(Entry<E>, u32)>> = Vec::new();
+        let parallel = self.lanes.len() > 1
+            && std::thread::available_parallelism().map_or(1, |p| p.get()) > 1;
+        if parallel {
+            per_lane.resize_with(self.lanes.len(), Vec::new);
+            std::thread::scope(|scope| {
+                for (lane, (heap, out)) in
+                    self.lanes.iter_mut().zip(per_lane.iter_mut()).enumerate()
+                {
+                    scope.spawn(move || {
+                        while heap.peek().is_some_and(|Reverse(e)| e.time < boundary) {
+                            let Reverse(e) = heap.pop().expect("peeked entry exists");
+                            out.push((e, lane as u32));
+                        }
+                    });
+                }
+            });
+        } else {
+            for (lane, heap) in self.lanes.iter_mut().enumerate() {
+                let mut out = Vec::new();
+                while heap.peek().is_some_and(|Reverse(e)| e.time < boundary) {
+                    let Reverse(e) = heap.pop().expect("peeked entry exists");
+                    out.push((e, lane as u32));
+                }
+                per_lane.push(out);
+            }
+        }
+        let mut window: Vec<(Entry<E>, u32)> = per_lane.into_iter().flatten().collect();
+        window.sort_by_key(|(e, _)| (e.time, e.seq));
+        self.staged = window.into();
+    }
+
+    /// Pops the next live event — always the global minimum `(time, seq)`
+    /// over every container — advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            self.purge_cancelled_tops();
+            let Some((time, _seq, source)) = self.live_min() else {
+                // Lanes and window are dry; anything left lives in inboxes.
+                if self.inboxes_live() {
+                    let t = self
+                        .inboxes
+                        .iter()
+                        .flatten()
+                        .filter(|e| !self.cancelled.contains(&e.seq))
+                        .map(|e| e.time)
+                        .min()
+                        .expect("live inbox entry exists");
+                    self.cross_barrier(t);
+                    continue;
+                }
+                // Drop cancelled leavings so `len` drains to zero.
+                for inbox in &mut self.inboxes {
+                    for e in inbox.drain(..) {
+                        self.cancelled.remove(&e.seq);
+                    }
+                }
+                return None;
+            };
+            if time >= self.boundary {
+                self.cross_barrier(time);
+                continue;
+            }
+            let (entry, lane) = match source {
+                None => self.staged.pop_front().expect("staged front exists"),
+                Some(lane) => {
+                    let Reverse(e) = self.lanes[lane].pop().expect("peeked entry exists");
+                    (e, lane as u32)
+                }
+            };
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.now = entry.time;
+            self.active_lane = Some(lane as usize);
+            self.popped += 1;
+            self.tracer
+                .emit(entry.time.as_nanos(), None, EventKind::SchedDispatch { seq: entry.seq });
+            return Some((entry.time, entry.payload));
+        }
+    }
+
+    /// The timestamp of the next live event without popping it, or `None`
+    /// if the queue is (effectively) empty. Never crosses a barrier.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.purge_cancelled_tops();
+        let mut best = self.live_min().map(|(t, _, _)| t);
+        for inbox in &self.inboxes {
+            for e in inbox {
+                if !self.cancelled.contains(&e.seq) && best.is_none_or(|t| e.time < t) {
+                    best = Some(e.time);
+                }
+            }
+        }
+        best
+    }
+}
+
+impl<E> std::fmt::Debug for ShardedScheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedScheduler")
+            .field("now", &self.now)
+            .field("regions", &self.lanes.len())
+            .field("epoch", &self.epoch)
+            .field("fired", &self.popped)
+            .field("barriers", &self.barriers)
+            .field("cross_region", &self.cross_region)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(regions: usize) -> ShardedScheduler<u32> {
+        ShardedScheduler::new(regions, SimDuration::from_micros(10))
+    }
+
+    #[test]
+    fn pops_in_global_time_seq_order_across_lanes() {
+        let mut s = sched(3);
+        s.schedule_at_in(SimTime::from_micros(30), 2, 3);
+        s.schedule_at_in(SimTime::from_micros(10), 1, 1);
+        s.schedule_at_in(SimTime::from_micros(20), 0, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(s.now(), SimTime::from_micros(30));
+        assert_eq!(s.events_fired(), 3);
+    }
+
+    #[test]
+    fn fifo_at_equal_times_across_lanes() {
+        // Same instant, round-robined over lanes: seq (insertion order) must
+        // break the tie exactly like the serial scheduler.
+        let mut s = sched(4);
+        for i in 0..100u32 {
+            s.schedule_at_in(SimTime::from_micros(5), (i % 4) as usize, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_lane_schedule_goes_through_the_inbox_and_still_orders() {
+        let mut s = sched(2);
+        s.schedule_at_in(SimTime::from_micros(5), 0, 1);
+        assert_eq!(s.pop().map(|(_, e)| e), Some(1)); // active lane = 0
+        // Foreign lane, beyond the next barrier: inbox protocol.
+        s.schedule_at_in(SimTime::from_micros(25), 1, 2);
+        assert_eq!(s.cross_region_events(), 1);
+        // Own lane: direct push.
+        s.schedule_at_in(SimTime::from_micros(35), 0, 3);
+        assert_eq!(s.peek_time(), Some(SimTime::from_micros(25)));
+        assert_eq!(s.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(s.pop().map(|(_, e)| e), Some(3));
+        assert!(s.pop().is_none());
+        assert!(s.is_empty());
+        assert_eq!(s.lookahead_violations(), 0);
+    }
+
+    #[test]
+    fn lookahead_violation_falls_back_to_direct_push() {
+        let mut s = sched(2);
+        s.schedule_at_in(SimTime::from_micros(5), 0, 1);
+        s.pop();
+        // Foreign lane *inside* the current window (< 10 µs boundary):
+        // must still deliver in order, via the fallback.
+        s.schedule_at_in(SimTime::from_micros(7), 1, 2);
+        s.schedule_at_in(SimTime::from_micros(8), 0, 3);
+        assert_eq!(s.lookahead_violations(), 1);
+        assert_eq!(s.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(s.pop().map(|(_, e)| e), Some(3));
+    }
+
+    #[test]
+    fn cancel_suppresses_delivery_everywhere() {
+        let mut s = sched(2);
+        let ha = s.schedule_at_in(SimTime::from_micros(5), 0, 1);
+        s.pop();
+        s.cancel(ha); // already fired: no-op
+        let hb = s.schedule_at_in(SimTime::from_micros(25), 1, 2); // inbox
+        let hc = s.schedule_at_in(SimTime::from_micros(30), 0, 3); // lane
+        s.cancel(hb);
+        s.cancel(hc);
+        let hd = s.schedule_at_in(SimTime::from_micros(40), 0, 4);
+        assert_eq!(s.peek_time(), Some(SimTime::from_micros(40)));
+        assert_eq!(s.pop(), Some((SimTime::from_micros(40), 4)));
+        s.cancel(hd); // fired: no-op
+        assert!(s.pop().is_none());
+        assert_eq!(s.len(), 0, "cancelled leavings must drain");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut s = sched(2);
+        s.schedule_at_in(SimTime::from_micros(10), 0, 0);
+        s.pop();
+        s.schedule_at_in(SimTime::from_micros(5), 1, 1);
+    }
+
+    #[test]
+    fn dispatches_are_journaled_like_the_serial_scheduler() {
+        use mg_trace::TraceConfig;
+        let tracer = Tracer::new(TraceConfig::verbose());
+        let mut s = sched(2);
+        s.set_tracer(tracer.clone());
+        let h = s.schedule_at_in(SimTime::from_micros(5), 0, 1);
+        s.schedule_at_in(SimTime::from_micros(9), 1, 2);
+        s.cancel(h);
+        while s.pop().is_some() {}
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t_ns, 9_000);
+        assert_eq!(events[0].kind, EventKind::SchedDispatch { seq: 1 });
+    }
+
+    #[test]
+    fn barriers_advance_with_time() {
+        let mut s = sched(2);
+        for k in 0..5u32 {
+            // One event per 10 µs epoch, alternating lanes.
+            s.schedule_at_in(SimTime::from_micros(u64::from(k) * 10 + 5), (k % 2) as usize, k);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.barriers(), 5, "one barrier per populated epoch window");
+    }
+
+    #[test]
+    fn single_region_degenerates_to_the_serial_scheduler() {
+        let mut serial: crate::Scheduler<u32> = crate::Scheduler::new();
+        let mut sharded = sched(1);
+        for (t, v) in [(30u64, 1u32), (10, 2), (30, 3), (20, 4)] {
+            serial.schedule_at(SimTime::from_micros(t), v);
+            sharded.schedule_at_in(SimTime::from_micros(t), 0, v);
+        }
+        loop {
+            let a = serial.pop();
+            let b = sharded.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

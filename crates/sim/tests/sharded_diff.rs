@@ -1,0 +1,166 @@
+//! Differential suite: `ShardedScheduler` vs the serial `Scheduler` on
+//! shrinkable random event tapes (mg-testkit harness).
+//!
+//! The sharded queue's whole contract is *byte-identity*: same pop stream,
+//! same clock, same fired counter, same `SchedDispatch` journal as the
+//! serial heap — for any interleaving of schedules (own-lane, cross-lane,
+//! lookahead-violating), cancellations, and pops. These properties drive
+//! both schedulers with one tape and assert the streams match event for
+//! event, which is exactly the argument `tests/trace_determinism.rs`
+//! extends end-to-end through the World.
+
+use mg_sim::{Scheduler, ShardedScheduler, SimDuration, SimTime};
+use mg_testkit::prop::{check, Gen, TkResult};
+use mg_testkit::{tk_assert, tk_assert_eq};
+use mg_trace::{TraceConfig, Tracer};
+
+/// The epoch used throughout: SIFS, the minimum cross-node delay the World
+/// configures as its lookahead.
+const EPOCH_US: u64 = 10;
+
+/// Drives `serial` and `sharded` with the same interactive tape: each round
+/// pops one event from both (asserting equality), then performs a batch of
+/// schedules/cancellations derived from `g` — identically on both sides.
+/// Returns when both queues report empty.
+fn drive(
+    g: &mut Gen,
+    lanes: usize,
+    serial: &mut Scheduler<u64>,
+    sharded: &mut ShardedScheduler<u64>,
+) -> TkResult {
+    let mut next_payload = 0u64;
+    // Total-schedule budget: without it the follow-up fan-out is a critical
+    // branching process and a tape can take unboundedly long to drain.
+    let budget = g.u64_in(50..400);
+    let mut live: Vec<(mg_sim::EventHandle, mg_sim::EventHandle)> = Vec::new();
+    // Seed both queues identically before any dispatch runs.
+    for _ in 0..g.u64_in(1..20) {
+        let at = SimTime::from_micros(g.u64_in(0..200));
+        let lane = g.u64_in(0..lanes as u64) as usize;
+        let hs = serial.schedule_at(at, next_payload);
+        let hx = sharded.schedule_at_in(at, lane, next_payload);
+        live.push((hs, hx));
+        next_payload += 1;
+    }
+    loop {
+        tk_assert_eq!(serial.peek_time(), sharded.peek_time());
+        let a = serial.pop();
+        let b = sharded.pop();
+        tk_assert_eq!(a, b);
+        let Some((now, _)) = a else {
+            break;
+        };
+        tk_assert_eq!(serial.now(), sharded.now());
+        // "Dispatch": schedule a few follow-ups relative to now. Deltas
+        // below the epoch exercise the lookahead-violation fallback for
+        // cross-lane targets; deltas at/above it exercise the inbox.
+        for _ in 0..g.u64_in(0..4) {
+            if next_payload >= budget {
+                break;
+            }
+            let delta = g.u64_in(0..50);
+            let lane = g.u64_in(0..lanes as u64) as usize;
+            let at = now + SimDuration::from_micros(delta);
+            let hs = serial.schedule_at(at, next_payload);
+            let hx = sharded.schedule_at_in(at, lane, next_payload);
+            live.push((hs, hx));
+            next_payload += 1;
+        }
+        // Occasionally cancel a pending (or stale — harmless) handle.
+        if !live.is_empty() && g.bool() {
+            let idx = g.u64_in(0..live.len() as u64) as usize;
+            let (hs, hx) = live.swap_remove(idx);
+            serial.cancel(hs);
+            sharded.cancel(hx);
+        }
+    }
+    tk_assert_eq!(serial.events_fired(), sharded.events_fired());
+    tk_assert_eq!(serial.now(), sharded.now());
+    tk_assert!(sharded.pop().is_none());
+    Ok(())
+}
+
+/// Pop stream, clock, and fired counter are identical to the serial
+/// scheduler for any tape, across 1–6 regions.
+#[test]
+fn sharded_matches_serial_on_random_tapes() {
+    check("sharded_matches_serial_on_random_tapes", |g: &mut Gen| -> TkResult {
+        let lanes = g.u64_in(1..7) as usize;
+        let mut serial: Scheduler<u64> = Scheduler::new();
+        let mut sharded: ShardedScheduler<u64> =
+            ShardedScheduler::new(lanes, SimDuration::from_micros(EPOCH_US));
+        drive(g, lanes, &mut serial, &mut sharded)
+    });
+}
+
+/// The `SchedDispatch` journal — the byte stream `trace_determinism`
+/// ultimately diffs — is identical too: same seqs, same timestamps, same
+/// order.
+#[test]
+fn sharded_journal_matches_serial() {
+    check("sharded_journal_matches_serial", |g: &mut Gen| -> TkResult {
+        let lanes = g.u64_in(2..5) as usize;
+        let trace_a = Tracer::new(TraceConfig::verbose());
+        let trace_b = Tracer::new(TraceConfig::verbose());
+        let mut serial: Scheduler<u64> = Scheduler::new();
+        let mut sharded: ShardedScheduler<u64> =
+            ShardedScheduler::new(lanes, SimDuration::from_micros(EPOCH_US));
+        serial.set_tracer(trace_a.clone());
+        sharded.set_tracer(trace_b.clone());
+        drive(g, lanes, &mut serial, &mut sharded)?;
+        let ea = trace_a.events();
+        let eb = trace_b.events();
+        tk_assert_eq!(ea.len(), eb.len());
+        for (a, b) in ea.iter().zip(eb.iter()) {
+            tk_assert_eq!(a.t_ns, b.t_ns);
+            tk_assert_eq!(a.kind, b.kind);
+        }
+        Ok(())
+    });
+}
+
+/// Lookahead abuse: an epoch far larger than any scheduling delta forces
+/// nearly every cross-lane schedule through the direct-push fallback, and
+/// the streams must *still* match (correctness never depends on the
+/// lookahead being right).
+#[test]
+fn sharded_survives_a_wrong_lookahead() {
+    check("sharded_survives_a_wrong_lookahead", |g: &mut Gen| -> TkResult {
+        let lanes = g.u64_in(2..5) as usize;
+        let mut serial: Scheduler<u64> = Scheduler::new();
+        let mut sharded: ShardedScheduler<u64> =
+            ShardedScheduler::new(lanes, SimDuration::from_secs(3600));
+        drive(g, lanes, &mut serial, &mut sharded)
+    });
+}
+
+/// Burst ties: many events at identical instants, spread over lanes, must
+/// preserve the serial FIFO tie-break exactly.
+#[test]
+fn sharded_preserves_fifo_ties_across_lanes() {
+    check("sharded_preserves_fifo_ties_across_lanes", |g: &mut Gen| -> TkResult {
+        let lanes = g.u64_in(2..7) as usize;
+        let mut serial: Scheduler<u64> = Scheduler::new();
+        let mut sharded: ShardedScheduler<u64> =
+            ShardedScheduler::new(lanes, SimDuration::from_micros(EPOCH_US));
+        let instants = g.vec(1..6, |g| g.u64_in(0..40));
+        let mut payload = 0u64;
+        for &t in &instants {
+            for _ in 0..g.u64_in(1..10) {
+                let lane = g.u64_in(0..lanes as u64) as usize;
+                serial.schedule_at(SimTime::from_micros(t), payload);
+                sharded.schedule_at_in(SimTime::from_micros(t), lane, payload);
+                payload += 1;
+            }
+        }
+        loop {
+            let a = serial.pop();
+            let b = sharded.pop();
+            tk_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        Ok(())
+    });
+}
